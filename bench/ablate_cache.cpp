@@ -1,0 +1,40 @@
+// Ablation — cache size M. Shows the role of the on-chip cache: more
+// entries -> fewer replacement evictions -> fewer off-chip accesses
+// (time), while accuracy stays roughly flat (evictions are lossless).
+#include <cstdio>
+
+#include "memsim/cost_model.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace caesar;
+  const auto setup = bench::setup_from_env();
+  const auto t = trace::generate_trace(setup.trace);
+  bench::print_banner("Ablation: cache entries (M)", setup, t,
+                      setup.caesar);
+
+  const auto model = memsim::virtex7_model();
+  Table table({"M", "cache_kb", "csm_err", "sram_accesses", "time_ms"});
+  for (double frac : {0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0}) {
+    auto cfg = setup.caesar;
+    cfg.cache_entries = static_cast<std::uint32_t>(
+        std::max(1.0, frac * setup.caesar.cache_entries));
+    core::CaesarSketch sketch(cfg);
+    bench::feed(t, sketch);
+    sketch.flush();
+    const auto eval = bench::evaluate_fn(
+        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+    const auto ops = sketch.op_counts();
+    table.add_row({std::to_string(cfg.cache_entries),
+                   format_double(sketch.cache_table().memory_kb(), 1),
+                   format_double(100.0 * eval.avg_relative_error, 2) + "%",
+                   std::to_string(ops.sram_accesses),
+                   format_double(model.time_ms(ops), 2)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("Accuracy is cache-size-insensitive (evictions lose nothing; "
+              "only eviction *granularity* changes), but off-chip traffic "
+              "and\nmodeled time drop as the cache absorbs more of each "
+              "flow — the architectural bet of the paper.\n");
+  return 0;
+}

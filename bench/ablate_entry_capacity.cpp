@@ -1,0 +1,39 @@
+// Ablation — cache entry capacity y. The paper picks y = floor(2 n/Q) so
+// that >95% of flows never overflow (p_y -> 0, §4.2) while keeping entries
+// narrow. Sweep y to expose the trade: small y -> RCS-like behaviour
+// (every packet trickles off-chip), large y -> fatter entries, no benefit.
+#include <cstdio>
+
+#include "memsim/cost_model.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace caesar;
+  const auto setup = bench::setup_from_env();
+  const auto t = trace::generate_trace(setup.trace_accuracy);
+  bench::print_banner("Ablation: cache entry capacity (y)", setup, t,
+                      setup.caesar_accuracy);
+
+  const auto model = memsim::virtex7_model();
+  Table table({"y", "cache_kb", "overflow_evicts", "csm_err", "time_ms"});
+  for (Count y : {1u, 2u, 7u, 14u, 27u, 54u, 108u, 216u}) {
+    auto cfg = setup.caesar_accuracy;
+    cfg.entry_capacity = y;
+    core::CaesarSketch sketch(cfg);
+    bench::feed(t, sketch);
+    sketch.flush();
+    const auto eval = bench::evaluate_fn(
+        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+    table.add_row({std::to_string(y),
+                   format_double(sketch.cache_table().memory_kb(), 1),
+                   std::to_string(sketch.cache_stats().overflow_evictions),
+                   format_double(100.0 * eval.avg_relative_error, 2) + "%",
+                   format_double(model.time_ms(sketch.op_counts()), 2)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("y=1 degenerates to per-packet off-chip updates (lossless "
+              "RCS timing); beyond y ~ 2*mean the overflow rate is already "
+              "~0\nand more capacity only buys wider (costlier) cache "
+              "entries — the paper's y = floor(2 n/Q) is the sweet spot.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation — counters per flow (k). The paper fixes k=3 ("empirical
+// shared counter schemes perform well when parameter k is not too big").
+// Sweep k and report accuracy + modeled processing time to show why.
+#include <cstdio>
+
+#include "memsim/cost_model.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace caesar;
+  const auto setup = bench::setup_from_env();
+  const auto t = trace::generate_trace(setup.trace_accuracy);
+  bench::print_banner("Ablation: k (mapped counters per flow)", setup, t,
+                      setup.caesar_accuracy);
+
+  const auto model = memsim::virtex7_model();
+  Table table({"k", "csm_err", "mlm_err", "time_ms", "theory_csm_var@mu"});
+  for (std::size_t k = 1; k <= 8; ++k) {
+    auto cfg = setup.caesar_accuracy;
+    cfg.k = k;
+    core::CaesarSketch sketch(cfg);
+    bench::feed(t, sketch);
+    sketch.flush();
+    const auto csm = bench::evaluate_fn(
+        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+    const auto mlm = bench::evaluate_fn(
+        t, [&](FlowId f) { return sketch.estimate_mlm(f); });
+    const double var = core::csm_variance(t.mean_flow_size(),
+                                          sketch.estimator_params());
+    table.add_row({std::to_string(k),
+                   format_double(100.0 * csm.avg_relative_error, 2) + "%",
+                   format_double(100.0 * mlm.avg_relative_error, 2) + "%",
+                   format_double(model.time_ms(sketch.op_counts()), 2),
+                   format_double(var, 2)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("Eq. 22 predicts variance growth ~ k(k-1)^2: small k wins on "
+              "theory-variance and time; k>=2 needed for sharing to\n"
+              "average out hot counters. The paper's k=3 sits at the "
+              "accuracy/time knee.\n");
+  return 0;
+}

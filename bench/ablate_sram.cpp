@@ -1,0 +1,55 @@
+// Ablation — SRAM counter count L: the noise-regime explainer.
+//
+// This sweep connects the paper's two inconsistent claims (91.55 KB SRAM
+// and 25% average relative error): the shared-counter noise mass per flow
+// is k*n/L, so error collapses only once L approaches and passes n.
+// CAESAR and lossless RCS are swept together; CAESAR's flexibility in L
+// ("much more flexible than RCS in off-chip memory size", §1.4) shows as
+// graceful degradation, while CASE needs L >= Q outright.
+#include <cstdio>
+
+#include "support.hpp"
+
+int main() {
+  using namespace caesar;
+  const auto setup = bench::setup_from_env();
+  const auto t = trace::generate_trace(setup.trace_accuracy);
+  bench::print_banner("Ablation: SRAM counters (L)", setup, t,
+                      setup.caesar_accuracy);
+
+  const double n = static_cast<double>(t.num_packets());
+  Table table({"L", "sram_kb", "k*n/L", "caesar_csm_err", "rcs_csm_err"});
+  for (double counters_per_packet : {0.02, 0.1, 0.5, 1.0, 4.0, 18.0}) {
+    auto cc = setup.caesar_accuracy;
+    cc.num_counters = static_cast<std::uint64_t>(
+        std::max(64.0, counters_per_packet * n));
+    auto rc = setup.rcs_accuracy;
+    rc.num_counters = cc.num_counters;
+
+    core::CaesarSketch caesar_sketch(cc);
+    baselines::RcsSketch rcs_sketch(rc);
+    for (auto idx : t.arrivals()) {
+      caesar_sketch.add(t.id_of(idx));
+      rcs_sketch.add(t.id_of(idx));
+    }
+    caesar_sketch.flush();
+
+    const auto ec = bench::evaluate_fn(
+        t, [&](FlowId f) { return caesar_sketch.estimate_csm(f); });
+    const auto er = bench::evaluate_fn(
+        t, [&](FlowId f) { return rcs_sketch.estimate_csm(f); });
+    table.add_row(
+        {std::to_string(cc.num_counters),
+         format_double(caesar_sketch.sram().memory_kb(), 1),
+         format_double(3.0 * n / static_cast<double>(cc.num_counters), 2),
+         format_double(100.0 * ec.avg_relative_error, 2) + "%",
+         format_double(100.0 * er.avg_relative_error, 2) + "%"});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("The paper's stated budget sits at the top of this table "
+              "(k*n/L in the hundreds -> mouse flows unrecoverable);\n"
+              "its reported 25-30%% errors correspond to the bottom rows. "
+              "Error decays smoothly with L for both sharing schemes —\n"
+              "no L >= Q cliff like CASE's.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 4 — CAESAR accuracy: (a/b) estimated vs actual for CSM and MLM,
+// (c/d) average relative error vs actual size, for both LRU and random
+// replacement.
+//
+// Paper headline (§1.5): CSM 25.23% / MLM 30.83% average relative error.
+// Those levels require the low-noise regime (see DESIGN.md §5 /
+// EXPERIMENTS.md): the headline run below uses the noise-calibrated
+// geometry; the paper-stated 91.55 KB budget is also run and reported for
+// transparency.
+#include <cstdio>
+
+#include "support.hpp"
+
+int main() {
+  using namespace caesar;
+  const auto setup = bench::setup_from_env();
+  const auto t = trace::generate_trace(setup.trace_accuracy);
+  bench::print_banner("Figure 4: CAESAR accuracy (CSM vs MLM)", setup, t,
+                      setup.caesar_accuracy);
+
+  for (const auto policy : {cache::ReplacementPolicy::kLru,
+                            cache::ReplacementPolicy::kRandom}) {
+    auto cfg = setup.caesar_accuracy;
+    cfg.policy = policy;
+    core::CaesarSketch sketch(cfg);
+    bench::feed(t, sketch);
+    sketch.flush();
+
+    const char* pname =
+        policy == cache::ReplacementPolicy::kLru ? "LRU" : "random";
+    const auto csm = bench::evaluate_fn(
+        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+    bench::print_accuracy_panels(
+        std::string("Fig 4(a)/(c) CAESAR-CSM, ") + pname + " replacement",
+        csm);
+    const auto mlm = bench::evaluate_fn(
+        t, [&](FlowId f) { return sketch.estimate_mlm(f); });
+    bench::print_accuracy_panels(
+        std::string("Fig 4(b)/(d) CAESAR-MLM, ") + pname + " replacement",
+        mlm);
+
+    std::printf("[paper] CSM avg rel err 25.23%% | MLM 30.83%% "
+                "(measured above: CSM %.2f%% | MLM %.2f%%, %s)\n\n",
+                100.0 * csm.avg_relative_error,
+                100.0 * mlm.avg_relative_error, pname);
+  }
+
+  // Transparency run: the same workload under the literally stated
+  // 91.55 KB budget, where per-counter noise mass is n/L >> mouse-flow
+  // sizes — the regime in which no estimator can reach the paper's
+  // error levels (EXPERIMENTS.md quantifies this).
+  {
+    auto cfg = setup.caesar;  // budget geometry
+    core::CaesarSketch sketch(cfg);
+    bench::feed(t, sketch);
+    sketch.flush();
+    const auto csm = bench::evaluate_fn(
+        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+    const auto g = analysis::describe(cfg);
+    std::printf("[stated-budget transparency] SRAM %.2f KB (L=%llu): "
+                "CSM avg rel err %.1f%% — noise-dominated as predicted\n",
+                g.sram_kb,
+                static_cast<unsigned long long>(cfg.num_counters),
+                100.0 * csm.avg_relative_error);
+  }
+  return 0;
+}

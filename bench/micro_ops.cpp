@@ -1,0 +1,228 @@
+// Micro-benchmarks (google-benchmark): per-operation software costs of
+// the hash substrate and the three schemes' update/query paths. These are
+// the simulator's own costs (host CPU), complementary to the modeled FPGA
+// times of fig8_processing_time.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <vector>
+
+#include "baselines/braids/counter_braids.hpp"
+#include "baselines/case/case_sketch.hpp"
+#include "baselines/compressed/cedar.hpp"
+#include "baselines/compressed/small_active_counter.hpp"
+#include "baselines/rcs/rcs_sketch.hpp"
+#include "baselines/sampling/space_saving.hpp"
+#include "baselines/vhc/virtual_hll.hpp"
+#include "cache/cache_table.hpp"
+#include "common/random.hpp"
+#include "core/caesar_sketch.hpp"
+#include "counters/counter_array.hpp"
+#include "counters/packed_counter_array.hpp"
+#include "hash/classic_hashes.hpp"
+#include "hash/index_selector.hpp"
+#include "hash/sha1.hpp"
+#include "hash/xxhash64.hpp"
+#include "trace/anonymize.hpp"
+#include "trace/flow_id.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace caesar;
+
+void BM_Sha1FlowId(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto tuple = trace::synth_tuple(1, i++);
+    benchmark::DoNotOptimize(trace::flow_id_of(tuple));
+  }
+}
+BENCHMARK(BM_Sha1FlowId);
+
+void BM_ApHash(benchmark::State& state) {
+  const std::string key = "10.1.2.3:443->192.168.0.1:51234/tcp";
+  for (auto _ : state) benchmark::DoNotOptimize(hash::ap_hash(key));
+}
+BENCHMARK(BM_ApHash);
+
+void BM_Xxh64U64(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(hash::xxh64_u64(++i, 7));
+}
+BENCHMARK(BM_Xxh64U64);
+
+void BM_KIndexSelect(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  hash::KIndexSelector sel(k, 50'000, 3);
+  std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
+  std::uint64_t flow = 0;
+  for (auto _ : state) {
+    sel.select(++flow, std::span<std::uint64_t>(idx.data(), k));
+    benchmark::DoNotOptimize(idx);
+  }
+}
+BENCHMARK(BM_KIndexSelect)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_CacheProcessHit(benchmark::State& state) {
+  cache::CacheTable::Config cfg;
+  cfg.num_entries = 1024;
+  cfg.entry_capacity = 1'000'000'000;  // never overflow
+  cache::CacheTable cache(cfg);
+  cache.process(42);
+  for (auto _ : state) benchmark::DoNotOptimize(cache.process(42));
+}
+BENCHMARK(BM_CacheProcessHit);
+
+void BM_CacheProcessChurn(benchmark::State& state) {
+  cache::CacheTable::Config cfg;
+  cfg.num_entries = 1024;
+  cfg.entry_capacity = 54;
+  cache::CacheTable cache(cfg);
+  Xoshiro256pp rng(1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.process(rng.below(100'000)));
+}
+BENCHMARK(BM_CacheProcessChurn);
+
+void BM_CaesarAdd(benchmark::State& state) {
+  core::CaesarConfig cfg;
+  cfg.cache_entries = 10'000;
+  cfg.entry_capacity = 54;
+  cfg.num_counters = 5'000;
+  cfg.counter_bits = 15;
+  core::CaesarSketch sketch(cfg);
+  Xoshiro256pp rng(2);
+  for (auto _ : state) sketch.add(rng.below(100'000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CaesarAdd);
+
+void BM_RcsAdd(benchmark::State& state) {
+  baselines::RcsConfig cfg;
+  cfg.num_counters = 5'000;
+  cfg.counter_bits = 15;
+  baselines::RcsSketch sketch(cfg);
+  Xoshiro256pp rng(3);
+  for (auto _ : state) sketch.add(rng.below(100'000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RcsAdd);
+
+void BM_CaseAdd(benchmark::State& state) {
+  baselines::CaseConfig cfg;
+  cfg.cache_entries = 10'000;
+  cfg.entry_capacity = 54;
+  cfg.num_counters = 100'000;
+  cfg.counter_bits = 10;
+  baselines::CaseSketch sketch(cfg);
+  Xoshiro256pp rng(4);
+  for (auto _ : state) sketch.add(rng.below(100'000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CaseAdd);
+
+void BM_CaesarQueryCsm(benchmark::State& state) {
+  core::CaesarConfig cfg;
+  cfg.num_counters = 50'000;
+  cfg.counter_bits = 15;
+  core::CaesarSketch sketch(cfg);
+  for (int i = 0; i < 100'000; ++i) sketch.add(static_cast<FlowId>(i % 997));
+  sketch.flush();
+  std::uint64_t f = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sketch.estimate_csm(++f % 997));
+}
+BENCHMARK(BM_CaesarQueryCsm);
+
+void BM_CaesarQueryMlm(benchmark::State& state) {
+  core::CaesarConfig cfg;
+  cfg.num_counters = 50'000;
+  cfg.counter_bits = 15;
+  core::CaesarSketch sketch(cfg);
+  for (int i = 0; i < 100'000; ++i) sketch.add(static_cast<FlowId>(i % 997));
+  sketch.flush();
+  std::uint64_t f = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sketch.estimate_mlm(++f % 997));
+}
+BENCHMARK(BM_CaesarQueryMlm);
+
+void BM_CounterBraidsAdd(benchmark::State& state) {
+  baselines::CounterBraidsConfig cfg;
+  cfg.layer1_counters = 16'384;
+  baselines::CounterBraids cb(cfg);
+  Xoshiro256pp rng(5);
+  for (auto _ : state) cb.add(rng.below(100'000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterBraidsAdd);
+
+void BM_VhcAdd(benchmark::State& state) {
+  baselines::VhcConfig cfg;
+  baselines::VirtualHyperLogLog vhc(cfg);
+  Xoshiro256pp rng(6);
+  for (auto _ : state) vhc.add(rng.below(100'000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VhcAdd);
+
+void BM_SacAdd(benchmark::State& state) {
+  baselines::SacArray arr(65'536, baselines::SacConfig{}, 7);
+  Xoshiro256pp rng(7);
+  for (auto _ : state) arr.add(rng.below(100'000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SacAdd);
+
+void BM_CedarAdd(benchmark::State& state) {
+  baselines::CedarArray arr(65'536, 12, 0.1, 8);
+  Xoshiro256pp rng(8);
+  for (auto _ : state) arr.add(rng.below(100'000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CedarAdd);
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  baselines::SpaceSaving ss(1024);
+  Xoshiro256pp rng(9);
+  for (auto _ : state) ss.add(rng.below(100'000));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingAdd);
+
+void BM_CounterArrayAdd(benchmark::State& state) {
+  counters::CounterArray a(1u << 20, 15);
+  Xoshiro256pp rng(10);
+  for (auto _ : state) a.add(rng.below(1u << 20), 1);
+}
+BENCHMARK(BM_CounterArrayAdd);
+
+void BM_PackedCounterArrayAdd(benchmark::State& state) {
+  counters::PackedCounterArray a(1u << 20, 15);
+  Xoshiro256pp rng(11);
+  for (auto _ : state) a.add(rng.below(1u << 20), 1);
+}
+BENCHMARK(BM_PackedCounterArrayAdd);
+
+void BM_AnonymizeIp(benchmark::State& state) {
+  const trace::PrefixPreservingAnonymizer anon(12);
+  std::uint32_t ip = 0x0A000001;
+  for (auto _ : state) benchmark::DoNotOptimize(anon.anonymize(++ip));
+}
+BENCHMARK(BM_AnonymizeIp);
+
+void BM_RcsQueryMlm(benchmark::State& state) {
+  // The iterative search the paper calls "extremely slow".
+  baselines::RcsConfig cfg;
+  cfg.num_counters = 50'000;
+  cfg.counter_bits = 15;
+  baselines::RcsSketch sketch(cfg);
+  for (int i = 0; i < 100'000; ++i) sketch.add(static_cast<FlowId>(i % 997));
+  std::uint64_t f = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sketch.estimate_mlm(++f % 997));
+}
+BENCHMARK(BM_RcsQueryMlm);
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Pipeline simulation — the event-level companion to Figs. 7 and 8.
+//
+// Instead of assuming the paper's empirical loss rates, this bench pushes
+// the actual packet stream through memsim::QueueSimulator:
+//   * RCS (cache-free): one off-chip RMW per packet. With SRAM 3x / 10x
+//     slower than the line, the simulated drop rates must land on the
+//     paper's 2/3 and 9/10.
+//   * CAESAR: the cache front end runs at line rate; evictions feed an
+//     asynchronous off-chip write queue. The bench sweeps the entry
+//     capacity y and reports the eviction queue's sustainability — the
+//     architectural reason CAESAR is lossless at the paper's y = 54 and
+//     degenerates to RCS-like loss at y = 1.
+#include <cstdio>
+
+#include "memsim/datapath.hpp"
+#include "memsim/pipeline.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace caesar;
+  const auto setup = bench::setup_from_env();
+  const auto t = trace::generate_trace(setup.trace);
+  bench::print_banner("Pipeline simulation: derived loss rates", setup, t,
+                      setup.caesar);
+
+  // --- RCS: derive the Fig. 7 loss rates --------------------------------
+  std::printf("RCS per-packet off-chip update through a %u-deep FIFO:\n",
+              1024u);
+  Table rcs_table({"sram_cycles", "derived_loss", "paper_assumed"});
+  for (const auto& [sram, paper] :
+       {std::pair{3.0, "2/3"}, std::pair{10.0, "9/10"}}) {
+    memsim::QueueConfig qc;
+    qc.arrival_cycles = 1.0;
+    qc.fifo_depth = 1024;
+    memsim::QueueSimulator queue(qc);
+    baselines::RcsSketch sketch(setup.rcs);
+    for (auto idx : t.arrivals())
+      if (queue.offer(sram)) sketch.add(t.id_of(idx));
+    rcs_table.add_row({format_double(sram, 0),
+                       format_double(queue.stats().loss_rate(), 4), paper});
+  }
+  std::printf("%s\n", rcs_table.to_ascii().c_str());
+
+  // --- CAESAR: eviction-queue sustainability vs entry capacity ----------
+  std::printf("CAESAR cache front end at line rate; evictions feed an\n"
+              "async off-chip write queue (k=3 writes x 3-cycle QDRII+\n"
+              "burst each). Sweep of entry capacity y:\n");
+  Table caesar_table({"y", "evictions", "evict_per_pkt", "queue_loss",
+                      "max_backlog"});
+  for (Count y : {1u, 2u, 7u, 27u, 54u, 108u}) {
+    auto cfg = setup.caesar;
+    cfg.entry_capacity = y;
+    core::CaesarSketch sketch(cfg);
+
+    memsim::QueueConfig qc;
+    qc.arrival_cycles = 1.0;  // unused: offers carry explicit times
+    qc.fifo_depth = 1024;
+    memsim::QueueSimulator evict_queue(qc);
+
+    const double cycles_per_write = 3.0;  // QDRII+ burst write
+    double clock = 0.0;
+    std::uint64_t evictions = 0;
+    std::uint64_t prev_sram = 0;
+    for (auto idx : t.arrivals()) {
+      sketch.add(t.id_of(idx));
+      clock += 1.0;  // line rate
+      const std::uint64_t sram = sketch.sram().writes();
+      if (sram != prev_sram) {
+        // This packet triggered eviction work: enqueue the write burst
+        // (one service demand covering all counters it touched).
+        ++evictions;
+        evict_queue.offer_at(
+            clock, cycles_per_write * static_cast<double>(sram - prev_sram));
+        prev_sram = sram;
+      }
+    }
+    caesar_table.add_row(
+        {std::to_string(y), std::to_string(evictions),
+         format_double(static_cast<double>(evictions) /
+                           static_cast<double>(t.num_packets()),
+                       4),
+         format_double(evict_queue.stats().loss_rate(), 4),
+         std::to_string(evict_queue.stats().max_backlog)});
+  }
+  std::printf("%s\n", caesar_table.to_ascii().c_str());
+  std::printf("At the paper's y = 54 the eviction stream is far below the\n"
+              "write queue's capacity (zero loss, shallow backlog); y = 1\n"
+              "degenerates to a per-packet off-chip write and the queue\n"
+              "sheds load exactly like cache-free RCS.\n\n");
+
+  // --- cycle-level cross-check: structural datapath simulation ----------
+  // Drive the per-cycle pipeline model with the real sketch's eviction
+  // pattern at the paper's y; the event-level results above must be
+  // confirmed at cycle granularity (line-rate throughput, no drops).
+  {
+    core::CaesarSketch sketch(setup.caesar);
+    memsim::DatapathSimulator datapath(memsim::DatapathConfig{});
+    std::uint64_t prev_sram = 0;
+    for (auto idx : t.arrivals()) {
+      sketch.add(t.id_of(idx));
+      const std::uint64_t sram = sketch.sram().writes();
+      datapath.step(static_cast<std::uint32_t>(sram - prev_sram));
+      prev_sram = sram;
+    }
+    datapath.finish();
+    const auto& s = datapath.stats();
+    std::printf("cycle-level datapath (y=%llu): %.4f cycles/packet, "
+                "drops %.4f%%, stalls %llu, FIFO high-water %llu, "
+                "SRAM writes %llu\n",
+                static_cast<unsigned long long>(
+                    setup.caesar.entry_capacity),
+                s.cycles_per_packet(), 100.0 * s.drop_rate(),
+                static_cast<unsigned long long>(s.stall_cycles),
+                static_cast<unsigned long long>(s.fifo_high_water),
+                static_cast<unsigned long long>(s.counter_writes));
+  }
+  return 0;
+}

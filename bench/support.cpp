@@ -1,0 +1,103 @@
+#include "support.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+
+#include "common/env.hpp"
+
+namespace caesar::bench {
+
+analysis::ExperimentSetup setup_from_env() {
+  return analysis::paper_setup(full_scale_requested(), experiment_seed());
+}
+
+void print_banner(const std::string& figure,
+                  const analysis::ExperimentSetup& setup,
+                  const trace::Trace& trace,
+                  const core::CaesarConfig& geometry) {
+  std::printf("== %s ==\n", figure.c_str());
+  std::printf(
+      "scale=%.2f of paper  flows(Q)=%llu  packets(n)=%llu  mean=%.2f\n",
+      setup.scale,
+      static_cast<unsigned long long>(trace.num_flows()),
+      static_cast<unsigned long long>(trace.num_packets()),
+      trace.mean_flow_size());
+  const auto g = analysis::describe(geometry);
+  std::printf(
+      "geometry: M=%u y=%llu  L=%llu bits=%u (SRAM %.2f KB)  k=%zu\n\n",
+      geometry.cache_entries,
+      static_cast<unsigned long long>(geometry.entry_capacity),
+      static_cast<unsigned long long>(geometry.num_counters),
+      geometry.counter_bits, g.sram_kb, g.k);
+}
+
+bool export_csv(const std::string& name, const Table& table) {
+  const auto dir = csv_export_dir();
+  if (!dir) return false;
+  std::string slug;
+  for (char c : name)
+    slug.push_back(std::isalnum(static_cast<unsigned char>(c))
+                       ? static_cast<char>(
+                             std::tolower(static_cast<unsigned char>(c)))
+                       : '_');
+  std::ofstream out(*dir + "/" + slug + ".csv", std::ios::trunc);
+  if (!out) return false;
+  out << table.to_csv();
+  return true;
+}
+
+double avg_error_at_least(const analysis::EvalResult& result,
+                          Count min_size) {
+  double total = 0.0;
+  std::uint64_t flows = 0;
+  for (const auto& bin : result.bins) {
+    if (bin.lo < min_size) continue;
+    total += bin.avg_rel_error * static_cast<double>(bin.flows);
+    flows += bin.flows;
+  }
+  return flows ? total / static_cast<double>(flows) : 0.0;
+}
+
+void print_accuracy_panels(const std::string& label,
+                           const analysis::EvalResult& result,
+                           std::size_t scatter_rows) {
+  std::printf("--- %s ---\n", label.c_str());
+
+  Table scatter({"actual", "estimated"});
+  const std::size_t stride =
+      result.scatter.empty()
+          ? 1
+          : std::max<std::size_t>(1, result.scatter.size() / scatter_rows);
+  for (std::size_t i = 0; i < result.scatter.size(); i += stride)
+    scatter.add_row({std::to_string(result.scatter[i].actual),
+                     format_double(result.scatter[i].estimated, 1)});
+  std::printf("estimated vs actual (sampled %zu of %zu flows):\n%s\n",
+              scatter.rows(), static_cast<std::size_t>(result.flows),
+              scatter.to_ascii().c_str());
+
+  Table bins({"size_bin", "flows", "avg_rel_error"});
+  for (const auto& b : result.bins)
+    bins.add_row({"[" + std::to_string(b.lo) + "," + std::to_string(b.hi) +
+                      ")",
+                  std::to_string(b.flows), format_double(b.avg_rel_error, 4)});
+  std::printf("average relative error vs actual flow size:\n%s\n",
+              bins.to_ascii().c_str());
+
+  if (csv_export_dir()) {
+    Table full_scatter({"actual", "estimated"});
+    for (const auto& p : result.scatter)
+      full_scatter.add_row(
+          {std::to_string(p.actual), format_double(p.estimated, 3)});
+    export_csv(label + " scatter", full_scatter);
+    export_csv(label + " bins", bins);
+  }
+
+  std::printf("%s: avg relative error = %.2f%% (%.2f%% on flows >= 4)  "
+              "bias = %+.3f  rmse = %.2f\n\n",
+              label.c_str(), 100.0 * result.avg_relative_error,
+              100.0 * avg_error_at_least(result, 4), result.bias,
+              result.rmse);
+}
+
+}  // namespace caesar::bench

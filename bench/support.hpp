@@ -1,0 +1,62 @@
+// Shared plumbing for the figure benches: build the paper's workload and
+// geometry (scaled per CAESAR_FULL_SCALE), feed traces to sketches, and
+// print figure series with a uniform banner.
+#pragma once
+
+#include <string>
+
+#include "analysis/evaluation.hpp"
+#include "analysis/experiment_setup.hpp"
+#include "baselines/case/case_sketch.hpp"
+#include "baselines/rcs/lossy_front_end.hpp"
+#include "baselines/rcs/rcs_sketch.hpp"
+#include "common/table.hpp"
+#include "core/caesar_sketch.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::bench {
+
+/// Experiment setup honoring CAESAR_FULL_SCALE / CAESAR_SEED.
+[[nodiscard]] analysis::ExperimentSetup setup_from_env();
+
+/// Print the standard bench banner: which figure, trace shape, scale, and
+/// the CAESAR geometry the bench runs (budget or accuracy-calibrated).
+void print_banner(const std::string& figure,
+                  const analysis::ExperimentSetup& setup,
+                  const trace::Trace& trace,
+                  const core::CaesarConfig& geometry);
+
+/// Stream the whole trace into a sketch (any type with add(FlowId)).
+template <typename Sketch>
+void feed(const trace::Trace& trace, Sketch& sketch) {
+  for (auto idx : trace.arrivals()) sketch.add(trace.id_of(idx));
+}
+
+/// Print the paper's two accuracy panels for one estimator: a sampled
+/// estimated-vs-actual scatter and the binned average-relative-error
+/// series, followed by the overall average. When CAESAR_CSV_DIR is set,
+/// the full scatter and bin series are also written there as CSV files
+/// named after the (slugified) label.
+void print_accuracy_panels(const std::string& label,
+                           const analysis::EvalResult& result,
+                           std::size_t scatter_rows = 15);
+
+/// Write a table as <CAESAR_CSV_DIR>/<slug(name)>.csv if the export dir
+/// is set; silently a no-op otherwise. Returns true when written.
+bool export_csv(const std::string& name, const Table& table);
+
+/// Average relative error restricted to flows with actual size >=
+/// `min_size` (computed from the log2 bins). Separates schemes that are
+/// honestly accurate from ones that merely get size-1 mice "exact"
+/// (e.g. 1-bit CASE codes, which can only say 0 or 1).
+[[nodiscard]] double avg_error_at_least(const analysis::EvalResult& result,
+                                        Count min_size);
+
+/// Shorthand: evaluate an estimator over the trace ground truth.
+template <typename Fn>
+[[nodiscard]] analysis::EvalResult evaluate_fn(const trace::Trace& trace,
+                                               Fn&& fn) {
+  return analysis::evaluate(trace, analysis::Estimator(std::forward<Fn>(fn)));
+}
+
+}  // namespace caesar::bench

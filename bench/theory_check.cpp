@@ -1,0 +1,123 @@
+// Theory check — §4/§5 formulas against Monte Carlo measurement:
+//   * Eq. (18)/(24): per-counter mean (with the corrected k*n/L noise
+//     mass — see DESIGN.md §5),
+//   * Eq. (22): CSM estimator variance, model vs measured (the model
+//     omits the heavy-tail selection variance and undershoots),
+//   * Eq. (26): confidence-interval coverage, paper model vs the
+//     empirical-variance extension,
+//   * Eq. (10): expected number of cache evictions per flow, 2x/y.
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "support.hpp"
+
+int main() {
+  using namespace caesar;
+  const auto setup = bench::setup_from_env();
+
+  // Moderate noise regime so both self and noise terms matter.
+  trace::TraceConfig tc = setup.trace_accuracy;
+  tc.num_flows = 20'000;
+  auto cfg = setup.caesar_accuracy;
+  cfg.cache_entries = 2'000;
+  cfg.num_counters = 200'000;  // k*n/L ~ 8: visible sharing noise
+
+  constexpr int kRuns = 8;
+  RunningStats counter_mean_obs;
+  double counter_mean_model = 0.0;
+  RunningStats est_err;       // x_hat - x pooled over flows/runs
+  RunningStats mlm_err;
+  double model_var = 0.0;
+  double model_var_mlm = 0.0;
+  RunningStats cov_model, cov_emp;
+  RunningStats evictions_per_flow;
+  RunningStats flow_count_est;
+
+  for (int run = 0; run < kRuns; ++run) {
+    auto tc_run = tc;
+    tc_run.seed = tc.seed + static_cast<std::uint64_t>(run) * 97;
+    const auto t = trace::generate_trace(tc_run);
+    auto cfg_run = cfg;
+    cfg_run.seed = cfg.seed + static_cast<std::uint64_t>(run) * 31;
+    core::CaesarSketch sketch(cfg_run);
+    bench::feed(t, sketch);
+    sketch.flush();
+    const auto params = sketch.estimator_params();
+
+    // Largest flow: counter-level check of Eq. (18).
+    std::uint32_t big = 0;
+    for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+      if (t.size_of(i) > t.size_of(big)) big = i;
+    for (Count w : sketch.counter_values(t.id_of(big)))
+      counter_mean_obs.add(static_cast<double>(w));
+    counter_mean_model += core::counter_distribution(
+                              static_cast<double>(t.size_of(big)), params)
+                              .mean /
+                          kRuns;
+
+    // Pooled estimator error for variance comparison (flows near the
+    // mean size, where the model variance is a single number).
+    const Count target = static_cast<Count>(t.mean_flow_size());
+    for (std::uint32_t i = 0; i < t.num_flows(); ++i) {
+      if (t.size_of(i) != target) continue;
+      est_err.add(sketch.estimate_csm(t.id_of(i)) -
+                  static_cast<double>(t.size_of(i)));
+      mlm_err.add(sketch.estimate_mlm(t.id_of(i)) -
+                  static_cast<double>(t.size_of(i)));
+    }
+    model_var +=
+        core::csm_variance(static_cast<double>(target), params) / kRuns;
+    model_var_mlm +=
+        core::mlm_variance(static_cast<double>(target), params) / kRuns;
+    flow_count_est.add(sketch.estimate_flow_count() /
+                       static_cast<double>(t.num_flows()));
+
+    // Interval coverage over all flows (model vs empirical variance).
+    const auto m = analysis::interval_coverage(
+        t, [&](FlowId f) { return sketch.interval_csm(f, 0.95); });
+    const auto e = analysis::interval_coverage(t, [&](FlowId f) {
+      return sketch.interval_csm_empirical(f, 0.95);
+    });
+    cov_model.add(m.coverage);
+    cov_emp.add(e.coverage);
+
+    // Eq. (10): E(t) = 2x/y — evictions per flow via total evictions.
+    const auto& cs = sketch.cache_stats();
+    const double total_evictions =
+        static_cast<double>(cs.overflow_evictions +
+                            cs.replacement_evictions + cs.flush_evictions);
+    evictions_per_flow.add(total_evictions /
+                           static_cast<double>(t.num_flows()));
+  }
+
+  std::printf("== Theory check (%d independent runs) ==\n\n", kRuns);
+  std::printf("Eq.18 per-counter mean, largest flow:   model %.2f | "
+              "measured %.2f\n",
+              counter_mean_model, counter_mean_obs.mean());
+  std::printf("Eq.22 CSM variance at x = mean size:    model %.2f | "
+              "measured %.2f  (model omits heavy-tail selection "
+              "variance)\n",
+              model_var, est_err.variance());
+  std::printf("Eq.31 MLM variance at x = mean size:    model %.2f | "
+              "measured %.2f  (same omission as Eq. 22)\n",
+              model_var_mlm, mlm_err.variance());
+  std::printf("Eq.26 95%% CI coverage:                  model-var %.3f | "
+              "empirical-var %.3f  (extension)\n",
+              cov_model.mean(), cov_emp.mean());
+  std::printf("flow-count estimator (extension):       Q_hat/Q = %.3f "
+              "(lower bound: mice touch < k counters)\n",
+              flow_count_est.mean());
+  const double y = static_cast<double>(cfg.entry_capacity);
+  std::printf("Eq.10 evictions per flow:               model 2x/y = %.3f "
+              "| measured %.3f\n",
+              2.0 * 27.32 / y, evictions_per_flow.mean());
+  std::printf("  (Eq. 10 assumes eviction values uniform on [1,y]; under "
+              "cache pressure Q >> M most evictions are small\n"
+              "   replacement evictions, so flows are evicted more often "
+              "with smaller values — conservation still holds.)\n");
+  std::printf("\nBias check (Eq. 21): pooled mean error = %+.3f packets "
+              "over %zu samples (unbiased ~ 0)\n",
+              est_err.mean(), est_err.count());
+  return 0;
+}

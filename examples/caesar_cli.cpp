@@ -1,0 +1,265 @@
+// caesar_cli — end-to-end command-line workflow around the library:
+//
+//   caesar_cli gen     --out demo.pcap [--flows N] [--mean M] [--seed S]
+//       fabricate a synthetic capture
+//   caesar_cli measure --in demo.pcap --out sketch.bin
+//                      [--counters L] [--bits B] [--k K] [--cache M] [--y Y]
+//       run the online construction phase over a capture and persist the
+//       flushed sketch (the offline query artifact)
+//   caesar_cli query   --sketch sketch.bin --flow SRC:PORT-DST:PORT/PROTO
+//       point query with a 95% confidence interval
+//   caesar_cli top     --sketch sketch.bin --in demo.pcap [--n 10]
+//       rank the capture's flows by estimated size
+//   caesar_cli info    --sketch sketch.bin
+//       print sketch geometry and totals
+//   caesar_cli anonymize --in raw.pcap --out anon.pcap [--key K]
+//       prefix-preserving IP anonymization (Crypto-PAn construction)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/caesar_sketch.hpp"
+#include "trace/anonymize.hpp"
+#include "trace/flow_id.hpp"
+#include "trace/pcap.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace caesar;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: caesar_cli <gen|measure|query|top|info> [options]\n"
+               "see the header of examples/caesar_cli.cpp for details\n");
+  return 2;
+}
+
+/// Parse "1.2.3.4:80-5.6.7.8:443/tcp" into a 5-tuple.
+std::optional<trace::FiveTuple> parse_tuple(const std::string& text) {
+  unsigned a, b, c, d, sport, e, f, g, h, dport;
+  char proto[8] = {0};
+  const int got = std::sscanf(text.c_str(), "%u.%u.%u.%u:%u-%u.%u.%u.%u:%u/%7s",
+                              &a, &b, &c, &d, &sport, &e, &f, &g, &h, &dport,
+                              proto);
+  if (got != 11) return std::nullopt;
+  trace::FiveTuple t;
+  t.src_ip = (a << 24) | (b << 16) | (c << 8) | d;
+  t.dst_ip = (e << 24) | (f << 16) | (g << 8) | h;
+  t.src_port = static_cast<std::uint16_t>(sport);
+  t.dst_port = static_cast<std::uint16_t>(dport);
+  const std::string p = proto;
+  if (p == "tcp")
+    t.protocol = trace::Protocol::kTcp;
+  else if (p == "udp")
+    t.protocol = trace::Protocol::kUdp;
+  else if (p == "icmp")
+    t.protocol = trace::Protocol::kIcmp;
+  else
+    return std::nullopt;
+  return t;
+}
+
+core::CaesarConfig config_from(const CliArgs& args) {
+  core::CaesarConfig cfg;
+  cfg.cache_entries =
+      static_cast<std::uint32_t>(args.get_u64("cache", 8192));
+  cfg.entry_capacity = args.get_u64("y", 54);
+  cfg.num_counters = args.get_u64("counters", 1'000'000);
+  cfg.counter_bits = static_cast<unsigned>(args.get_u64("bits", 18));
+  cfg.k = args.get_u64("k", 3);
+  cfg.seed = args.get_u64("seed", 1);
+  return cfg;
+}
+
+int cmd_gen(const CliArgs& args) {
+  const std::string out = args.get_or("out", "demo.pcap");
+  trace::TraceConfig tc;
+  tc.num_flows = args.get_u64("flows", 5'000);
+  tc.mean_flow_size = args.get_double("mean", 27.32);
+  tc.generate_lengths = true;
+  tc.seed = args.get_u64("seed", 1);
+  const auto t = trace::generate_trace(tc);
+
+  std::ofstream file(out, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  trace::PcapWriter writer(file);
+  for (std::size_t i = 0; i < t.arrivals().size(); ++i) {
+    trace::Packet p;
+    p.tuple = trace::synth_tuple(tc.seed, t.arrivals()[i]);
+    p.length = t.lengths()[i];
+    writer.write(p);
+  }
+  std::printf("wrote %llu packets / %llu flows to %s\n",
+              static_cast<unsigned long long>(writer.written()),
+              static_cast<unsigned long long>(t.num_flows()), out.c_str());
+  return 0;
+}
+
+int cmd_measure(const CliArgs& args) {
+  const auto in = args.get("in");
+  if (!in) return usage();
+  const std::string out = args.get_or("out", "sketch.bin");
+
+  core::CaesarSketch sketch(config_from(args));
+  std::uint64_t packets = 0;
+  {
+    std::ifstream file(*in, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", in->c_str());
+      return 1;
+    }
+    trace::PcapReader reader(file);
+    while (auto p = reader.next()) {
+      sketch.add(trace::flow_id_of(p->tuple));
+      ++packets;
+    }
+  }
+  sketch.flush();
+
+  std::ofstream file(out, std::ios::binary | std::ios::trunc);
+  sketch.save(file);
+  std::printf("measured %llu packets; sketch (%.1f KB model memory) "
+              "saved to %s\n",
+              static_cast<unsigned long long>(packets), sketch.memory_kb(),
+              out.c_str());
+  return 0;
+}
+
+std::optional<core::CaesarSketch> load_sketch(const CliArgs& args) {
+  const auto path = args.get("sketch");
+  if (!path) return std::nullopt;
+  std::ifstream file(*path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path->c_str());
+    return std::nullopt;
+  }
+  return core::CaesarSketch::load(file);
+}
+
+int cmd_query(const CliArgs& args) {
+  auto sketch = load_sketch(args);
+  const auto flow_text = args.get("flow");
+  if (!sketch || !flow_text) return usage();
+  const auto tuple = parse_tuple(*flow_text);
+  if (!tuple) {
+    std::fprintf(stderr, "bad flow spec (want A.B.C.D:P-E.F.G.H:Q/tcp)\n");
+    return 1;
+  }
+  const FlowId f = trace::flow_id_of(*tuple);
+  const auto ci = sketch->interval_csm_empirical(f, 0.95);
+  std::printf("flow %s\n  CSM estimate: %.1f packets\n"
+              "  MLM estimate: %.1f packets\n  95%% CI: [%.1f, %.1f]\n",
+              flow_text->c_str(), sketch->estimate_csm(f),
+              sketch->estimate_mlm(f), ci.lo, ci.hi);
+  return 0;
+}
+
+int cmd_top(const CliArgs& args) {
+  auto sketch = load_sketch(args);
+  const auto in = args.get("in");
+  if (!sketch || !in) return usage();
+  const std::size_t n = args.get_u64("n", 10);
+
+  // Collect the distinct flows of the capture (the query set).
+  std::map<FlowId, trace::FiveTuple> flows;
+  {
+    std::ifstream file(*in, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", in->c_str());
+      return 1;
+    }
+    trace::PcapReader reader(file);
+    while (auto p = reader.next()) flows.emplace(
+        trace::flow_id_of(p->tuple), p->tuple);
+  }
+  std::vector<std::pair<double, FlowId>> ranked;
+  ranked.reserve(flows.size());
+  for (const auto& [f, tup] : flows)
+    ranked.emplace_back(sketch->estimate_csm(f), f);
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::printf("%-44s %s\n", "flow", "estimated");
+  for (std::size_t i = 0; i < std::min(n, ranked.size()); ++i) {
+    const auto& tup = flows.at(ranked[i].second);
+    std::printf("%u.%u.%u.%u:%u-%u.%u.%u.%u:%u/%u%-6s %.1f\n",
+                tup.src_ip >> 24, (tup.src_ip >> 16) & 255,
+                (tup.src_ip >> 8) & 255, tup.src_ip & 255, tup.src_port,
+                tup.dst_ip >> 24, (tup.dst_ip >> 16) & 255,
+                (tup.dst_ip >> 8) & 255, tup.dst_ip & 255, tup.dst_port,
+                static_cast<unsigned>(tup.protocol), "", ranked[i].first);
+  }
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  const auto sketch = load_sketch(args);
+  if (!sketch) return usage();
+  const auto& cfg = sketch->config();
+  std::printf("CAESAR sketch\n");
+  std::printf("  cache:    M=%u entries, y=%llu\n", cfg.cache_entries,
+              static_cast<unsigned long long>(cfg.entry_capacity));
+  std::printf("  SRAM:     L=%llu counters x %u bits (%.1f KB), k=%llu\n",
+              static_cast<unsigned long long>(cfg.num_counters),
+              cfg.counter_bits, sketch->sram().memory_kb(),
+              static_cast<unsigned long long>(cfg.k));
+  std::printf("  packets:  %llu recorded, %llu in SRAM\n",
+              static_cast<unsigned long long>(sketch->packets()),
+              static_cast<unsigned long long>(sketch->packets_in_sram()));
+  std::printf("  seed:     %llu\n",
+              static_cast<unsigned long long>(cfg.seed));
+  const double q_hat = sketch->estimate_flow_count();
+  if (std::isfinite(q_hat))
+    std::printf("  flows:    ~%.0f (linear-counting lower bound)\n", q_hat);
+  return 0;
+}
+
+int cmd_anonymize(const CliArgs& args) {
+  const auto in = args.get("in");
+  const auto out_path = args.get("out");
+  if (!in || !out_path) return usage();
+  const trace::PrefixPreservingAnonymizer anon(args.get_u64("key", 1));
+
+  std::ifstream in_file(*in, std::ios::binary);
+  if (!in_file) {
+    std::fprintf(stderr, "cannot open %s\n", in->c_str());
+    return 1;
+  }
+  std::ofstream out_file(*out_path, std::ios::binary | std::ios::trunc);
+  trace::PcapReader reader(in_file);
+  trace::PcapWriter writer(out_file);
+  while (auto p = reader.next()) {
+    trace::Packet anon_packet = *p;
+    anon_packet.tuple = anon.anonymize(p->tuple);
+    writer.write(anon_packet);
+  }
+  std::printf("anonymized %llu packets (%llu skipped) -> %s\n",
+              static_cast<unsigned long long>(reader.parsed()),
+              static_cast<unsigned long long>(reader.skipped()),
+              out_path->c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const CliArgs args(argc - 1, argv + 1);
+  if (cmd == "gen") return cmd_gen(args);
+  if (cmd == "measure") return cmd_measure(args);
+  if (cmd == "query") return cmd_query(args);
+  if (cmd == "top") return cmd_top(args);
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "anonymize") return cmd_anonymize(args);
+  return usage();
+}

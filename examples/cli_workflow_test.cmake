@@ -1,0 +1,18 @@
+# End-to-end smoke test of the caesar_cli workflow:
+# gen -> anonymize -> measure -> info -> top.
+function(run_step)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGN}")
+  endif()
+endfunction()
+
+set(pcap ${WORK}/cli_test.pcap)
+set(anon ${WORK}/cli_test_anon.pcap)
+set(sketch ${WORK}/cli_test_sketch.bin)
+
+run_step(${CLI} gen --out ${pcap} --flows 500 --seed 5)
+run_step(${CLI} anonymize --in ${pcap} --out ${anon} --key 7)
+run_step(${CLI} measure --in ${anon} --out ${sketch} --counters 100000)
+run_step(${CLI} info --sketch ${sketch})
+run_step(${CLI} top --sketch ${sketch} --in ${anon} --n 5)

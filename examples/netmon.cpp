@@ -1,0 +1,165 @@
+// netmon — a miniature measurement plane, composed from the library the
+// way a deployment would use it:
+//
+//   * CAESAR (via EpochManager) measures per-flow sizes in fixed
+//     reporting intervals,
+//   * SpaceSaving tracks heavy-hitter *candidates* online (CAESAR's
+//     offline query needs flow IDs to ask about; the top-k structure
+//     supplies them),
+//   * estimate_flow_count() watches flow-cardinality spikes (scans),
+//   * alerts fire on interval reports: DDoS-style volume concentration
+//     and scanner-style cardinality anomalies.
+//
+// The traffic is synthetic: steady background plus a DDoS burst in one
+// interval and a port scan in another; both must be flagged.
+//
+// Run: ./netmon [--intervals N] [--flows Q] [--seed S]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/sampling/space_saving.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/random.hpp"
+#include "core/epoch_manager.hpp"
+#include "trace/flow_id.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace caesar;
+
+struct IntervalTraffic {
+  std::vector<FlowId> packets;
+  FlowId injected_target = 0;  // DDoS victim flow (0 = none)
+  bool scan = false;
+};
+
+IntervalTraffic make_interval(std::uint64_t seed, std::uint64_t flows,
+                              bool ddos, bool scan) {
+  IntervalTraffic out;
+  trace::TraceConfig tc;
+  tc.num_flows = flows;
+  tc.mean_flow_size = 20.0;
+  tc.seed = seed;
+  const auto t = trace::generate_trace(tc);
+  out.packets.reserve(t.num_packets() + 50'000);
+  for (auto idx : t.arrivals()) out.packets.push_back(t.id_of(idx));
+
+  Xoshiro256pp rng(seed ^ 0xAB);
+  if (ddos) {
+    // One victim flow receives a 30k-packet burst.
+    trace::FiveTuple victim;
+    victim.src_ip = 0;  // spoofed/aggregated source key
+    victim.dst_ip = 0xC0A80050;
+    victim.dst_port = 80;
+    victim.protocol = trace::Protocol::kTcp;
+    out.injected_target = trace::flow_id_of(victim);
+    for (int i = 0; i < 30'000; ++i) {
+      const std::uint64_t at = rng.below(out.packets.size());
+      out.packets.push_back(out.packets[at]);
+      out.packets[at] = out.injected_target;
+    }
+  }
+  if (scan) {
+    // 20k single-packet probe flows: a cardinality spike.
+    out.scan = true;
+    for (std::uint64_t p = 0; p < 20'000; ++p) {
+      trace::FiveTuple probe;
+      probe.src_ip = 0x0A666601;
+      probe.dst_ip = static_cast<std::uint32_t>(rng());
+      probe.dst_port = static_cast<std::uint16_t>(rng.below(1024));
+      probe.protocol = trace::Protocol::kTcp;
+      const std::uint64_t at = rng.below(out.packets.size());
+      out.packets.push_back(out.packets[at]);
+      out.packets[at] = trace::flow_id_of(probe);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::uint64_t intervals = args.get_u64("intervals", 5);
+  const std::uint64_t flows = args.get_u64("flows", 10'000);
+  const std::uint64_t seed = args.get_u64("seed", 8);
+
+  core::CaesarConfig cfg;
+  cfg.cache_entries = 2048;
+  cfg.entry_capacity = 40;
+  cfg.num_counters = 6'000'000;
+  cfg.counter_bits = 18;
+  cfg.seed = seed;
+  core::EpochManager mgr(cfg);
+
+  double baseline_flow_count = 0.0;
+  std::printf("%-9s %-10s %-12s %-22s %s\n", "interval", "packets",
+              "est_flows", "top_flow(est)", "alerts");
+
+  for (std::uint64_t e = 0; e < intervals; ++e) {
+    const bool ddos = (e == intervals / 2);
+    const bool scan = (e == intervals - 1);
+    const auto traffic =
+        make_interval(seed + 100 * (e + 1), flows, ddos, scan);
+
+    baselines::SpaceSaving candidates(64);
+    for (FlowId f : traffic.packets) {
+      mgr.add(f);
+      candidates.add(f);
+    }
+    const double est_flows = mgr.current().estimate_flow_count();
+    const Count interval_packets = mgr.current_packets();
+    mgr.rotate();
+    const auto& epoch = mgr.epochs().back();
+
+    // Re-rank the candidates with CAESAR's accurate estimates.
+    double top_est = 0.0;
+    FlowId top_flow = 0;
+    for (const auto& entry : candidates.top()) {
+      const double est = epoch.estimate_csm(entry.flow);
+      if (est > top_est) {
+        top_est = est;
+        top_flow = entry.flow;
+      }
+    }
+
+    std::string alerts;
+    // Heavy-tailed baselines routinely put ~15% of an interval into one
+    // natural elephant; alert only beyond that.
+    if (top_est > 0.20 * static_cast<double>(interval_packets)) {
+      alerts += "[VOLUME: flow holds " +
+                caesar::format_double(100.0 * top_est /
+                                  static_cast<double>(interval_packets),
+                              1) +
+                "% of interval]";
+    }
+    if (baseline_flow_count > 0.0 && est_flows > 1.8 * baseline_flow_count)
+      alerts += "[CARDINALITY: flow count x" +
+                caesar::format_double(est_flows / baseline_flow_count, 1) + "]";
+    if (alerts.empty()) alerts = "-";
+    if (e == 0) baseline_flow_count = est_flows;
+
+    char top_desc[32];
+    std::snprintf(top_desc, sizeof top_desc, "%016llx(%.0f)",
+                  static_cast<unsigned long long>(top_flow), top_est);
+    std::printf("%-9llu %-10llu %-12.0f %-22s %s\n",
+                static_cast<unsigned long long>(e),
+                static_cast<unsigned long long>(interval_packets),
+                est_flows, top_desc, alerts.c_str());
+
+    // Validate the injected anomalies were caught.
+    if (ddos) {
+      const double victim_est = epoch.estimate_csm(traffic.injected_target);
+      std::printf("          -> DDoS victim estimated at %.0f packets "
+                  "(injected 30000)\n",
+                  victim_est);
+    }
+  }
+  std::printf("\n(top flows re-ranked by CAESAR estimates from SpaceSaving "
+              "candidates; cardinality from linear counting over the "
+              "sketch)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Flow-volume (byte) measurement — the paper's §3.1 second counting mode:
+// "we directly update its flow size (i.e., add 1 to its packet count) or
+// flow volume (i.e., add the length of this packet to its byte count)".
+//
+// Bytes are accounted in 64-byte blocks so the cache entry capacity stays
+// a small integer; the query rescales. Packet-count and byte-volume
+// sketches run side by side, showing both modes over the same stream.
+//
+// Run: ./volume_measurement [--flows N] [--seed S]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/caesar_sketch.hpp"
+#include "trace/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace caesar;
+  const CliArgs args(argc, argv);
+  constexpr Count kBlock = 64;  // bytes per accounting unit
+
+  trace::TraceConfig tc;
+  tc.num_flows = args.get_u64("flows", 20'000);
+  tc.mean_flow_size = 27.32;
+  tc.generate_lengths = true;
+  tc.seed = args.get_u64("seed", 6);
+  const auto t = trace::generate_trace(tc);
+
+  // Packet-count sketch (size mode).
+  core::CaesarConfig size_cfg;
+  size_cfg.cache_entries = 4096;
+  size_cfg.entry_capacity = 54;
+  size_cfg.num_counters = 10'000'000;
+  size_cfg.counter_bits = 15;
+  size_cfg.seed = 1;
+  core::CaesarSketch size_sketch(size_cfg);
+
+  // Byte-volume sketch: entry capacity ~ 2 * mean volume in blocks
+  // (mean bytes/packet ~ 500 -> ~8 blocks -> 2*27*8 ~ 440).
+  core::CaesarConfig vol_cfg = size_cfg;
+  vol_cfg.entry_capacity = 440;
+  vol_cfg.counter_bits = 20;
+  vol_cfg.seed = 2;
+  core::CaesarSketch vol_sketch(vol_cfg);
+
+  for (std::size_t i = 0; i < t.arrivals().size(); ++i) {
+    const FlowId f = t.id_of(t.arrivals()[i]);
+    size_sketch.add(f);
+    vol_sketch.add_weighted(f, (t.lengths()[i] + kBlock / 2) / kBlock);
+  }
+  size_sketch.flush();
+  vol_sketch.flush();
+
+  const auto volumes = t.flow_volumes();
+  std::vector<std::uint32_t> order(t.num_flows());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + 10, order.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      return volumes[a] > volumes[b];
+                    });
+
+  std::printf("stream: %llu packets, %llu flows (top 10 by byte volume)\n\n",
+              static_cast<unsigned long long>(t.num_packets()),
+              static_cast<unsigned long long>(t.num_flows()));
+  std::printf("%-8s %-10s %-12s %-14s %-14s\n", "flow", "pkts", "est_pkts",
+              "bytes", "est_bytes");
+  for (int rank = 0; rank < 10; ++rank) {
+    const auto i = order[static_cast<std::size_t>(rank)];
+    const FlowId f = t.id_of(i);
+    std::printf("%-8u %-10llu %-12.1f %-14llu %-14.0f\n", i,
+                static_cast<unsigned long long>(t.size_of(i)),
+                size_sketch.estimate_csm(f),
+                static_cast<unsigned long long>(volumes[i]),
+                vol_sketch.estimate_csm(f) * static_cast<double>(kBlock));
+  }
+  std::printf("\nnote: byte counts are accounted in 64-byte blocks with "
+              "round-to-nearest quantization (zero-mean per packet).\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "analysis/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace caesar::analysis {
+
+namespace {
+
+/// Raw accumulators over a contiguous flow-index range.
+struct Partial {
+  double total_rel = 0.0;
+  double total_bias = 0.0;
+  double total_sq = 0.0;
+  std::vector<std::uint64_t> bin_flows;
+  std::vector<double> bin_err;
+  std::vector<ScatterPoint> scatter;
+};
+
+Partial accumulate_range(const trace::Trace& trace,
+                         const Estimator& estimator, std::size_t lo,
+                         std::size_t hi, std::size_t stride) {
+  Partial p;
+  const auto& sizes = trace.flow_sizes();
+  const auto& ids = trace.flow_ids();
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto actual = static_cast<double>(sizes[i]);
+    const double est = estimator(ids[i]);
+    const double clamped = std::max(est, 0.0);
+    const double rel = std::abs(clamped - actual) / actual;
+    p.total_rel += rel;
+    p.total_bias += est - actual;
+    p.total_sq += (est - actual) * (est - actual);
+
+    const auto bin = static_cast<std::size_t>(
+        std::floor(std::log2(std::max(actual, 1.0))));
+    if (bin >= p.bin_flows.size()) {
+      p.bin_flows.resize(bin + 1, 0);
+      p.bin_err.resize(bin + 1, 0.0);
+    }
+    ++p.bin_flows[bin];
+    p.bin_err[bin] += rel;
+
+    if (stride > 0 && i % stride == 0)
+      p.scatter.push_back({sizes[i], est});
+  }
+  return p;
+}
+
+EvalResult finalize(const trace::Trace& trace, std::vector<Partial> parts) {
+  EvalResult result;
+  result.flows = trace.flow_sizes().size();
+  if (result.flows == 0) return result;
+
+  double total_rel = 0.0, total_bias = 0.0, total_sq = 0.0;
+  std::vector<std::uint64_t> bin_flows;
+  std::vector<double> bin_err;
+  for (auto& p : parts) {
+    total_rel += p.total_rel;
+    total_bias += p.total_bias;
+    total_sq += p.total_sq;
+    if (p.bin_flows.size() > bin_flows.size()) {
+      bin_flows.resize(p.bin_flows.size(), 0);
+      bin_err.resize(p.bin_err.size(), 0.0);
+    }
+    for (std::size_t b = 0; b < p.bin_flows.size(); ++b) {
+      bin_flows[b] += p.bin_flows[b];
+      bin_err[b] += p.bin_err[b];
+    }
+    result.scatter.insert(result.scatter.end(), p.scatter.begin(),
+                          p.scatter.end());
+  }
+
+  const auto q = static_cast<double>(result.flows);
+  result.avg_relative_error = total_rel / q;
+  result.bias = total_bias / q;
+  result.rmse = std::sqrt(total_sq / q);
+  for (std::size_t b = 0; b < bin_flows.size(); ++b) {
+    if (bin_flows[b] == 0) continue;
+    ErrorBin eb;
+    eb.lo = Count{1} << b;
+    eb.hi = Count{1} << (b + 1);
+    eb.flows = bin_flows[b];
+    eb.avg_rel_error = bin_err[b] / static_cast<double>(bin_flows[b]);
+    result.bins.push_back(eb);
+  }
+  return result;
+}
+
+std::size_t scatter_stride(const trace::Trace& trace,
+                           const EvalOptions& options) {
+  return options.scatter_samples > 0
+             ? std::max<std::size_t>(
+                   1, trace.flow_sizes().size() / options.scatter_samples)
+             : 0;
+}
+
+}  // namespace
+
+EvalResult evaluate(const trace::Trace& trace, const Estimator& estimator,
+                    const EvalOptions& options) {
+  std::vector<Partial> parts;
+  parts.push_back(accumulate_range(trace, estimator, 0,
+                                   trace.flow_sizes().size(),
+                                   scatter_stride(trace, options)));
+  return finalize(trace, std::move(parts));
+}
+
+EvalResult evaluate_parallel(const trace::Trace& trace,
+                             const Estimator& estimator, std::size_t threads,
+                             const EvalOptions& options) {
+  const std::size_t n = trace.flow_sizes().size();
+  if (threads <= 1 || n < 2 * threads)
+    return evaluate(trace, estimator, options);
+  const std::size_t stride = scatter_stride(trace, options);
+
+  std::vector<Partial> parts(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      parts[w] = accumulate_range(trace, estimator, w * n / threads,
+                                  (w + 1) * n / threads, stride);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  return finalize(trace, std::move(parts));
+}
+
+CoverageResult interval_coverage(const trace::Trace& trace,
+                                 const IntervalEstimator& estimator) {
+  CoverageResult result;
+  const auto& sizes = trace.flow_sizes();
+  const auto& ids = trace.flow_ids();
+  result.flows = sizes.size();
+  if (sizes.empty()) return result;
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto interval = estimator(ids[i]);
+    const auto actual = static_cast<double>(sizes[i]);
+    if (actual >= interval.lo && actual <= interval.hi) ++covered;
+  }
+  result.coverage =
+      static_cast<double>(covered) / static_cast<double>(sizes.size());
+  return result;
+}
+
+}  // namespace caesar::analysis

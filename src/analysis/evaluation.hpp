@@ -1,0 +1,80 @@
+// Accuracy evaluation over a trace's ground truth — produces exactly the
+// quantities the paper plots: estimated-vs-actual scatter panels and
+// "average relative error vs actual flow size" series, plus the overall
+// average relative error quoted in §1.5/§6.3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/estimators.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::analysis {
+
+/// Point estimator under test: flow ID -> estimated size.
+using Estimator = std::function<double(FlowId)>;
+
+/// Interval estimator under test: flow ID -> confidence interval.
+using IntervalEstimator = std::function<core::ConfidenceInterval(FlowId)>;
+
+struct ScatterPoint {
+  Count actual = 0;
+  double estimated = 0.0;
+};
+
+struct ErrorBin {
+  Count lo = 0;  ///< inclusive
+  Count hi = 0;  ///< exclusive
+  std::uint64_t flows = 0;
+  double avg_rel_error = 0.0;
+};
+
+struct EvalOptions {
+  /// Number of (actual, estimated) pairs kept for the scatter panel
+  /// (deterministically strided over the flow set; 0 = none).
+  std::size_t scatter_samples = 2000;
+};
+
+struct EvalResult {
+  /// Mean over all flows of |max(x_hat,0) - x| / x — the paper's
+  /// "average relative error" (estimates are clamped at zero since sizes
+  /// are non-negative; CSM can go slightly negative for tiny flows).
+  double avg_relative_error = 0.0;
+  /// Mean of (x_hat - x) without clamping — the estimator bias.
+  double bias = 0.0;
+  double rmse = 0.0;
+  std::uint64_t flows = 0;
+  std::vector<ScatterPoint> scatter;
+  /// Average relative error bucketed by actual size (log2 bins).
+  std::vector<ErrorBin> bins;
+};
+
+[[nodiscard]] EvalResult evaluate(const trace::Trace& trace,
+                                  const Estimator& estimator,
+                                  const EvalOptions& options = {});
+
+/// Multi-threaded evaluate(): flow ranges are partitioned across
+/// `threads` workers and the partial results merged in range order, so
+/// the output matches the sequential version up to floating-point
+/// summation order. The estimator must be safe for concurrent calls
+/// (CaesarSketch's const queries are).
+[[nodiscard]] EvalResult evaluate_parallel(const trace::Trace& trace,
+                                           const Estimator& estimator,
+                                           std::size_t threads,
+                                           const EvalOptions& options = {});
+
+struct CoverageResult {
+  double coverage = 0.0;  ///< fraction of flows with x inside the interval
+  std::uint64_t flows = 0;
+};
+
+/// Empirical confidence-interval coverage — validates Eqs. (26)/(32): at
+/// reliability alpha the actual size should fall inside the interval for
+/// ~alpha of the flows.
+[[nodiscard]] CoverageResult interval_coverage(
+    const trace::Trace& trace, const IntervalEstimator& estimator);
+
+}  // namespace caesar::analysis

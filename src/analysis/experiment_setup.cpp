@@ -1,0 +1,88 @@
+#include "analysis/experiment_setup.hpp"
+
+#include <cmath>
+
+namespace caesar::analysis {
+
+ExperimentSetup paper_setup(bool full_scale, std::uint64_t seed) {
+  ExperimentSetup s;
+  s.scale = full_scale ? 1.0 : 0.1;
+
+  s.trace = trace::paper_config(full_scale);
+  s.trace.seed = seed;
+
+  // Accuracy epoch: a slice of the stream small enough that per-flow
+  // queries are in the regime the paper's error levels imply.
+  s.trace_accuracy = s.trace;
+  s.trace_accuracy.num_flows = full_scale ? 200'000 : 20'000;
+  s.trace_accuracy.seed = seed ^ 0x5A5A;
+
+  const auto q = s.trace.num_flows;
+
+  // --- budget geometry (paper §6.2 verbatim, scaled with Q) --------------
+  // Cache 97.66 KB = 100,000 entries with y = floor(2 * n/Q) = 54;
+  // SRAM 91.55 KB = 50,000 x 15-bit counters; k = 3.
+  s.caesar.cache_entries =
+      static_cast<std::uint32_t>(std::llround(100'000 * s.scale));
+  s.caesar.entry_capacity = 54;
+  s.caesar.num_counters =
+      static_cast<std::uint64_t>(std::llround(50'000 * s.scale));
+  s.caesar.counter_bits = 15;
+  s.caesar.k = 3;
+  s.caesar.policy = cache::ReplacementPolicy::kLru;
+  s.caesar.seed = seed ^ 0x1111;
+
+  s.rcs.num_counters = s.caesar.num_counters;
+  s.rcs.counter_bits = s.caesar.counter_bits;
+  s.rcs.k = s.caesar.k;
+  s.rcs.seed = seed ^ 0x2222;
+
+  // --- accuracy geometry (noise-calibrated; see header) ------------------
+  const double n_accuracy = static_cast<double>(s.trace_accuracy.num_flows) *
+                            s.trace_accuracy.mean_flow_size;
+  s.caesar_accuracy = s.caesar;
+  s.caesar_accuracy.cache_entries = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1024, s.trace_accuracy.num_flows / 10));
+  s.caesar_accuracy.num_counters = static_cast<std::uint64_t>(
+      ExperimentSetup::kAccuracyCountersPerPacket * n_accuracy);
+  s.caesar_accuracy.counter_bits = 15;
+  s.caesar_accuracy.seed = seed ^ 0x1212;
+
+  s.rcs_accuracy = s.rcs;
+  s.rcs_accuracy.num_counters = s.caesar_accuracy.num_counters;
+  s.rcs_accuracy.seed = seed ^ 0x2323;
+
+  // --- CASE budgets (Fig. 5) ----------------------------------------------
+  // Fig. 5(a): 183.11 KB with one counter per flow forces
+  // floor(183.11 KB * 8192 / Q) = 1 bit per counter at the paper's Q.
+  s.case_small.cache_entries = s.caesar_accuracy.cache_entries;
+  s.case_small.entry_capacity = s.caesar.entry_capacity;
+  s.case_small.policy = s.caesar.policy;
+  s.case_small.num_counters = std::max<std::uint64_t>(
+      s.trace_accuracy.num_flows, q / 8);
+  s.case_small.counter_bits = 1;
+  s.case_small.max_flow_size = static_cast<double>(s.trace.max_flow_size);
+  s.case_small.seed = seed ^ 0x3333;
+
+  // Fig. 5(b): 1.21 MB -> floor(1.21 MB * 8388608 / Q) = 10 bits
+  // ("expanding l about six times").
+  s.case_large = s.case_small;
+  s.case_large.counter_bits = 10;
+  s.case_large.seed = seed ^ 0x4444;
+
+  return s;
+}
+
+GeometryReport describe(const core::CaesarConfig& config) {
+  GeometryReport r;
+  const double entry_bits = std::ceil(
+      std::log2(static_cast<double>(config.entry_capacity) + 1.0));
+  r.cache_kb = config.cache_entries * entry_bits / (1024.0 * 8.0);
+  r.sram_kb = static_cast<double>(config.num_counters) *
+              config.counter_bits / (1024.0 * 8.0);
+  r.entry_capacity = config.entry_capacity;
+  r.k = config.k;
+  return r;
+}
+
+}  // namespace caesar::analysis

@@ -1,0 +1,191 @@
+#include "baselines/braids/counter_braids.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace caesar::baselines {
+
+CounterBraids::CounterBraids(const CounterBraidsConfig& config)
+    : config_(config),
+      layer1_(config.layer1_counters, 0),
+      overflowed_(config.layer1_counters, false),
+      layer2_(config.layer2_counters, 0),
+      select1_(config.k1, config.layer1_counters, config.seed ^ 0xB1),
+      select2_(config.k2, config.layer2_counters, config.seed ^ 0xB2) {
+  if (config.layer1_bits < 1 || config.layer1_bits > 31)
+    throw std::invalid_argument("CounterBraids: layer1_bits out of range");
+  if (config.layer1_counters < config.k1 ||
+      config.layer2_counters < config.k2)
+    throw std::invalid_argument("CounterBraids: too few counters for k");
+}
+
+void CounterBraids::add(FlowId flow) {
+  ++packets_;
+  const std::uint32_t wrap = 1u << config_.layer1_bits;
+  std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
+  select1_.select(flow, std::span<std::uint64_t>(idx.data(), config_.k1));
+  hash_ops_ += config_.k1;
+  for (std::size_t r = 0; r < config_.k1; ++r) {
+    ++layer1_accesses_;
+    std::uint32_t& c = layer1_[idx[r]];
+    if (++c == wrap) {
+      // Carry: this layer-1 counter is a "flow" of the second layer.
+      c = 0;
+      ++carries_;
+      overflowed_[idx[r]] = true;
+      std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx2{};
+      select2_.select(idx[r],
+                      std::span<std::uint64_t>(idx2.data(), config_.k2));
+      hash_ops_ += config_.k2;
+      for (std::size_t s = 0; s < config_.k2; ++s) {
+        ++layer2_accesses_;
+        ++layer2_[idx2[s]];
+      }
+    }
+  }
+}
+
+std::vector<double> CounterBraids::decode_layer(
+    const std::vector<std::vector<std::uint32_t>>& node_edges,
+    const std::vector<double>& values, const std::vector<double>& lower,
+    unsigned iterations) {
+  const std::size_t nodes = node_edges.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Flat edge storage: mu[e] is the node->counter message on edge e.
+  std::vector<std::size_t> first_edge(nodes + 1, 0);
+  for (std::size_t i = 0; i < nodes; ++i)
+    first_edge[i + 1] = first_edge[i] + node_edges[i].size();
+  const std::size_t num_edges = first_edge[nodes];
+  std::vector<double> mu(num_edges);
+  std::vector<double> nu(num_edges, 0.0);
+  for (std::size_t i = 0; i < nodes; ++i)
+    for (std::size_t e = first_edge[i]; e < first_edge[i + 1]; ++e)
+      mu[e] = lower[i];
+
+  std::vector<double> counter_sum(values.size(), 0.0);
+  std::vector<double> estimate(nodes, 0.0);
+
+  for (unsigned t = 0; t < iterations; ++t) {
+    // Counter-to-node: nu_{j->i} = c_j - sum_{i' != i} mu_{i'->j}.
+    std::fill(counter_sum.begin(), counter_sum.end(), 0.0);
+    for (std::size_t i = 0; i < nodes; ++i)
+      for (std::size_t e = first_edge[i]; e < first_edge[i + 1]; ++e)
+        counter_sum[node_edges[i][e - first_edge[i]]] += mu[e];
+    for (std::size_t i = 0; i < nodes; ++i)
+      for (std::size_t e = first_edge[i]; e < first_edge[i + 1]; ++e)
+        nu[e] = values[node_edges[i][e - first_edge[i]]] -
+                (counter_sum[node_edges[i][e - first_edge[i]]] - mu[e]);
+
+    // Node-to-counter: alternate upper-bound (min of the other counters'
+    // messages) and clamped lower-bound (max) passes — the Counter
+    // Braids min-sum schedule whose estimates bracket the truth. The
+    // schedule is arranged to END on a lower-bound pass so the final
+    // counter-to-node messages below over-estimate each node's share and
+    // the returned min is a genuine upper bound.
+    const bool upper_pass = (t % 2 == 0);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const std::size_t deg = node_edges[i].size();
+      for (std::size_t e = first_edge[i]; e < first_edge[i + 1]; ++e) {
+        double agg = upper_pass ? kInf : -kInf;
+        for (std::size_t e2 = first_edge[i]; e2 < first_edge[i + 1]; ++e2) {
+          if (e2 == e && deg > 1) continue;
+          agg = upper_pass ? std::min(agg, nu[e2]) : std::max(agg, nu[e2]);
+        }
+        mu[e] = std::max(agg, lower[i]);
+      }
+    }
+  }
+
+  // Final counter-to-node messages from the last (lower-bound) pass.
+  std::fill(counter_sum.begin(), counter_sum.end(), 0.0);
+  for (std::size_t i = 0; i < nodes; ++i)
+    for (std::size_t e = first_edge[i]; e < first_edge[i + 1]; ++e)
+      counter_sum[node_edges[i][e - first_edge[i]]] += mu[e];
+  for (std::size_t i = 0; i < nodes; ++i)
+    for (std::size_t e = first_edge[i]; e < first_edge[i + 1]; ++e)
+      nu[e] = values[node_edges[i][e - first_edge[i]]] -
+              (counter_sum[node_edges[i][e - first_edge[i]]] - mu[e]);
+
+  // Final estimate: min over incident counters (the tightest upper
+  // bound), clamped at the lower bound.
+  for (std::size_t i = 0; i < nodes; ++i) {
+    double best = kInf;
+    for (std::size_t e = first_edge[i]; e < first_edge[i + 1]; ++e)
+      best = std::min(best, nu[e]);
+    estimate[i] = std::max(best, lower[i]);
+  }
+  return estimate;
+}
+
+std::vector<double> CounterBraids::reconstruct_layer1() const {
+  // Decode layer 2 to recover each layer-1 counter's carry count, then
+  // splice the low bits back on. Only counters whose status bit is set
+  // participate (the CB flag optimization): everything else has exactly
+  // zero carries, which keeps the layer-2 graph lightly loaded even
+  // though m2 << m1.
+  const std::size_t m1 = layer1_.size();
+  std::vector<std::uint32_t> flagged;
+  for (std::size_t j = 0; j < m1; ++j)
+    if (overflowed_[j]) flagged.push_back(static_cast<std::uint32_t>(j));
+
+  std::vector<double> carries(m1, 0.0);
+  if (!flagged.empty()) {
+    std::vector<std::vector<std::uint32_t>> edges(flagged.size());
+    std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx2{};
+    for (std::size_t i = 0; i < flagged.size(); ++i) {
+      select2_.select(flagged[i],
+                      std::span<std::uint64_t>(idx2.data(), config_.k2));
+      edges[i].assign(idx2.begin(), idx2.begin() + config_.k2);
+    }
+    std::vector<double> values(layer2_.begin(), layer2_.end());
+    std::vector<double> lower(flagged.size(), 1.0);  // flagged => >= 1 wrap
+    const auto decoded = decode_layer(edges, values, lower,
+                                      config_.decode_iterations);
+    for (std::size_t i = 0; i < flagged.size(); ++i)
+      carries[flagged[i]] = decoded[i];
+  }
+
+  std::vector<double> full(m1);
+  const double wrap = std::pow(2.0, config_.layer1_bits);
+  for (std::size_t j = 0; j < m1; ++j)
+    full[j] = static_cast<double>(layer1_[j]) +
+              std::round(carries[j]) * wrap;
+  return full;
+}
+
+std::vector<double> CounterBraids::decode(
+    std::span<const FlowId> flows) const {
+  const auto full1 = reconstruct_layer1();
+
+  std::vector<std::vector<std::uint32_t>> edges(flows.size());
+  std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    select1_.select(flows[i],
+                    std::span<std::uint64_t>(idx.data(), config_.k1));
+    edges[i].assign(idx.begin(), idx.begin() + config_.k1);
+  }
+  std::vector<double> lower(flows.size(), 1.0);  // every listed flow >= 1
+  return decode_layer(edges, full1, lower, config_.decode_iterations);
+}
+
+double CounterBraids::memory_kb() const noexcept {
+  // +1 bit per layer-1 counter for the overflow status flag.
+  return (static_cast<double>(layer1_.size()) * (config_.layer1_bits + 1) +
+          static_cast<double>(layer2_.size()) * config_.layer2_bits) /
+         (1024.0 * 8.0);
+}
+
+memsim::OpCounts CounterBraids::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  // Counter Braids is cache-free: all counter accesses are off-chip.
+  ops.sram_accesses = layer1_accesses_ + layer2_accesses_;
+  ops.hashes = packets_ + hash_ops_;  // flow-ID hash + mapping hashes
+  return ops;
+}
+
+}  // namespace caesar::baselines

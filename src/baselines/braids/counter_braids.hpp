@@ -1,0 +1,97 @@
+// Counter Braids (Lu, Montanari, Prabhakar, Dharmapurikar, Kabbani —
+// SIGMETRICS 2008; Allerton 2008) — the braided multi-layer counter
+// architecture the paper positions CAESAR against in §2.1: "a two-stage
+// counter architecture, where three or more counters are allocated to a
+// single flow... each flow needs more than 4 bits... and per-arrival
+// packet updates at least three counters".
+//
+// Structure:
+//  * Layer 1: m1 shallow counters of d1 bits; every packet increments all
+//    k1 counters its flow hashes to. When a counter wraps past 2^d1 - 1
+//    it carries into layer 2.
+//  * Layer 2: m2 counters of d2 bits; a layer-1 counter acts as a "flow"
+//    of the second layer — each wrap increments all k2 of its mapped
+//    layer-2 counters.
+//
+// Decoding requires the flow list (a defining operational difference
+// from CAESAR/RCS point queries) and runs the min-sum message-passing
+// decoder over the bipartite flow/counter graph: counter-to-flow
+// messages subtract the other flows' running estimates; flow-to-counter
+// messages alternate min (upper bound) and clamped max (lower bound)
+// passes, which bracket the true sizes and typically meet exactly below
+// the decodability threshold (m1/Q >~ 1.22 for k1 = 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hash/index_selector.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+struct CounterBraidsConfig {
+  std::uint64_t layer1_counters = 16'384;  ///< m1
+  unsigned layer1_bits = 8;                ///< d1
+  std::size_t k1 = 3;
+  std::uint64_t layer2_counters = 2'048;   ///< m2
+  unsigned layer2_bits = 24;               ///< d2 (deep, few)
+  std::size_t k2 = 3;
+  unsigned decode_iterations = 64;         ///< message-passing sweeps
+  std::uint64_t seed = 1;
+};
+
+class CounterBraids {
+ public:
+  explicit CounterBraids(const CounterBraidsConfig& config);
+
+  /// Account one packet: k1 layer-1 increments (plus carries).
+  void add(FlowId flow);
+
+  /// Decode the sizes of `flows` jointly (Counter Braids cannot answer
+  /// point queries — the decoder needs the full flow list). Returns one
+  /// estimate per input flow, in order.
+  [[nodiscard]] std::vector<double> decode(
+      std::span<const FlowId> flows) const;
+
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] double memory_kb() const noexcept;
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+  [[nodiscard]] const CounterBraidsConfig& config() const noexcept {
+    return config_;
+  }
+  /// Total layer-1 wraps so far (diagnostic).
+  [[nodiscard]] std::uint64_t carries() const noexcept { return carries_; }
+
+  /// Reconstructed full value of one layer-1 counter (low bits + decoded
+  /// carries * 2^d1). Exposed for the decoder tests.
+  [[nodiscard]] std::vector<double> reconstruct_layer1() const;
+
+ private:
+  /// One min-sum decode of a single bipartite layer.
+  /// `node_edges[i]` lists the counter indices of node i; `values[j]`
+  /// the observed counter sums; `lower[i]` the per-node lower bound.
+  [[nodiscard]] static std::vector<double> decode_layer(
+      const std::vector<std::vector<std::uint32_t>>& node_edges,
+      const std::vector<double>& values, const std::vector<double>& lower,
+      unsigned iterations);
+
+  CounterBraidsConfig config_;
+  std::vector<std::uint32_t> layer1_;  ///< low d1 bits of each counter
+  /// Status bit per layer-1 counter: set once it has overflowed (the CB
+  /// paper's flag that lets the decoder exclude never-overflowed
+  /// counters from the layer-2 graph).
+  std::vector<bool> overflowed_;
+  std::vector<std::uint64_t> layer2_;
+  hash::KIndexSelector select1_;
+  hash::KIndexSelector select2_;
+  Count packets_ = 0;
+  std::uint64_t carries_ = 0;
+  std::uint64_t layer1_accesses_ = 0;
+  std::uint64_t layer2_accesses_ = 0;
+  std::uint64_t hash_ops_ = 0;
+};
+
+}  // namespace caesar::baselines

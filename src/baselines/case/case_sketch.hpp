@@ -1,0 +1,86 @@
+// CASE — Cache-Assisted Stretchable Estimator (Li et al., INFOCOM 2016) —
+// the paper's cache-assisted baseline (§2.3, Fig. 5).
+//
+// Like CAESAR it fronts the off-chip counters with an on-chip cache, but
+// each flow maps one-to-one to a single compressed (DISCO-style) counter:
+// an evicted cache value v is folded into the counter by v stochastic
+// compression steps, each requiring a power operation. Two structural
+// weaknesses follow, both reproduced here:
+//   * one counter per flow forces L >= Q, so a fixed SRAM budget leaves
+//     only ~1-2 bits per counter and estimates collapse (paper Fig. 5a);
+//   * the per-unit power operations dominate processing time (Fig. 8).
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/case/disco_counter.hpp"
+#include "cache/cache_table.hpp"
+#include "common/types.hpp"
+#include "counters/counter_array.hpp"
+#include "hash/hash_family.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+struct CaseConfig {
+  // --- on-chip cache (same budget as CAESAR's in the paper) -------------
+  std::uint32_t cache_entries = 100'000;  ///< M
+  Count entry_capacity = 54;              ///< y
+  cache::ReplacementPolicy policy = cache::ReplacementPolicy::kLru;
+
+  // --- off-chip compressed counters --------------------------------------
+  std::uint64_t num_counters = 1'014'601;  ///< L (>= Q intended)
+  unsigned counter_bits = 1;               ///< code width under the budget
+  /// Largest flow size the stretch function must cover.
+  double max_flow_size = 200'000.0;
+
+  std::uint64_t seed = 1;
+};
+
+class CaseSketch {
+ public:
+  /// Fixed cycle cost of filling the compression pipeline (charged once
+  /// in op_counts); sized so the CASE/RCS crossover of the paper's Fig. 8
+  /// falls near 10^4 packets under the default CostModel.
+  static constexpr std::uint64_t kPipelineSetupCycles = 30'000;
+
+  explicit CaseSketch(const CaseConfig& config);
+
+  /// Account one packet of `flow`.
+  void add(FlowId flow);
+
+  /// Dump remaining cache contents into the compressed counters.
+  void flush();
+
+  /// Decompressed estimate f(code) of the flow's mapped counter.
+  [[nodiscard]] double estimate(FlowId flow) const;
+
+  [[nodiscard]] const cache::CacheStats& cache_stats() const noexcept {
+    return cache_.stats();
+  }
+  [[nodiscard]] const counters::CounterArray& sram() const noexcept {
+    return codes_;
+  }
+  [[nodiscard]] const DiscoFunction& function() const noexcept { return fn_; }
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] double memory_kb() const noexcept {
+    return cache_.memory_kb() + codes_.memory_kb();
+  }
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+ private:
+  void compress_eviction(const cache::Eviction& ev);
+
+  CaseConfig config_;
+  cache::CacheTable cache_;
+  counters::CounterArray codes_;
+  DiscoFunction fn_;
+  hash::HashFamily map_hash_;
+  Xoshiro256pp rng_;
+  Count packets_ = 0;
+  std::uint64_t power_ops_ = 0;
+  std::uint64_t hash_ops_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace caesar::baselines

@@ -1,0 +1,80 @@
+#include "baselines/case/disco_counter.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace caesar::baselines {
+
+DiscoFunction::DiscoFunction(double b, Count code_max, StretchKind kind,
+                             double exponent)
+    : b_(b), code_max_(code_max), kind_(kind), exponent_(exponent) {
+  if (b <= 0.0) throw std::invalid_argument("DiscoFunction: b must be > 0");
+  if (code_max < 1)
+    throw std::invalid_argument("DiscoFunction: code_max must be >= 1");
+  if (kind == StretchKind::kPolynomial && exponent <= 1.0)
+    throw std::invalid_argument("DiscoFunction: exponent must be > 1");
+}
+
+double DiscoFunction::value(Count code) const noexcept {
+  const double c = static_cast<double>(code);
+  if (kind_ == StretchKind::kPolynomial)
+    return b_ * std::pow(c, exponent_);
+  // f(c) = ((1+b)^c - 1)/b; expm1/log1p for numerical stability at tiny b.
+  return std::expm1(c * std::log1p(b_)) / b_;
+}
+
+double DiscoFunction::increment_probability(Count code) const noexcept {
+  if (code >= code_max_) return 0.0;  // saturated
+  if (kind_ == StretchKind::kPolynomial)
+    return 1.0 / (value(code + 1) - value(code));
+  // Geometric: 1/(f(c+1)-f(c)) = (1+b)^(-c)
+  return std::exp(-static_cast<double>(code) * std::log1p(b_));
+}
+
+DiscoFunction DiscoFunction::for_range(Count code_max, double target_max,
+                                       StretchKind kind, double exponent) {
+  assert(target_max >= 1.0);
+  if (kind == StretchKind::kPolynomial) {
+    // f(code_max) = b * code_max^d = target_max solves b directly, but a
+    // polynomial with f(1) > 1 cannot count single packets faithfully;
+    // clamp b so f(1) >= 1 stays representable.
+    const double b = std::max(
+        target_max / std::pow(static_cast<double>(code_max), exponent),
+        1e-9);
+    return DiscoFunction(b, code_max, kind, exponent);
+  }
+  // f(code_max) is increasing in b; bisect b so f(code_max) ~= target_max.
+  // When even linear counting covers the range (code_max >= target_max),
+  // use a near-degenerate stretch (almost exact counting).
+  if (static_cast<double>(code_max) >= target_max)
+    return DiscoFunction(1e-9, code_max);
+  double lo = 1e-9, hi = target_max;  // f(code_max) >= 1 + ... for huge b
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const DiscoFunction fn(mid, code_max);
+    if (fn.value(code_max) < target_max)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return DiscoFunction(0.5 * (lo + hi), code_max);
+}
+
+Count DiscoCounter::add(Count delta, Xoshiro256pp& rng,
+                        std::uint64_t& power_ops) noexcept {
+  Count bumps = 0;
+  for (Count u = 0; u < delta; ++u) {
+    ++power_ops;  // evaluating (1+b)^(-c) is the paper's power operation
+    const double p = fn_->increment_probability(code_);
+    if (p >= 1.0 || rng.uniform() < p) {
+      if (code_ < fn_->code_max()) {
+        ++code_;
+        ++bumps;
+      }
+    }
+  }
+  return bumps;
+}
+
+}  // namespace caesar::baselines

@@ -1,0 +1,84 @@
+// DISCO/ANLS-style stretchable compressed counter — the substrate CASE
+// builds on (paper §2.3: "CASE's allocation of counters is based on
+// DISCO").
+//
+// A stored code c in {0..c_max} represents the real value
+//     f(c) = ((1+b)^c - 1) / b,
+// the classic geometric stretching function (Hu et al., INFOCOM'08 /
+// ICDCS'10). A unit increment bumps c with probability
+//     1 / (f(c+1) - f(c)) = (1+b)^(-c),
+// which keeps E[f(c)] tracking the true count. Evaluating that power is
+// the "time-consuming power operation" the paper charges CASE for.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace caesar::baselines {
+
+/// Shape of the stretching function.
+enum class StretchKind {
+  /// f(c) = ((1+b)^c - 1)/b — the ANLS geometric law (uniform *relative*
+  /// resolution; the default used by the CASE reproduction).
+  kGeometric,
+  /// f(c) = b * c^d — DISCO's polynomial law (resolution degrades
+  /// polynomially; d = 2 gives DISCO's square-root counter).
+  kPolynomial,
+};
+
+/// Parameters of the stretching function.
+class DiscoFunction {
+ public:
+  /// Construct with stretch parameter b > 0 and code capacity c_max.
+  /// For kPolynomial, `exponent` is d (> 1).
+  DiscoFunction(double b, Count code_max,
+                StretchKind kind = StretchKind::kGeometric,
+                double exponent = 2.0);
+
+  /// Choose b so that f(code_max) ~= target_max (the largest flow size the
+  /// counter must represent). Solved by bisection; b grows as the bit
+  /// budget shrinks, which is exactly CASE's failure mode under tight
+  /// SRAM (paper Fig. 5(a)).
+  static DiscoFunction for_range(Count code_max, double target_max,
+                                 StretchKind kind = StretchKind::kGeometric,
+                                 double exponent = 2.0);
+
+  /// Real value represented by code c.
+  [[nodiscard]] double value(Count code) const noexcept;
+
+  /// Probability that a unit increment advances code c -> c+1.
+  [[nodiscard]] double increment_probability(Count code) const noexcept;
+
+  [[nodiscard]] double b() const noexcept { return b_; }
+  [[nodiscard]] Count code_max() const noexcept { return code_max_; }
+  [[nodiscard]] StretchKind kind() const noexcept { return kind_; }
+
+ private:
+  double b_;
+  Count code_max_;
+  StretchKind kind_;
+  double exponent_;
+};
+
+/// One compressed counter plus its update process. The power-operation
+/// count feeds the memsim cost model.
+class DiscoCounter {
+ public:
+  explicit DiscoCounter(const DiscoFunction& fn) : fn_(&fn) {}
+
+  /// Stochastically add `delta` units (delta power ops, one per unit).
+  /// Returns the number of code increments applied.
+  Count add(Count delta, Xoshiro256pp& rng, std::uint64_t& power_ops) noexcept;
+
+  [[nodiscard]] Count code() const noexcept { return code_; }
+  [[nodiscard]] double estimate() const noexcept { return fn_->value(code_); }
+  void set_code(Count code) noexcept { code_ = code; }
+
+ private:
+  const DiscoFunction* fn_;
+  Count code_ = 0;
+};
+
+}  // namespace caesar::baselines

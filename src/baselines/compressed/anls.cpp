@@ -1,0 +1,58 @@
+#include "baselines/compressed/anls.hpp"
+
+#include "hash/murmur3.hpp"
+
+namespace caesar::baselines {
+
+namespace {
+Count code_capacity(unsigned bits) { return (Count{1} << bits) - 1; }
+}  // namespace
+
+AnlsArray::AnlsArray(std::uint64_t size, unsigned code_bits, double b,
+                     std::uint64_t seed)
+    : fn_(b, code_capacity(code_bits)),
+      code_bits_(code_bits),
+      codes_(size, 0),
+      seed_(seed),
+      rng_(seed ^ 0xA215ULL) {}
+
+AnlsArray AnlsArray::for_range(std::uint64_t size, unsigned code_bits,
+                               double max_flow_size, std::uint64_t seed) {
+  const auto fn =
+      DiscoFunction::for_range(code_capacity(code_bits), max_flow_size);
+  return AnlsArray(size, code_bits, fn.b(), seed);
+}
+
+std::uint64_t AnlsArray::index_of(FlowId flow) const noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(hash::fmix64(flow ^ seed_)) *
+       codes_.size()) >>
+      64);
+}
+
+void AnlsArray::add(FlowId flow) {
+  ++packets_;
+  std::uint32_t& code = codes_[index_of(flow)];
+  const double p = fn_.increment_probability(code);
+  if (p >= 1.0 || rng_.uniform() < p) {
+    if (code < fn_.code_max()) ++code;
+  }
+}
+
+double AnlsArray::estimate(FlowId flow) const {
+  return fn_.value(codes_[index_of(flow)]);
+}
+
+double AnlsArray::memory_kb() const noexcept {
+  return static_cast<double>(codes_.size()) * code_bits_ / (1024.0 * 8.0);
+}
+
+memsim::OpCounts AnlsArray::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  ops.sram_accesses = packets_;  // cache-free off-chip RMW per packet
+  ops.hashes = 2 * packets_;
+  ops.power_ops = packets_;  // (1+b)^(-c) evaluated per packet
+  return ops;
+}
+
+}  // namespace caesar::baselines

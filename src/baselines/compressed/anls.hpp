@@ -1,0 +1,51 @@
+// ANLS — Adaptive Non-Linear Sampling (Hu et al., INFOCOM 2008) — the
+// remaining named member of the paper's §2.1 single-counter family. One
+// counter per flow stores a code c representing ((1+b)^c - 1)/b (the
+// geometric stretch shared with DiscoFunction); a packet advances the
+// code with probability (1+b)^(-c). Without a cache every packet is an
+// off-chip access plus a power operation — both §2.1 criticisms at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/case/disco_counter.hpp"
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+class AnlsArray {
+ public:
+  /// `size` counters of `code_bits` each; `b` is the stretch parameter
+  /// (smaller b = finer resolution, smaller range).
+  AnlsArray(std::uint64_t size, unsigned code_bits, double b,
+            std::uint64_t seed);
+
+  /// Counters sized to cover `max_flow_size` with the given bit budget.
+  static AnlsArray for_range(std::uint64_t size, unsigned code_bits,
+                             double max_flow_size, std::uint64_t seed);
+
+  void add(FlowId flow);
+
+  [[nodiscard]] double estimate(FlowId flow) const;
+  [[nodiscard]] const DiscoFunction& function() const noexcept {
+    return fn_;
+  }
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] double memory_kb() const noexcept;
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+ private:
+  [[nodiscard]] std::uint64_t index_of(FlowId flow) const noexcept;
+
+  DiscoFunction fn_;
+  unsigned code_bits_;
+  std::vector<std::uint32_t> codes_;
+  std::uint64_t seed_;
+  Xoshiro256pp rng_;
+  Count packets_ = 0;
+};
+
+}  // namespace caesar::baselines

@@ -1,0 +1,70 @@
+#include "baselines/compressed/cedar.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "hash/murmur3.hpp"
+
+namespace caesar::baselines {
+
+CedarLadder::CedarLadder(unsigned index_bits, double delta) : delta_(delta) {
+  if (index_bits < 1 || index_bits > 24)
+    throw std::invalid_argument("CedarLadder: index_bits out of range");
+  if (delta <= 0.0 || delta >= 1.0)
+    throw std::invalid_argument("CedarLadder: delta must be in (0,1)");
+  const std::size_t rungs = std::size_t{1} << index_bits;
+  values_.resize(rungs);
+  values_[0] = 0.0;
+  const double d2 = delta * delta;
+  for (std::size_t i = 1; i < rungs; ++i) {
+    const double gap = (1.0 + 2.0 * d2 * values_[i - 1]) / (1.0 - d2);
+    values_[i] = values_[i - 1] + gap;
+  }
+}
+
+double CedarLadder::step_probability(std::uint32_t index) const noexcept {
+  if (index + 1 >= values_.size()) return 0.0;  // top rung: saturate
+  return 1.0 / (values_[index + 1] - values_[index]);
+}
+
+CedarArray::CedarArray(std::uint64_t size, unsigned index_bits, double delta,
+                       std::uint64_t seed)
+    : ladder_(index_bits, delta),
+      index_bits_(index_bits),
+      rung_(size, 0),
+      seed_(seed),
+      rng_(seed ^ 0xCEDA) {}
+
+std::uint64_t CedarArray::index_of(FlowId flow) const noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(hash::fmix64(flow ^ seed_)) * rung_.size()) >>
+      64);
+}
+
+void CedarArray::add(FlowId flow) {
+  ++packets_;
+  std::uint32_t& r = rung_[index_of(flow)];
+  const double p = ladder_.step_probability(r);
+  if (p >= 1.0 || rng_.uniform() < p) {
+    if (r + 1 < ladder_.rungs()) ++r;
+  }
+}
+
+double CedarArray::estimate(FlowId flow) const {
+  return ladder_.value(rung_[index_of(flow)]);
+}
+
+double CedarArray::memory_kb() const noexcept {
+  // The ladder itself is tiny shared state; the per-counter cost is the
+  // rung index.
+  return static_cast<double>(rung_.size()) * index_bits_ / (1024.0 * 8.0);
+}
+
+memsim::OpCounts CedarArray::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  ops.sram_accesses = packets_;  // off-chip RMW per packet, cache-free
+  ops.hashes = 2 * packets_;
+  return ops;
+}
+
+}  // namespace caesar::baselines

@@ -1,0 +1,69 @@
+// CEDAR — "Estimators also need shared values to grow together"
+// (Tsidon, Hanniel, Keslassy — INFOCOM 2012) — the shared-estimator
+// scheme from the paper's §2.1 survey: every counter stores a short
+// *index* into one global ladder of estimate values A[0..D-1]; a unit
+// increment advances a counter from rung i to i+1 with probability
+// 1/(A[i+1]-A[i]), which keeps E[A[index]] tracking the true count. The
+// ladder grows geometrically so the *relative* error is uniform across
+// magnitudes — CEDAR's headline property, verified in the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+/// The shared ladder A[0..D-1] with A[0] = 0 and geometrically growing
+/// gaps: A[i+1] - A[i] = (1 + 2*delta^2*A[i]) / (1 - delta^2), the CEDAR
+/// ladder that equalizes relative error delta across the range.
+class CedarLadder {
+ public:
+  /// `index_bits` determines D = 2^index_bits rungs; `delta` the target
+  /// per-estimate relative standard deviation.
+  CedarLadder(unsigned index_bits, double delta);
+
+  [[nodiscard]] double value(std::uint32_t index) const noexcept {
+    return values_[index];
+  }
+  [[nodiscard]] double step_probability(std::uint32_t index) const noexcept;
+  [[nodiscard]] std::uint32_t rungs() const noexcept {
+    return static_cast<std::uint32_t>(values_.size());
+  }
+  [[nodiscard]] double max_value() const noexcept { return values_.back(); }
+  [[nodiscard]] double delta() const noexcept { return delta_; }
+
+ private:
+  std::vector<double> values_;
+  double delta_;
+};
+
+/// Hash-indexed array of CEDAR estimators (one per flow intent).
+class CedarArray {
+ public:
+  CedarArray(std::uint64_t size, unsigned index_bits, double delta,
+             std::uint64_t seed);
+
+  void add(FlowId flow);
+
+  [[nodiscard]] double estimate(FlowId flow) const;
+  [[nodiscard]] const CedarLadder& ladder() const noexcept { return ladder_; }
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] double memory_kb() const noexcept;
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+ private:
+  [[nodiscard]] std::uint64_t index_of(FlowId flow) const noexcept;
+
+  CedarLadder ladder_;
+  unsigned index_bits_;
+  std::vector<std::uint32_t> rung_;
+  std::uint64_t seed_;
+  Xoshiro256pp rng_;
+  Count packets_ = 0;
+};
+
+}  // namespace caesar::baselines

@@ -1,0 +1,70 @@
+#include "baselines/compressed/small_active_counter.hpp"
+
+#include "hash/murmur3.hpp"
+
+namespace caesar::baselines {
+
+void SacCounter::add(Count delta, const SacConfig& cfg,
+                     Xoshiro256pp& rng) noexcept {
+  const std::uint32_t mantissa_max = (1u << cfg.mantissa_bits) - 1;
+  const std::uint32_t mode_max = (1u << cfg.exponent_bits) - 1;
+  for (Count u = 0; u < delta; ++u) {
+    // Increment probability 2^-(scale*mode).
+    const unsigned shift = cfg.scale * mode_;
+    const bool hit =
+        shift == 0 || (rng() >> (64 - shift)) == 0;  // P = 2^-shift
+    if (!hit) continue;
+    if (mantissa_ < mantissa_max) {
+      ++mantissa_;
+    } else if (mode_ < mode_max) {
+      // Renormalize: halve the resolution, bump the exponent.
+      mantissa_ = (mantissa_ + 1) >> cfg.scale;
+      ++mode_;
+    }
+    // else: fully saturated — drop the increment.
+  }
+}
+
+double SacCounter::estimate(const SacConfig& cfg) const noexcept {
+  const double unit = std::uint64_t{1} << (cfg.scale * mode_);
+  // Mid-correction: each unit at the current resolution represents
+  // (on average) half a step of rounding history; the first-order
+  // estimate A * 2^(l*mode) is the standard SAC read-out.
+  return static_cast<double>(mantissa_) * unit;
+}
+
+SacArray::SacArray(std::uint64_t size, const SacConfig& config,
+                   std::uint64_t seed)
+    : config_(config), counters_(size), seed_(seed), rng_(seed ^ 0x5AC) {}
+
+std::uint64_t SacArray::index_of(FlowId flow) const noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(hash::fmix64(flow ^ seed_)) *
+       counters_.size()) >>
+      64);
+}
+
+void SacArray::add(FlowId flow) {
+  ++packets_;
+  counters_[index_of(flow)].add(1, config_, rng_);
+}
+
+double SacArray::estimate(FlowId flow) const {
+  return counters_[index_of(flow)].estimate(config_);
+}
+
+double SacArray::memory_kb() const noexcept {
+  return static_cast<double>(counters_.size()) *
+         (config_.mantissa_bits + config_.exponent_bits) / (1024.0 * 8.0);
+}
+
+memsim::OpCounts SacArray::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  ops.sram_accesses = packets_;  // cache-free: off-chip RMW per packet
+  ops.hashes = 2 * packets_;     // flow ID + index
+  // The stochastic trial needs the 2^-x evaluation: a power operation.
+  ops.power_ops = packets_;
+  return ops;
+}
+
+}  // namespace caesar::baselines

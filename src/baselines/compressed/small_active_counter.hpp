@@ -1,0 +1,66 @@
+// SAC — Small Active Counters (Stanojevic, INFOCOM 2007) — one of the
+// single-counter compression schemes the paper surveys in §2.1: each flow
+// owns one small counter that stores a mantissa A (m bits) and an
+// exponent/mode (e bits); the represented value is A * 2^(scale*mode).
+// Increments are stochastic with probability 2^-(scale*mode); when the
+// mantissa saturates, the counter renormalizes (A >>= scale, ++mode),
+// which coarsens the resolution — the "compression with low storage
+// efficiency" drawback the CAESAR paper calls out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+struct SacConfig {
+  unsigned mantissa_bits = 12;  ///< m
+  unsigned exponent_bits = 3;   ///< e
+  unsigned scale = 1;           ///< l: value = A * 2^(l*mode)
+};
+
+/// A single SAC counter (value type for SacArray; also unit-testable).
+class SacCounter {
+ public:
+  /// Add `delta` units under the config (delta stochastic trials).
+  void add(Count delta, const SacConfig& cfg, Xoshiro256pp& rng) noexcept;
+
+  [[nodiscard]] double estimate(const SacConfig& cfg) const noexcept;
+  [[nodiscard]] std::uint32_t mantissa() const noexcept { return mantissa_; }
+  [[nodiscard]] std::uint32_t mode() const noexcept { return mode_; }
+
+ private:
+  std::uint32_t mantissa_ = 0;
+  std::uint32_t mode_ = 0;
+};
+
+/// A hash-indexed array of SAC counters, one counter per flow intent
+/// (like CASE's mapping but with SAC compression and no cache).
+class SacArray {
+ public:
+  SacArray(std::uint64_t size, const SacConfig& config, std::uint64_t seed);
+
+  /// Account one packet of `flow` (one off-chip access + one stochastic
+  /// trial).
+  void add(FlowId flow);
+
+  [[nodiscard]] double estimate(FlowId flow) const;
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] double memory_kb() const noexcept;
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+ private:
+  [[nodiscard]] std::uint64_t index_of(FlowId flow) const noexcept;
+
+  SacConfig config_;
+  std::vector<SacCounter> counters_;
+  std::uint64_t seed_;
+  mutable Xoshiro256pp rng_;
+  Count packets_ = 0;
+};
+
+}  // namespace caesar::baselines

@@ -1,0 +1,12 @@
+#include "baselines/rcs/lossy_front_end.hpp"
+
+namespace caesar::baselines {
+
+LossyRcs::LossyRcs(const RcsConfig& config, double loss_rate)
+    : sketch_(config), dropper_(loss_rate, config.seed ^ 0x2545F4914F6CDD1DULL) {}
+
+void LossyRcs::add(FlowId flow) {
+  if (!dropper_.drop()) sketch_.add(flow);
+}
+
+}  // namespace caesar::baselines

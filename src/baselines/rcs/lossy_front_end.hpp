@@ -1,0 +1,37 @@
+// Lossy front end for cache-free schemes (paper Fig. 7).
+//
+// Wraps an RcsSketch behind a Bernoulli packet dropper at the paper's
+// empirical loss rates (2/3, 9/10). The sketch is loss-UNAWARE: estimates
+// are not rescaled by 1/(1-loss), exactly as in the paper's evaluation,
+// where RCS's relative error at loss 2/3 averages ~67.7% ~= the loss rate.
+#pragma once
+
+#include "baselines/rcs/rcs_sketch.hpp"
+#include "memsim/loss_model.hpp"
+
+namespace caesar::baselines {
+
+class LossyRcs {
+ public:
+  LossyRcs(const RcsConfig& config, double loss_rate);
+
+  /// Offer one packet; it reaches the sketch only if not dropped.
+  void add(FlowId flow);
+
+  [[nodiscard]] const RcsSketch& sketch() const noexcept { return sketch_; }
+  [[nodiscard]] double estimate_csm(FlowId flow) const {
+    return sketch_.estimate_csm(flow);
+  }
+  [[nodiscard]] std::uint64_t offered() const noexcept {
+    return dropper_.offered();
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropper_.dropped();
+  }
+
+ private:
+  RcsSketch sketch_;
+  memsim::PacketDropper dropper_;
+};
+
+}  // namespace caesar::baselines

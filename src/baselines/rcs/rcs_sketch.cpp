@@ -1,0 +1,80 @@
+#include "baselines/rcs/rcs_sketch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/mathutil.hpp"
+
+namespace caesar::baselines {
+
+RcsSketch::RcsSketch(const RcsConfig& config)
+    : config_(config),
+      sram_(config.num_counters, config.counter_bits),
+      selector_(config.k, config.num_counters, config.seed),
+      rng_(config.seed ^ 0x94d049bb133111ebULL) {}
+
+void RcsSketch::add(FlowId flow) { add_weighted(flow, 1); }
+
+void RcsSketch::add_weighted(FlowId flow, Count weight) {
+  packets_ += weight;
+  std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
+  selector_.select(flow, std::span<std::uint64_t>(idx.data(), config_.k));
+  hash_ops_ += config_.k;
+  sram_.add(idx[rng_.below(config_.k)], weight);
+}
+
+std::vector<Count> RcsSketch::counter_values(FlowId flow) const {
+  std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
+  selector_.select(flow, std::span<std::uint64_t>(idx.data(), config_.k));
+  std::vector<Count> w(config_.k);
+  for (std::size_t r = 0; r < config_.k; ++r) w[r] = sram_.read(idx[r]);
+  return w;
+}
+
+double RcsSketch::estimate_csm(FlowId flow) const {
+  const auto w = counter_values(flow);
+  double sum = 0.0;
+  for (Count v : w) sum += static_cast<double>(v);
+  const double noise = static_cast<double>(config_.k) *
+                       static_cast<double>(packets_) /
+                       static_cast<double>(config_.num_counters);
+  return sum - noise;
+}
+
+double RcsSketch::estimate_mlm(FlowId flow) const {
+  const auto w = counter_values(flow);
+  const auto k = static_cast<double>(config_.k);
+  const double n = static_cast<double>(packets_);
+  const double l = static_cast<double>(config_.num_counters);
+  // Per-counter model: W_r ~= B(x, 1/k) + Poisson-like noise of mean and
+  // variance n/L; Gaussian approximation of both terms.
+  const double noise_mean = n / l;
+  const double noise_var = n / l;
+  auto log_likelihood = [&](double x) {
+    const double mu = x / k + noise_mean;
+    const double var = std::max(x / k * (1.0 - 1.0 / k) + noise_var, 1e-9);
+    double ll = 0.0;
+    for (Count v : w) {
+      const double d = static_cast<double>(v) - mu;
+      ll += -0.5 * std::log(var) - d * d / (2.0 * var);
+    }
+    return ll;
+  };
+  double max_w = 0.0;
+  for (Count v : w) max_w = std::max(max_w, static_cast<double>(v));
+  const double hi = std::max(k * max_w, 1.0);
+  return golden_section_max(log_likelihood, 0.0, hi, 1e-3);
+}
+
+memsim::OpCounts RcsSketch::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  ops.sram_accesses = sram_.writes();
+  // One flow-ID hash per packet plus the k mapping hashes; a hardware
+  // implementation evaluates the k-set per packet since there is no cache
+  // to amortize it.
+  ops.hashes = packets_ + hash_ops_;
+  return ops;
+}
+
+}  // namespace caesar::baselines

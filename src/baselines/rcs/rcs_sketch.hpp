@@ -1,0 +1,72 @@
+// Randomized Counter Sharing (RCS) — Li, Chen & Ling, INFOCOM 2011 /
+// ToN 2012 — the paper's primary accuracy baseline (§2.1, Figs. 6–7).
+//
+// RCS is cache-free: every packet of flow f increments ONE uniformly
+// chosen counter among f's k hash-mapped off-chip counters. With the sum
+// of the k counters the flow's own contribution is recovered exactly; the
+// error comes from other flows sharing counters. Because each packet is a
+// direct off-chip access, a line-rate deployment drops packets — see
+// LossyFrontEnd and memsim::PacketDropper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "core/estimators.hpp"
+#include "counters/counter_array.hpp"
+#include "hash/index_selector.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+struct RcsConfig {
+  std::uint64_t num_counters = 50'000;  ///< L
+  unsigned counter_bits = 15;           ///< log2(l)
+  std::size_t k = 3;
+  std::uint64_t seed = 1;
+};
+
+class RcsSketch {
+ public:
+  explicit RcsSketch(const RcsConfig& config);
+
+  /// Account one packet: increment one random counter of the flow's k-set
+  /// (one hash + one off-chip read-modify-write).
+  void add(FlowId flow);
+
+  /// Account `weight` units at once (byte/volume counting): the whole
+  /// weight lands on one randomly chosen counter of the k-set, keeping
+  /// the one-access-per-packet property.
+  void add_weighted(FlowId flow, Count weight);
+
+  /// CSM estimate: sum of the k counters minus the expected noise k*n/L.
+  /// (RCS paper's CSM; note the noise term is k times CAESAR's because
+  /// whole packets, not 1/k shares, land in each counter.)
+  [[nodiscard]] double estimate_csm(FlowId flow) const;
+
+  /// MLM estimate via numeric maximization of the Gaussian-approximated
+  /// log-likelihood (the RCS paper's MLM needs an iterative search — the
+  /// reason the paper's Fig. 6 omits RCS-MLM as "extremely slow").
+  [[nodiscard]] double estimate_mlm(FlowId flow) const;
+
+  [[nodiscard]] std::vector<Count> counter_values(FlowId flow) const;
+  [[nodiscard]] const counters::CounterArray& sram() const noexcept {
+    return sram_;
+  }
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] const RcsConfig& config() const noexcept { return config_; }
+  [[nodiscard]] double memory_kb() const noexcept { return sram_.memory_kb(); }
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+ private:
+  RcsConfig config_;
+  counters::CounterArray sram_;
+  hash::KIndexSelector selector_;
+  Xoshiro256pp rng_;
+  Count packets_ = 0;
+  std::uint64_t hash_ops_ = 0;
+};
+
+}  // namespace caesar::baselines

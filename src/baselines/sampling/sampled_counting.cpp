@@ -1,0 +1,40 @@
+#include "baselines/sampling/sampled_counting.hpp"
+
+#include <stdexcept>
+
+namespace caesar::baselines {
+
+SampledCounting::SampledCounting(double sampling_rate, std::uint64_t seed)
+    : rate_(sampling_rate), rng_(seed ^ 0x5A371EULL) {
+  if (sampling_rate <= 0.0 || sampling_rate > 1.0)
+    throw std::invalid_argument(
+        "SampledCounting: sampling_rate must be in (0,1]");
+}
+
+void SampledCounting::add(FlowId flow) {
+  ++packets_;
+  if (rate_ < 1.0 && !rng_.bernoulli(rate_)) return;
+  ++sampled_;
+  ++counts_[flow];
+}
+
+double SampledCounting::estimate(FlowId flow) const {
+  const auto it = counts_.find(flow);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / rate_;
+}
+
+double SampledCounting::memory_kb() const noexcept {
+  return static_cast<double>(counts_.size()) * (64.0 + 32.0) /
+         (1024.0 * 8.0);
+}
+
+memsim::OpCounts SampledCounting::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  // Only sampled packets touch the (off-chip) flow table.
+  ops.sram_accesses = sampled_;
+  ops.hashes = packets_;  // every packet is hashed for the sampling test
+  return ops;
+}
+
+}  // namespace caesar::baselines

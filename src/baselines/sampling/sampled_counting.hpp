@@ -1,0 +1,47 @@
+// Packet-sampling baseline (NetFlow-style) — the §2.2 family: sample
+// packets with probability p, count the sampled packets exactly per flow,
+// and scale estimates by 1/p. Cheap and line-rate friendly, but mice
+// flows are filtered out entirely and the per-flow variance is
+// (1-p)/p * x — the "inevitable estimation error due to filtered flows"
+// the paper criticizes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+class SampledCounting {
+ public:
+  /// `sampling_rate` = p in (0, 1].
+  SampledCounting(double sampling_rate, std::uint64_t seed);
+
+  void add(FlowId flow);
+
+  /// Scaled estimate x_hat = sampled_count / p (0 for unsampled flows).
+  [[nodiscard]] double estimate(FlowId flow) const;
+
+  [[nodiscard]] double sampling_rate() const noexcept { return rate_; }
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] Count sampled() const noexcept { return sampled_; }
+  /// Number of flows that survived the sampling filter.
+  [[nodiscard]] std::uint64_t tracked_flows() const noexcept {
+    return counts_.size();
+  }
+  /// Memory consumed by the flow table: 64-bit ID + 32-bit count each.
+  [[nodiscard]] double memory_kb() const noexcept;
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+ private:
+  double rate_;
+  Xoshiro256pp rng_;
+  std::unordered_map<FlowId, Count> counts_;
+  Count packets_ = 0;
+  Count sampled_ = 0;
+};
+
+}  // namespace caesar::baselines

@@ -1,0 +1,103 @@
+#include "baselines/sampling/space_saving.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace caesar::baselines {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("SpaceSaving: capacity must be positive");
+  heap_.reserve(capacity);
+}
+
+bool SpaceSaving::less(std::size_t a, std::size_t b) const noexcept {
+  return heap_[a].count < heap_[b].count;
+}
+
+void SpaceSaving::sift_down(std::size_t i) {
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t smallest = i;
+    if (l < heap_.size() && less(l, smallest)) smallest = l;
+    if (r < heap_.size() && less(r, smallest)) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    position_[heap_[i].flow] = i;
+    position_[heap_[smallest].flow] = smallest;
+    i = smallest;
+  }
+}
+
+void SpaceSaving::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(i, parent)) return;
+    std::swap(heap_[i], heap_[parent]);
+    position_[heap_[i].flow] = i;
+    position_[heap_[parent].flow] = parent;
+    i = parent;
+  }
+}
+
+void SpaceSaving::add(FlowId flow) {
+  ++packets_;
+  const auto it = position_.find(flow);
+  if (it != position_.end()) {
+    heap_[it->second].count += 1;
+    sift_down(it->second);
+    return;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back(Entry{flow, 1, 0});
+    position_[flow] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+    return;
+  }
+  // Replace the minimum: the newcomer inherits its count as error bound.
+  Entry& min = heap_[0];
+  position_.erase(min.flow);
+  min.error = min.count;
+  min.count += 1;
+  min.flow = flow;
+  position_[flow] = 0;
+  sift_down(0);
+}
+
+double SpaceSaving::estimate(FlowId flow) const {
+  const auto it = position_.find(flow);
+  return it == position_.end()
+             ? 0.0
+             : static_cast<double>(heap_[it->second].count);
+}
+
+Count SpaceSaving::error_bound(FlowId flow) const {
+  const auto it = position_.find(flow);
+  return it == position_.end() ? 0 : heap_[it->second].error;
+}
+
+bool SpaceSaving::tracked(FlowId flow) const {
+  return position_.count(flow) > 0;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top() const {
+  std::vector<Entry> entries = heap_;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  return entries;
+}
+
+double SpaceSaving::memory_kb() const noexcept {
+  return static_cast<double>(capacity_) * (64.0 + 32.0 + 32.0) /
+         (1024.0 * 8.0);
+}
+
+memsim::OpCounts SpaceSaving::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  ops.sram_accesses = packets_;  // table update per packet
+  ops.hashes = packets_;
+  return ops;
+}
+
+}  // namespace caesar::baselines

@@ -1,0 +1,58 @@
+// SpaceSaving (Metwally, Agrawal, El Abbadi 2005) — the canonical
+// frequent-elements algorithm from the stream-algorithms family the paper
+// surveys in §2.2 (Demaine et al. 2002, Karp et al. 2003): m monitored
+// (flow, count, error) triples; a packet of an unmonitored flow replaces
+// the minimum-count entry, inheriting its count as the error bound.
+// Perfect for elephants, blind to mice — the §2.2 trade-off quantified.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t capacity);
+
+  void add(FlowId flow);
+
+  /// Monitored estimate (count), or 0 if the flow is not tracked.
+  /// Guarantee: for tracked flows, true_count <= count and
+  /// count - error <= true_count.
+  [[nodiscard]] double estimate(FlowId flow) const;
+  /// Overestimation bound for a tracked flow (0 if untracked).
+  [[nodiscard]] Count error_bound(FlowId flow) const;
+  [[nodiscard]] bool tracked(FlowId flow) const;
+
+  struct Entry {
+    FlowId flow = 0;
+    Count count = 0;
+    Count error = 0;
+  };
+  /// All monitored entries in descending count order.
+  [[nodiscard]] std::vector<Entry> top() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  /// flow ID + count + error per monitored entry.
+  [[nodiscard]] double memory_kb() const noexcept;
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+ private:
+  // Min-heap over counts with a position index for O(log m) updates.
+  void sift_down(std::size_t i);
+  void sift_up(std::size_t i);
+  [[nodiscard]] bool less(std::size_t a, std::size_t b) const noexcept;
+
+  std::size_t capacity_;
+  std::vector<Entry> heap_;
+  std::unordered_map<FlowId, std::size_t> position_;
+  Count packets_ = 0;
+};
+
+}  // namespace caesar::baselines

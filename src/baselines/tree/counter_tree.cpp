@@ -1,0 +1,73 @@
+#include "baselines/tree/counter_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace caesar::baselines {
+
+CounterTree::CounterTree(const CounterTreeConfig& config)
+    : config_(config),
+      leaves_(config.leaves, 0),
+      parents_((config.leaves + config.degree - 1) / config.degree, 0),
+      map_hash_(1, config.seed ^ 0x7EE) {
+  if (config.leaf_bits < 1 || config.leaf_bits > 30)
+    throw std::invalid_argument("CounterTree: leaf_bits out of range");
+  if (config.degree < 2)
+    throw std::invalid_argument("CounterTree: degree must be >= 2");
+  if (config.leaves < config.degree)
+    throw std::invalid_argument("CounterTree: need at least one subtree");
+}
+
+std::uint64_t CounterTree::leaf_of(FlowId flow) const noexcept {
+  return map_hash_.bounded(0, flow, config_.leaves);
+}
+
+void CounterTree::add(FlowId flow) {
+  ++packets_;
+  const std::uint64_t leaf = leaf_of(flow);
+  ++leaf_accesses_;
+  std::uint32_t& c = leaves_[leaf];
+  if (++c == (1u << config_.leaf_bits)) {
+    c = 0;
+    ++carries_;
+    ++parent_accesses_;
+    const std::uint64_t parent = leaf / config_.degree;
+    const std::uint64_t cap = (std::uint64_t{1} << config_.parent_bits) - 1;
+    if (parents_[parent] < cap) ++parents_[parent];
+  }
+}
+
+Count CounterTree::raw_value(FlowId flow) const {
+  const std::uint64_t leaf = leaf_of(flow);
+  return leaves_[leaf] +
+         (parents_[leaf / config_.degree] << config_.leaf_bits);
+}
+
+double CounterTree::estimate(FlowId flow) const {
+  // Expected carry mass contributed to this parent by the OTHER
+  // degree-1 leaves of the subtree: traffic hashes uniformly over
+  // leaves, so each sibling carries ~ n/(leaves * 2^b1) into the parent.
+  const double wrap = static_cast<double>(1u << config_.leaf_bits);
+  const double sibling_carries =
+      static_cast<double>(config_.degree - 1) *
+      static_cast<double>(packets_) /
+      (static_cast<double>(config_.leaves) * wrap);
+  const double raw = static_cast<double>(raw_value(flow));
+  return raw - sibling_carries * wrap;
+}
+
+double CounterTree::memory_kb() const noexcept {
+  return (static_cast<double>(leaves_.size()) * config_.leaf_bits +
+          static_cast<double>(parents_.size()) * config_.parent_bits) /
+         (1024.0 * 8.0);
+}
+
+memsim::OpCounts CounterTree::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  // Cache-free: leaf (and occasional parent) RMWs are off-chip.
+  ops.sram_accesses = leaf_accesses_ + parent_accesses_;
+  ops.hashes = 2 * packets_;
+  return ops;
+}
+
+}  // namespace caesar::baselines

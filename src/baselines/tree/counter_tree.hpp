@@ -1,0 +1,71 @@
+// Counter Tree (Chen, Chen, Cai — IEEE/ACM ToN 2017) — the scalable
+// counter architecture cited in the paper's introduction ([2]). Two-layer
+// variant:
+//
+//   * Every flow hashes to one LEAF counter of b1 bits.
+//   * `degree` sibling leaves share one PARENT counter of b2 bits; when a
+//     leaf overflows it wraps and carries into the shared parent, so a
+//     flow's *virtual counter* is the pair [leaf, parent] representing
+//     leaf + 2^b1 * parent — tall counters built from short physical ones,
+//     with the high-order bits pooled across the subtree.
+//
+// The pooling is also the noise: siblings' carries land in the same
+// parent. The estimator subtracts the expected sibling carry mass,
+//     x_hat = leaf + 2^b1 * (parent - E[sibling carries]),
+// with E[sibling carries] ~ (degree-1)/degree * subtree_traffic / 2^b1
+// computed from the global packet count (flows hash uniformly, so each
+// subtree carries ~degree/num_leaves of the traffic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hash/hash_family.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+struct CounterTreeConfig {
+  std::uint64_t leaves = 65'536;   ///< leaf counters
+  unsigned leaf_bits = 6;          ///< b1 (wrap at 2^b1)
+  std::uint32_t degree = 8;        ///< leaves per parent
+  unsigned parent_bits = 24;       ///< b2 (saturating)
+  std::uint64_t seed = 1;
+};
+
+class CounterTree {
+ public:
+  explicit CounterTree(const CounterTreeConfig& config);
+
+  /// Account one packet: one leaf RMW, plus a parent RMW on carry.
+  void add(FlowId flow);
+
+  /// De-noised estimate of the flow's packet count.
+  [[nodiscard]] double estimate(FlowId flow) const;
+
+  /// Raw virtual-counter readout (leaf + 2^b1 * parent), no de-noising.
+  [[nodiscard]] Count raw_value(FlowId flow) const;
+
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] std::uint64_t carries() const noexcept { return carries_; }
+  [[nodiscard]] double memory_kb() const noexcept;
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+  [[nodiscard]] const CounterTreeConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t leaf_of(FlowId flow) const noexcept;
+
+  CounterTreeConfig config_;
+  std::vector<std::uint32_t> leaves_;
+  std::vector<std::uint64_t> parents_;
+  hash::HashFamily map_hash_;
+  Count packets_ = 0;
+  std::uint64_t carries_ = 0;
+  std::uint64_t leaf_accesses_ = 0;
+  std::uint64_t parent_accesses_ = 0;
+};
+
+}  // namespace caesar::baselines

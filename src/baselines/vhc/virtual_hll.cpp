@@ -1,0 +1,93 @@
+#include "baselines/vhc/virtual_hll.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace caesar::baselines {
+
+double hll_alpha(std::size_t m) noexcept {
+  if (m <= 16) return 0.673;
+  if (m <= 32) return 0.697;
+  if (m <= 64) return 0.709;
+  return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+}
+
+VirtualHyperLogLog::VirtualHyperLogLog(const VhcConfig& config)
+    : config_(config),
+      registers_(config.physical_registers, 0),
+      map_hash_(config.virtual_registers, config.seed ^ 0x5711),
+      rng_(config.seed ^ 0xF00DF00DULL) {
+  if (config.virtual_registers < 16)
+    throw std::invalid_argument(
+        "VirtualHyperLogLog: need at least 16 virtual registers");
+  if (config.physical_registers < 2 * config.virtual_registers)
+    throw std::invalid_argument(
+        "VirtualHyperLogLog: physical array too small for s");
+}
+
+std::uint64_t VirtualHyperLogLog::register_index(
+    FlowId flow, std::size_t j) const noexcept {
+  return map_hash_.bounded(j, flow, config_.physical_registers);
+}
+
+void VirtualHyperLogLog::add(FlowId flow) {
+  ++packets_;
+  const std::size_t j =
+      static_cast<std::size_t>(rng_.below(config_.virtual_registers));
+  // Classic HLL rank: position of the first 1-bit of a fresh random
+  // word, capped at the 5-bit register maximum.
+  const std::uint64_t word = rng_();
+  const int rank = std::min(std::countl_zero(word) + 1, 31);
+  std::uint8_t& reg = registers_[register_index(flow, j)];
+  if (static_cast<int>(reg) < rank) reg = static_cast<std::uint8_t>(rank);
+}
+
+double VirtualHyperLogLog::raw_estimate(const std::uint8_t* regs,
+                                        const std::uint64_t* subset,
+                                        std::size_t count, bool contiguous) {
+  double inv_sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t r = contiguous ? regs[i] : regs[subset[i]];
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const auto m = static_cast<double>(count);
+  double estimate = hll_alpha(count) * m * m / inv_sum;
+  if (estimate <= 2.5 * m && zeros > 0) {
+    // Small-range (linear counting) correction.
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+double VirtualHyperLogLog::estimate(FlowId flow) const {
+  const std::size_t s = config_.virtual_registers;
+  std::vector<std::uint64_t> idx(s);
+  for (std::size_t j = 0; j < s; ++j) idx[j] = register_index(flow, j);
+  const double e_s =
+      raw_estimate(registers_.data(), idx.data(), s, /*contiguous=*/false);
+  const double e_total = estimate_total();
+  const double share = static_cast<double>(s) /
+                       static_cast<double>(config_.physical_registers);
+  return (e_s - share * e_total) / (1.0 - share);
+}
+
+double VirtualHyperLogLog::estimate_total() const {
+  return raw_estimate(registers_.data(), nullptr, registers_.size(),
+                      /*contiguous=*/true);
+}
+
+double VirtualHyperLogLog::memory_kb() const noexcept {
+  return static_cast<double>(registers_.size()) * 5.0 / (1024.0 * 8.0);
+}
+
+memsim::OpCounts VirtualHyperLogLog::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  ops.sram_accesses = packets_;  // "slightly more than 1 access/packet"
+  ops.hashes = 2 * packets_;     // flow ID + register selection
+  return ops;
+}
+
+}  // namespace caesar::baselines

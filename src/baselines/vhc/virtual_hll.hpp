@@ -1,0 +1,73 @@
+// VHC — Virtual HyperLogLog Counter (Zhou, Zhou, Chen, Xiao —
+// GLOBECOM 2017) — the register-sharing scheme from the paper's §2.1
+// survey ("needs slightly more than 1 memory access per packet").
+//
+// A physical array of M 5-bit HLL registers is shared by all flows; flow
+// f owns a *virtual* counter of s registers selected by hashes of f. A
+// packet updates one uniformly chosen virtual register with the classic
+// HLL rank (leading-zero count of a fresh random word), so the virtual
+// counter estimates the flow's packet count while the whole array
+// estimates the total. De-noising subtracts the flow's s/M share of the
+// aggregate:  n_f ~ (E_s - (s/M) E_M) / (1 - s/M).
+//
+// Operating regime: the aggregate estimate assumes register loads
+// concentrate, i.e. many flows own every register (Q*s/M >> 1). With few
+// flows the loads clump (compound-Poisson) and the harmonic mean biases
+// the total low — visible in the tests' regime notes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "hash/hash_family.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+struct VhcConfig {
+  std::uint64_t physical_registers = 1u << 16;  ///< M (5-bit registers)
+  std::size_t virtual_registers = 128;          ///< s per flow
+  std::uint64_t seed = 1;
+};
+
+class VirtualHyperLogLog {
+ public:
+  explicit VirtualHyperLogLog(const VhcConfig& config);
+
+  /// Account one packet of `flow`: one register read-modify-write.
+  void add(FlowId flow);
+
+  /// De-noised estimate of the flow's packet count.
+  [[nodiscard]] double estimate(FlowId flow) const;
+
+  /// HLL estimate of the total packet count across all flows.
+  [[nodiscard]] double estimate_total() const;
+
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] double memory_kb() const noexcept;
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+  [[nodiscard]] const VhcConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::uint64_t register_index(FlowId flow,
+                                             std::size_t j) const noexcept;
+  /// Raw HLL estimate over a register subset with the standard
+  /// small-range (linear counting) correction.
+  [[nodiscard]] static double raw_estimate(const std::uint8_t* regs,
+                                           const std::uint64_t* subset,
+                                           std::size_t count,
+                                           bool contiguous);
+
+  VhcConfig config_;
+  std::vector<std::uint8_t> registers_;
+  hash::HashFamily map_hash_;
+  Xoshiro256pp rng_;
+  Count packets_ = 0;
+};
+
+/// HLL bias-correction constant alpha_m.
+[[nodiscard]] double hll_alpha(std::size_t m) noexcept;
+
+}  // namespace caesar::baselines

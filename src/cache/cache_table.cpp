@@ -1,0 +1,145 @@
+#include "cache/cache_table.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace caesar::cache {
+
+CacheTable::CacheTable(const Config& config)
+    : entries_(config.num_entries),
+      index_(config.num_entries),
+      capacity_(config.entry_capacity),
+      policy_(config.policy),
+      rng_(config.seed) {
+  if (config.num_entries == 0)
+    throw std::invalid_argument("CacheTable: num_entries must be positive");
+  if (config.entry_capacity == 0)
+    throw std::invalid_argument("CacheTable: entry_capacity must be positive");
+  free_slots_.reserve(config.num_entries);
+  for (std::uint32_t i = config.num_entries; i-- > 0;)
+    free_slots_.push_back(i);
+}
+
+double CacheTable::memory_kb() const noexcept {
+  const double bits =
+      std::ceil(std::log2(static_cast<double>(capacity_) + 1.0));
+  return static_cast<double>(entries_.size()) * bits / (1024.0 * 8.0);
+}
+
+void CacheTable::lru_unlink(std::uint32_t slot) noexcept {
+  Entry& e = entries_[slot];
+  if (e.lru_prev != kNil)
+    entries_[e.lru_prev].lru_next = e.lru_next;
+  else
+    lru_head_ = e.lru_next;
+  if (e.lru_next != kNil)
+    entries_[e.lru_next].lru_prev = e.lru_prev;
+  else
+    lru_tail_ = e.lru_prev;
+  e.lru_prev = e.lru_next = kNil;
+}
+
+void CacheTable::lru_push_front(std::uint32_t slot) noexcept {
+  Entry& e = entries_[slot];
+  e.lru_prev = kNil;
+  e.lru_next = lru_head_;
+  if (lru_head_ != kNil) entries_[lru_head_].lru_prev = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kNil) lru_tail_ = slot;
+}
+
+std::uint32_t CacheTable::choose_victim() noexcept {
+  if (policy_ == ReplacementPolicy::kLru) return lru_tail_;
+  // Random replacement: all entries are occupied when a victim is needed
+  // (replacement only happens on a miss with no free slot).
+  return static_cast<std::uint32_t>(rng_.below(entries_.size()));
+}
+
+CacheTable::ProcessResult CacheTable::process(FlowId flow) {
+  return process_weighted(flow, 1);
+}
+
+CacheTable::ProcessResult CacheTable::process_weighted(FlowId flow,
+                                                       Count weight) {
+  assert(weight >= 1 && weight <= capacity_);
+  ProcessResult result;
+  ++stats_.packets;
+  stats_.accesses += 2;  // one lookup, one update
+
+  std::uint32_t slot;
+  if (const auto found = index_.find(flow)) {
+    ++stats_.hits;
+    slot = *found;
+    lru_unlink(slot);
+    lru_push_front(slot);
+  } else {
+    ++stats_.misses;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      // Replacement eviction: dump the victim's partial count ("not
+      // fulfilled", paper §3.1) and hand its slot to the new flow.
+      slot = choose_victim();
+      Entry& victim = entries_[slot];
+      if (victim.value > 0) {
+        result.evictions[result.count++] =
+            Eviction{victim.flow, victim.value, EvictionCause::kReplacement};
+        ++stats_.replacement_evictions;
+      }
+      index_.erase(victim.flow);
+      lru_unlink(slot);
+      --occupied_;
+    }
+    Entry& e = entries_[slot];
+    e.flow = flow;
+    e.value = 0;
+    e.occupied = true;
+    index_.insert(flow, slot);
+    lru_push_front(slot);
+    ++occupied_;
+  }
+
+  Entry& e = entries_[slot];
+  e.value += weight;
+  if (e.value >= capacity_) {
+    // Overflow eviction: the entry is fulfilled; evict the whole value and
+    // keep counting this flow from zero.
+    result.evictions[result.count++] =
+        Eviction{e.flow, e.value, EvictionCause::kOverflow};
+    ++stats_.overflow_evictions;
+    e.value = 0;
+  }
+  return result;
+}
+
+std::vector<Eviction> CacheTable::flush() {
+  std::vector<Eviction> out;
+  out.reserve(occupied_);
+  for (std::uint32_t slot = 0; slot < entries_.size(); ++slot) {
+    Entry& e = entries_[slot];
+    if (!e.occupied) continue;
+    if (e.value > 0) {
+      out.push_back(Eviction{e.flow, e.value, EvictionCause::kFlush});
+      ++stats_.flush_evictions;
+    }
+    index_.erase(e.flow);
+    e = Entry{};
+  }
+  stats_.accesses += out.size();
+  occupied_ = 0;
+  lru_head_ = lru_tail_ = kNil;
+  free_slots_.clear();
+  for (std::uint32_t i = static_cast<std::uint32_t>(entries_.size());
+       i-- > 0;)
+    free_slots_.push_back(i);
+  return out;
+}
+
+Count CacheTable::peek(FlowId flow) const noexcept {
+  if (const auto found = index_.find(flow)) return entries_[*found].value;
+  return 0;
+}
+
+}  // namespace caesar::cache

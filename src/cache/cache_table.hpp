@@ -1,0 +1,117 @@
+// On-chip cache table — the fast front end of CAESAR (paper §3.1).
+//
+// M entries of (flow ID, partial count), per-entry capacity y. Three
+// eviction paths, exactly as the paper describes:
+//   * overflow   — the entry's count reaches y ("fulfilled"); its value is
+//                  evicted and the entry keeps counting from zero,
+//   * replacement — a new flow misses while all M entries are occupied;
+//                  a victim chosen by LRU or random replacement is evicted
+//                  ("not fulfilled"),
+//   * flush      — at the end of the measurement every remaining entry is
+//                  dumped to SRAM.
+// The table never drops a packet: every arrival lands either in the cache
+// or (transitively, via evictions) in the off-chip counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cache/flow_index.hpp"
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace caesar::cache {
+
+enum class ReplacementPolicy {
+  kLru,     ///< evict the least recently used entry
+  kRandom,  ///< evict a uniformly random entry
+};
+
+enum class EvictionCause { kOverflow, kReplacement, kFlush };
+
+struct Eviction {
+  FlowId flow = 0;
+  Count value = 0;
+  EvictionCause cause = EvictionCause::kFlush;
+};
+
+struct CacheStats {
+  std::uint64_t packets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t overflow_evictions = 0;
+  std::uint64_t replacement_evictions = 0;
+  std::uint64_t flush_evictions = 0;
+  /// Modeled on-chip accesses (1 lookup + 1 update per packet).
+  std::uint64_t accesses = 0;
+};
+
+class CacheTable {
+ public:
+  struct Config {
+    std::uint32_t num_entries = 1024;  ///< M
+    Count entry_capacity = 64;         ///< y
+    ReplacementPolicy policy = ReplacementPolicy::kLru;
+    std::uint64_t seed = 1;            ///< randomness for kRandom policy
+  };
+
+  explicit CacheTable(const Config& config);
+
+  /// Account one packet of `flow`. Returns the evictions this packet
+  /// triggered (0, 1, or — only when y == 1 — 2).
+  struct ProcessResult {
+    std::array<Eviction, 2> evictions{};
+    unsigned count = 0;
+  };
+  ProcessResult process(FlowId flow);
+
+  /// Account `weight` packets of `flow` at once (weight <= y). Used by
+  /// byte counting and the weighted examples; may emit multiple overflow
+  /// evictions' worth of value folded into the returned records.
+  ProcessResult process_weighted(FlowId flow, Count weight);
+
+  /// Dump every occupied entry (paper: executed before the query phase).
+  /// The table is empty afterwards.
+  [[nodiscard]] std::vector<Eviction> flush();
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint32_t occupied() const noexcept { return occupied_; }
+  [[nodiscard]] std::uint32_t num_entries() const noexcept {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  [[nodiscard]] Count entry_capacity() const noexcept { return capacity_; }
+  /// Memory footprint in KB per the paper's formula M*log2(y)/(1024*8).
+  [[nodiscard]] double memory_kb() const noexcept;
+
+  /// Current cached value of a flow (0 when absent) — test/analysis hook,
+  /// not a modeled access.
+  [[nodiscard]] Count peek(FlowId flow) const noexcept;
+
+ private:
+  struct Entry {
+    FlowId flow = 0;
+    Count value = 0;
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+    bool occupied = false;
+  };
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  void lru_unlink(std::uint32_t slot) noexcept;
+  void lru_push_front(std::uint32_t slot) noexcept;
+  [[nodiscard]] std::uint32_t choose_victim() noexcept;
+
+  std::vector<Entry> entries_;
+  FlowIndex index_;
+  std::vector<std::uint32_t> free_slots_;
+  Count capacity_;
+  ReplacementPolicy policy_;
+  Xoshiro256pp rng_;
+  CacheStats stats_;
+  std::uint32_t occupied_ = 0;
+  std::uint32_t lru_head_ = kNil;  // most recently used
+  std::uint32_t lru_tail_ = kNil;  // least recently used
+};
+
+}  // namespace caesar::cache

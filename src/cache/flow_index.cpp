@@ -1,0 +1,74 @@
+#include "cache/flow_index.hpp"
+
+#include <cassert>
+
+#include "hash/murmur3.hpp"
+
+namespace caesar::cache {
+
+namespace {
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+FlowIndex::FlowIndex(std::uint32_t max_entries) {
+  const std::size_t cap = next_pow2(
+      static_cast<std::size_t>(max_entries) * 2 + 2);
+  buckets_.resize(cap);
+  mask_ = cap - 1;
+}
+
+std::size_t FlowIndex::home(FlowId flow) const noexcept {
+  return static_cast<std::size_t>(hash::fmix64(flow)) & mask_;
+}
+
+std::optional<std::uint32_t> FlowIndex::find(FlowId flow) const noexcept {
+  std::size_t i = home(flow);
+  while (buckets_[i].slot != kEmpty) {
+    if (buckets_[i].flow == flow) return buckets_[i].slot;
+    i = (i + 1) & mask_;
+  }
+  return std::nullopt;
+}
+
+void FlowIndex::insert(FlowId flow, std::uint32_t slot) {
+  assert(size_ * 2 <= buckets_.size());
+  std::size_t i = home(flow);
+  while (buckets_[i].slot != kEmpty) {
+    assert(buckets_[i].flow != flow && "duplicate insert");
+    i = (i + 1) & mask_;
+  }
+  buckets_[i] = {flow, slot};
+  ++size_;
+}
+
+void FlowIndex::erase(FlowId flow) {
+  std::size_t i = home(flow);
+  while (buckets_[i].slot == kEmpty || buckets_[i].flow != flow) {
+    assert(buckets_[i].slot != kEmpty && "erase of absent flow");
+    i = (i + 1) & mask_;
+  }
+  // Backward-shift deletion: close the probe chain so later finds still
+  // terminate at the first empty bucket.
+  std::size_t hole = i;
+  std::size_t j = (i + 1) & mask_;
+  while (buckets_[j].slot != kEmpty) {
+    const std::size_t h = home(buckets_[j].flow);
+    // Move bucket j into the hole if its home position does not lie
+    // (cyclically) strictly after the hole.
+    const bool reachable =
+        ((j - h) & mask_) >= ((j - hole) & mask_);
+    if (reachable) {
+      buckets_[hole] = buckets_[j];
+      hole = j;
+    }
+    j = (j + 1) & mask_;
+  }
+  buckets_[hole] = Bucket{};
+  --size_;
+}
+
+}  // namespace caesar::cache

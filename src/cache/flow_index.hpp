@@ -1,0 +1,48 @@
+// Open-addressing hash index FlowId -> cache slot.
+//
+// The on-chip cache needs an exact-match lookup structure beside the entry
+// array (in hardware this is a CAM / hash probe; here a linear-probing
+// table with backward-shift deletion — no tombstones, so probe sequences
+// stay short for the lifetime of the measurement).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace caesar::cache {
+
+class FlowIndex {
+ public:
+  /// Index able to hold up to `max_entries` flows; the backing table is
+  /// sized to the next power of two >= 2*max_entries (load factor <= 0.5).
+  explicit FlowIndex(std::uint32_t max_entries);
+
+  /// Slot currently mapped to `flow`, if any.
+  [[nodiscard]] std::optional<std::uint32_t> find(FlowId flow) const noexcept;
+
+  /// Insert a mapping; `flow` must not already be present.
+  void insert(FlowId flow, std::uint32_t slot);
+
+  /// Remove a mapping; `flow` must be present.
+  void erase(FlowId flow);
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+
+ private:
+  struct Bucket {
+    FlowId flow = 0;
+    std::uint32_t slot = kEmpty;
+  };
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::size_t home(FlowId flow) const noexcept;
+
+  std::vector<Bucket> buckets_;
+  std::size_t mask_ = 0;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace caesar::cache

@@ -1,0 +1,55 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace caesar {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            std::string fallback) const {
+  const auto v = get(name);
+  return v ? *v : std::move(fallback);
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name,
+                               std::uint64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::strtoull(v->c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+}  // namespace caesar

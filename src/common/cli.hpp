@@ -1,0 +1,36 @@
+// Tiny command-line option parser for the examples and figure benches.
+// Supports `--name value`, `--name=value` and boolean `--flag`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace caesar {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   std::string fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Arguments that were not `--options` (e.g. input file names).
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace caesar

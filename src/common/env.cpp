@@ -1,0 +1,27 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace caesar {
+
+bool full_scale_requested() {
+  const char* v = std::getenv("CAESAR_FULL_SCALE");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "") != 0 &&
+         std::strcmp(v, "false") != 0;
+}
+
+std::uint64_t experiment_seed(std::uint64_t fallback) {
+  const char* v = std::getenv("CAESAR_SEED");
+  if (v == nullptr) return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+std::optional<std::string> csv_export_dir() {
+  const char* v = std::getenv("CAESAR_CSV_DIR");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+}  // namespace caesar

@@ -1,0 +1,25 @@
+// Environment-variable knobs shared by the benches.
+//
+// CAESAR_FULL_SCALE=1  — run figure benches at the paper's full trace scale
+//                        (n ~ 27.7M packets) instead of the 10% default.
+// CAESAR_SEED=<u64>    — override the global experiment seed.
+// CAESAR_CSV_DIR=path  — additionally write each bench's figure series as
+//                        CSV files into this directory (for plotting).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace caesar {
+
+/// True when CAESAR_FULL_SCALE is set to a non-zero/true value.
+[[nodiscard]] bool full_scale_requested();
+
+/// Experiment seed: CAESAR_SEED if set, otherwise `fallback`.
+[[nodiscard]] std::uint64_t experiment_seed(std::uint64_t fallback = 20180813);
+
+/// Directory for CSV exports (CAESAR_CSV_DIR), if set.
+[[nodiscard]] std::optional<std::string> csv_export_dir();
+
+}  // namespace caesar

@@ -1,0 +1,70 @@
+#include "common/histogram.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace caesar {
+
+LogHistogram::LogHistogram(double base) : base_(base) {
+  assert(base > 1.0);
+}
+
+std::size_t LogHistogram::bin_index(std::uint64_t key) const {
+  if (key <= 1) return 0;
+  return static_cast<std::size_t>(std::log(static_cast<double>(key)) /
+                                  std::log(base_));
+}
+
+void LogHistogram::add(std::uint64_t key, double value) {
+  const std::size_t idx = bin_index(key);
+  if (idx >= counts_.size()) {
+    counts_.resize(idx + 1, 0);
+    sums_.resize(idx + 1, 0.0);
+  }
+  ++counts_[idx];
+  sums_[idx] += value;
+  ++total_;
+}
+
+std::vector<LogHistogram::Bin> LogHistogram::bins() const {
+  std::vector<Bin> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    Bin b;
+    b.lo = static_cast<std::uint64_t>(std::pow(base_, static_cast<double>(i)));
+    b.hi = static_cast<std::uint64_t>(
+        std::pow(base_, static_cast<double>(i + 1)));
+    b.count = counts_[i];
+    b.mean = sums_[i] / static_cast<double>(counts_[i]);
+    out.push_back(b);
+  }
+  return out;
+}
+
+FrequencyHistogram::FrequencyHistogram(std::uint64_t max_value)
+    : counts_(max_value + 1, 0) {}
+
+void FrequencyHistogram::add(std::uint64_t value, std::uint64_t weight) {
+  if (value >= counts_.size()) value = counts_.size() - 1;
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+double FrequencyHistogram::cdf(std::uint64_t x) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  const std::uint64_t limit =
+      x >= counts_.size() ? counts_.size() - 1 : x;
+  for (std::uint64_t v = 0; v <= limit; ++v) below += counts_[v];
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double FrequencyHistogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t v = 0; v < counts_.size(); ++v)
+    weighted += static_cast<double>(v) * static_cast<double>(counts_[v]);
+  return weighted / static_cast<double>(total_);
+}
+
+}  // namespace caesar

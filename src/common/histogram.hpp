@@ -1,0 +1,62 @@
+// Histograms used to bin flows by actual size when reporting the paper's
+// "average relative error vs actual flow size" panels (Figs. 4(c,d), 5(c,d),
+// 6(d), 7(c,d)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace caesar {
+
+/// Logarithmically binned histogram over positive integer keys.
+/// Bin i covers [base^i, base^(i+1)). base > 1.
+class LogHistogram {
+ public:
+  explicit LogHistogram(double base = 2.0);
+
+  void add(std::uint64_t key, double value);
+
+  struct Bin {
+    std::uint64_t lo = 0;       ///< inclusive lower edge
+    std::uint64_t hi = 0;       ///< exclusive upper edge
+    std::size_t count = 0;      ///< number of samples in the bin
+    double mean = 0.0;          ///< mean of accumulated values
+  };
+
+  /// Non-empty bins in ascending key order.
+  [[nodiscard]] std::vector<Bin> bins() const;
+
+  [[nodiscard]] std::size_t total_count() const noexcept { return total_; }
+
+ private:
+  [[nodiscard]] std::size_t bin_index(std::uint64_t key) const;
+
+  double base_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> sums_;
+  std::size_t total_ = 0;
+};
+
+/// Dense frequency histogram of integer observations: counts[v] = number of
+/// observations equal to v (values above `max_value` clamp to the last slot).
+class FrequencyHistogram {
+ public:
+  explicit FrequencyHistogram(std::uint64_t max_value);
+
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Fraction of observations with value <= x.
+  [[nodiscard]] double cdf(std::uint64_t x) const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace caesar

@@ -1,0 +1,28 @@
+// Small numeric helpers: Gaussian quantiles for confidence intervals and
+// generic root finding used by the MLM estimators.
+#pragma once
+
+#include <functional>
+
+namespace caesar {
+
+/// Inverse of the standard normal CDF (probit function).
+/// Peter Acklam's rational approximation, |relative error| < 1.15e-9 —
+/// far below the statistical noise of any experiment here.
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+/// Standard normal CDF via std::erfc.
+[[nodiscard]] double normal_cdf(double x);
+
+/// Two-sided z value for a confidence level `alpha` in (0,1), e.g.
+/// z_value(0.95) ~= 1.96. This is the Z_alpha of paper Eqs. (26)/(32).
+[[nodiscard]] double z_value(double alpha);
+
+/// Golden-section search for the maximum of a unimodal function on [lo,hi].
+/// Used by the RCS maximum-likelihood estimator, whose log-likelihood in x
+/// is unimodal. Returns the abscissa of the maximum.
+[[nodiscard]] double golden_section_max(const std::function<double(double)>& f,
+                                        double lo, double hi,
+                                        double tol = 1e-3);
+
+}  // namespace caesar

@@ -1,0 +1,75 @@
+// Minimal binary (de)serialization helpers: little-endian fixed-width
+// integers and doubles over iostreams. Used by the sketch save/load
+// support so an online collector can ship its SRAM state to an offline
+// query host (the paper's construction/query phase split, made literal).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace caesar {
+
+inline void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out.write(b, 8);
+}
+
+inline void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out.write(b, 4);
+}
+
+inline void put_double(std::ostream& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  put_u64(out, bits);
+}
+
+[[nodiscard]] inline std::uint64_t get_u64(std::istream& in) {
+  unsigned char b[8];
+  in.read(reinterpret_cast<char*>(b), 8);
+  if (in.gcount() != 8) throw std::runtime_error("serialize: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+[[nodiscard]] inline std::uint32_t get_u32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (in.gcount() != 4) throw std::runtime_error("serialize: truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+[[nodiscard]] inline double get_double(std::istream& in) {
+  const std::uint64_t bits = get_u64(in);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+inline void put_u64_vector(std::ostream& out,
+                           const std::vector<std::uint64_t>& values) {
+  put_u64(out, values.size());
+  for (std::uint64_t v : values) put_u64(out, v);
+}
+
+[[nodiscard]] inline std::vector<std::uint64_t> get_u64_vector(
+    std::istream& in) {
+  const std::uint64_t size = get_u64(in);
+  if (size > (std::uint64_t{1} << 34))
+    throw std::runtime_error("serialize: implausible vector size");
+  std::vector<std::uint64_t> values(size);
+  for (auto& v : values) v = get_u64(in);
+  return values;
+}
+
+}  // namespace caesar

@@ -1,0 +1,76 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caesar {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double sorted_quantile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile(std::span<const double> values, double q) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return sorted_quantile(copy, q);
+}
+
+double chi_square_uniform(std::span<const std::uint64_t> observed) {
+  if (observed.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (std::uint64_t c : observed) total += c;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  if (expected <= 0.0) return 0.0;
+  double chi2 = 0.0;
+  for (std::uint64_t c : observed) {
+    const double diff = static_cast<double>(c) - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+double ecdf(std::span<const double> sorted, double x) {
+  if (sorted.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+double histogram_mean(std::span<const std::uint64_t> counts) {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    weighted += static_cast<double>(i) * static_cast<double>(counts[i]);
+    total += static_cast<double>(counts[i]);
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+}  // namespace caesar

@@ -1,0 +1,68 @@
+// Streaming and batch statistics used throughout the evaluation pipeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace caesar {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance (divides by n). Returns 0 for n < 1.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Sample variance (divides by n-1). Returns 0 for n < 2.
+  [[nodiscard]] double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample (linear interpolation between order statistics).
+/// `q` in [0,1]. The input span is copied; for repeated quantiles of the
+/// same data prefer sorting once and calling `sorted_quantile`.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Quantile of an already ascending-sorted sample.
+[[nodiscard]] double sorted_quantile(std::span<const double> sorted, double q);
+
+/// Pearson chi-square statistic for observed counts vs uniform expectation.
+/// Used by the hash-uniformity property tests.
+[[nodiscard]] double chi_square_uniform(std::span<const std::uint64_t> observed);
+
+/// Empirical CDF evaluated at `x` over an ascending-sorted sample:
+/// fraction of elements <= x.
+[[nodiscard]] double ecdf(std::span<const double> sorted, double x);
+
+/// Histogram counts -> mean of the underlying integer distribution where
+/// counts[i] is the number of observations equal to `i`.
+[[nodiscard]] double histogram_mean(std::span<const std::uint64_t> counts);
+
+}  // namespace caesar

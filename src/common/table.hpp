@@ -1,0 +1,37 @@
+// Minimal ASCII table / CSV writer used by the figure benches so every
+// binary prints the same rows the paper's tables and figure series contain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace caesar {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for numeric rows: each value formatted with
+  /// `precision` fractional digits.
+  void add_numeric_row(const std::vector<double>& row, int precision = 4);
+
+  /// Render as an aligned ASCII table.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Render as CSV (RFC-4180-ish; fields containing commas are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for ad-hoc rows).
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+}  // namespace caesar

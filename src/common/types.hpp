@@ -1,0 +1,17 @@
+// Core value types shared across the CAESAR library.
+#pragma once
+
+#include <cstdint>
+
+namespace caesar {
+
+/// Unique identifier of a flow, derived from the 5-tuple packet header
+/// (see trace/flow_id.hpp). 64 bits is enough to make accidental
+/// collisions negligible at the paper's scale (~10^6 flows).
+using FlowId = std::uint64_t;
+
+/// Packet / flow-size counts. The paper counts either packets or bytes;
+/// both fit comfortably in 64 bits.
+using Count = std::uint64_t;
+
+}  // namespace caesar

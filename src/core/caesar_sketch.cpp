@@ -1,0 +1,206 @@
+#include "core/caesar_sketch.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+
+namespace caesar::core {
+
+namespace {
+cache::CacheTable::Config cache_config(const CaesarConfig& c) {
+  cache::CacheTable::Config cc;
+  cc.num_entries = c.cache_entries;
+  cc.entry_capacity = c.entry_capacity;
+  cc.policy = c.policy;
+  cc.seed = c.seed ^ 0x5bd1e9955bd1e995ULL;
+  return cc;
+}
+}  // namespace
+
+CaesarSketch::CaesarSketch(const CaesarConfig& config)
+    : config_(config),
+      cache_(cache_config(config)),
+      sram_(config.num_counters, config.counter_bits),
+      selector_(config.k, config.num_counters, config.seed),
+      rng_(config.seed ^ 0xa076bd6a2c1c30f7ULL) {}
+
+void CaesarSketch::add(FlowId flow) { add_weighted(flow, 1); }
+
+void CaesarSketch::add_weighted(FlowId flow, Count weight) {
+  packets_ += weight;
+  const auto result = cache_.process_weighted(flow, weight);
+  for (unsigned i = 0; i < result.count; ++i)
+    spread_eviction(result.evictions[i]);
+}
+
+void CaesarSketch::flush() {
+  for (const auto& ev : cache_.flush()) spread_eviction(ev);
+}
+
+void CaesarSketch::spread_eviction(const cache::Eviction& ev) {
+  // Paper §3.1: split e = p*k + q; add p to each of the k mapped counters,
+  // then allocate the remaining q units one by one to uniformly random
+  // members of the k-set. We coalesce into one read-modify-write per
+  // touched counter, as the hardware would batch a burst to the same bank.
+  const std::size_t k = config_.k;
+  std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
+  selector_.select(ev.flow, std::span<std::uint64_t>(idx.data(), k));
+  hash_ops_ += k;
+
+  const Count p = ev.value / k;
+  const Count q = ev.value % k;
+  std::array<Count, hash::KIndexSelector::kMaxK> delta{};
+  for (std::size_t r = 0; r < k; ++r) delta[r] = p;
+  for (Count u = 0; u < q; ++u) delta[rng_.below(k)] += 1;
+
+  for (std::size_t r = 0; r < k; ++r)
+    if (delta[r] > 0) sram_.add(idx[r], delta[r]);
+  sram_packets_ += ev.value;
+}
+
+EstimatorParams CaesarSketch::estimator_params() const noexcept {
+  EstimatorParams p;
+  p.k = config_.k;
+  p.entry_capacity = config_.entry_capacity;
+  p.num_counters = config_.num_counters;
+  p.total_packets = static_cast<double>(packets_);
+  return p;
+}
+
+std::vector<Count> CaesarSketch::counter_values(FlowId flow) const {
+  const std::size_t k = config_.k;
+  std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
+  selector_.select(flow, std::span<std::uint64_t>(idx.data(), k));
+  std::vector<Count> w(k);
+  for (std::size_t r = 0; r < k; ++r) w[r] = sram_.read(idx[r]);
+  return w;
+}
+
+double CaesarSketch::estimate_csm(FlowId flow) const {
+  const auto w = counter_values(flow);
+  return csm_estimate(w, estimator_params());
+}
+
+double CaesarSketch::estimate_mlm(FlowId flow) const {
+  const auto w = counter_values(flow);
+  return mlm_estimate(w, estimator_params());
+}
+
+ConfidenceInterval CaesarSketch::interval_csm(FlowId flow,
+                                              double alpha) const {
+  const auto w = counter_values(flow);
+  return csm_interval(w, estimator_params(), alpha);
+}
+
+ConfidenceInterval CaesarSketch::interval_mlm(FlowId flow,
+                                              double alpha) const {
+  const auto w = counter_values(flow);
+  return mlm_interval(w, estimator_params(), alpha);
+}
+
+ConfidenceInterval CaesarSketch::interval_csm_empirical(FlowId flow,
+                                                        double alpha) const {
+  const auto w = counter_values(flow);
+  return csm_interval_empirical(w, estimator_params(),
+                                sram_.sample_variance(), alpha);
+}
+
+double CaesarSketch::estimate_flow_count() const {
+  const auto l = static_cast<double>(config_.num_counters);
+  std::uint64_t zeros = 0;
+  for (std::uint64_t i = 0; i < sram_.size(); ++i)
+    if (sram_.peek(i) == 0) ++zeros;
+  if (zeros == 0) return std::numeric_limits<double>::infinity();
+  const double p_untouched =
+      1.0 - static_cast<double>(config_.k) / l;
+  return std::log(static_cast<double>(zeros) / l) / std::log(p_untouched);
+}
+
+double CaesarSketch::memory_kb() const noexcept {
+  return cache_.memory_kb() + sram_.memory_kb();
+}
+
+namespace {
+constexpr std::uint64_t kSketchMagic = 0x4341455341523031ULL;  // CAESAR01
+}
+
+void CaesarSketch::save(std::ostream& out) const {
+  if (cache_.occupied() != 0)
+    throw std::logic_error(
+        "CaesarSketch::save: flush() the cache before saving");
+  put_u64(out, kSketchMagic);
+  put_u32(out, config_.cache_entries);
+  put_u64(out, config_.entry_capacity);
+  put_u64(out, config_.num_counters);
+  put_u32(out, config_.counter_bits);
+  put_u64(out, config_.k);
+  put_u32(out,
+          config_.policy == cache::ReplacementPolicy::kLru ? 0u : 1u);
+  put_u64(out, config_.seed);
+  put_u64(out, packets_);
+  put_u64(out, sram_packets_);
+  put_u64(out, hash_ops_);
+  sram_.save(out);
+}
+
+CaesarSketch CaesarSketch::load(std::istream& in) {
+  if (get_u64(in) != kSketchMagic)
+    throw std::runtime_error("CaesarSketch::load: bad magic");
+  CaesarConfig cfg;
+  cfg.cache_entries = get_u32(in);
+  cfg.entry_capacity = get_u64(in);
+  cfg.num_counters = get_u64(in);
+  cfg.counter_bits = get_u32(in);
+  cfg.k = get_u64(in);
+  cfg.policy = get_u32(in) == 0 ? cache::ReplacementPolicy::kLru
+                                : cache::ReplacementPolicy::kRandom;
+  cfg.seed = get_u64(in);
+  const Count packets = get_u64(in);
+  const Count sram_packets = get_u64(in);
+  const std::uint64_t hash_ops = get_u64(in);
+
+  CaesarSketch sketch(cfg);
+  sketch.packets_ = packets;
+  sketch.sram_packets_ = sram_packets;
+  sketch.hash_ops_ = hash_ops;
+  auto sram = counters::CounterArray::load(in);
+  if (sram.size() != cfg.num_counters ||
+      sram.bits() != cfg.counter_bits)
+    throw std::runtime_error(
+        "CaesarSketch::load: SRAM geometry mismatch with config");
+  sketch.sram_ = std::move(sram);
+  // Decorrelate the continued remainder-allocation stream from the
+  // original run (the exact pre-save RNG state is not persisted).
+  sketch.rng_ = Xoshiro256pp(cfg.seed ^ packets ^ 0xC0DEC0DEC0DEC0DEULL);
+  return sketch;
+}
+
+void CaesarSketch::merge(const CaesarSketch& other) {
+  if (cache_.occupied() != 0 || other.cache_.occupied() != 0)
+    throw std::logic_error("CaesarSketch::merge: flush both sketches first");
+  if (config_.num_counters != other.config_.num_counters ||
+      config_.counter_bits != other.config_.counter_bits ||
+      config_.k != other.config_.k || config_.seed != other.config_.seed ||
+      config_.entry_capacity != other.config_.entry_capacity)
+    throw std::invalid_argument(
+        "CaesarSketch::merge: configurations must match (incl. seed)");
+  sram_.merge(other.sram_);
+  packets_ += other.packets_;
+  sram_packets_ += other.sram_packets_;
+  hash_ops_ += other.hash_ops_;
+}
+
+memsim::OpCounts CaesarSketch::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  ops.cache_accesses = cache_.stats().accesses;
+  ops.sram_accesses = sram_.writes();
+  // One flow-ID hash per packet plus the k counter hashes per eviction.
+  ops.hashes = cache_.stats().packets + hash_ops_;
+  return ops;
+}
+
+}  // namespace caesar::core

@@ -1,0 +1,142 @@
+// CaesarSketch — the paper's primary contribution (§3): an on-chip cache
+// front end feeding randomized-sharing off-chip counters, with CSM and MLM
+// de-noising queries.
+//
+// Usage:
+//   core::CaesarConfig cfg;                 // pick M, y, L, bits, k
+//   core::CaesarSketch sketch(cfg);
+//   for (FlowId f : packets) sketch.add(f); // online construction phase
+//   sketch.flush();                         // dump cache before querying
+//   double est = sketch.estimate_csm(f);    // offline query phase
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "cache/cache_table.hpp"
+#include "common/types.hpp"
+#include "core/estimators.hpp"
+#include "counters/counter_array.hpp"
+#include "hash/index_selector.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::core {
+
+struct CaesarConfig {
+  // --- on-chip cache (paper: 97.66 KB = 100,000 8-bit entries) ----------
+  std::uint32_t cache_entries = 100'000;  ///< M
+  Count entry_capacity = 54;              ///< y = floor(2 * n/Q)
+  cache::ReplacementPolicy policy = cache::ReplacementPolicy::kLru;
+
+  // --- off-chip SRAM (paper: 91.55 KB = 50,000 15-bit counters) ---------
+  std::uint64_t num_counters = 50'000;    ///< L
+  unsigned counter_bits = 15;             ///< log2(l)
+
+  std::size_t k = 3;                      ///< mapped counters per flow
+  std::uint64_t seed = 1;
+};
+
+class CaesarSketch {
+ public:
+  explicit CaesarSketch(const CaesarConfig& config);
+
+  /// Online phase: account one packet of `flow`.
+  void add(FlowId flow);
+
+  /// Account `weight` units at once (byte counting / weighted streams).
+  /// weight must be in [1, y].
+  void add_weighted(FlowId flow, Count weight);
+
+  /// Dump all cache entries to SRAM (paper: run before the query phase).
+  /// Idempotent; add() may be called again afterwards.
+  void flush();
+
+  // --- offline query phase ----------------------------------------------
+  /// CSM estimate of the flow's size (Eq. 20). Negative estimates are
+  /// possible for tiny flows by construction; callers may clamp.
+  [[nodiscard]] double estimate_csm(FlowId flow) const;
+  /// MLM estimate (closed form below Eq. 28).
+  [[nodiscard]] double estimate_mlm(FlowId flow) const;
+  [[nodiscard]] ConfidenceInterval interval_csm(FlowId flow,
+                                                double alpha) const;
+  [[nodiscard]] ConfidenceInterval interval_mlm(FlowId flow,
+                                                double alpha) const;
+  /// Empirical-variance interval (extension; see
+  /// core::csm_interval_empirical). Uses the measured SRAM counter
+  /// variance, so it stays calibrated under heavy-tailed traffic.
+  [[nodiscard]] ConfidenceInterval interval_csm_empirical(
+      FlowId flow, double alpha) const;
+
+  /// The k mapped counter values of a flow (k SRAM reads).
+  [[nodiscard]] std::vector<Count> counter_values(FlowId flow) const;
+
+  /// Estimate the number of distinct flows recorded (extension): linear
+  /// counting over the SRAM's untouched counters,
+  ///   Q_hat = ln(zeros/L) / ln(1 - k/L).
+  /// A flow of size >= k marks all k of its counters; a mouse of size
+  /// x < k marks only ~k(1-(1-1/k)^x) of them, so on mice-heavy traffic
+  /// this underestimates Q by that touch factor (e.g. a size-1 flow
+  /// counts as 1/k of a flow). Exact for workloads of flows with >= k
+  /// packets; treat the result as a lower bound otherwise. Returns +inf
+  /// when no counter is zero. Call after flush().
+  [[nodiscard]] double estimate_flow_count() const;
+
+  /// Estimator parameters as of now (total_packets tracks additions).
+  [[nodiscard]] EstimatorParams estimator_params() const noexcept;
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] const cache::CacheStats& cache_stats() const noexcept {
+    return cache_.stats();
+  }
+  [[nodiscard]] const counters::CounterArray& sram() const noexcept {
+    return sram_;
+  }
+  [[nodiscard]] const cache::CacheTable& cache_table() const noexcept {
+    return cache_;
+  }
+  /// Packets recorded (cache + SRAM combined).
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  /// Packets already migrated to SRAM.
+  [[nodiscard]] Count packets_in_sram() const noexcept {
+    return sram_packets_;
+  }
+  [[nodiscard]] const CaesarConfig& config() const noexcept { return config_; }
+  /// Total memory footprint (cache + SRAM) in KB, paper §6.2 formulas.
+  [[nodiscard]] double memory_kb() const noexcept;
+
+  /// Operation counts for the timing model (construction phase only).
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+  /// Persist the query-phase state (config + SRAM counters + totals) so
+  /// an offline host can load and query it. The cache must be empty:
+  /// call flush() first (throws std::logic_error otherwise).
+  void save(std::ostream& out) const;
+  /// Reconstruct a sketch saved with save(). The result answers queries
+  /// identically to the original; further add() calls continue the
+  /// measurement (with a freshly seeded remainder-allocation stream).
+  [[nodiscard]] static CaesarSketch load(std::istream& in);
+
+  /// Merge another sketch measuring a *different slice of the traffic*
+  /// (e.g. a second monitoring point) into this one. Requires identical
+  /// configuration — in particular the same seed, so both sides map any
+  /// flow to the same k counters and per-flow deposits line up. Both
+  /// caches must be flushed. Counter values and packet totals add;
+  /// queries afterwards see the union traffic.
+  void merge(const CaesarSketch& other);
+
+ private:
+  void spread_eviction(const cache::Eviction& ev);
+
+  CaesarConfig config_;
+  cache::CacheTable cache_;
+  counters::CounterArray sram_;
+  hash::KIndexSelector selector_;
+  Xoshiro256pp rng_;  ///< remainder allocation randomness
+  Count packets_ = 0;
+  Count sram_packets_ = 0;
+  std::uint64_t hash_ops_ = 0;
+};
+
+}  // namespace caesar::core

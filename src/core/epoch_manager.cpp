@@ -1,0 +1,55 @@
+#include "core/epoch_manager.hpp"
+
+#include <array>
+
+namespace caesar::core {
+
+EpochSnapshot::EpochSnapshot(counters::CounterArray sram,
+                             EstimatorParams params,
+                             const CaesarConfig& config)
+    : sram_(std::move(sram)),
+      params_(params),
+      selector_(config.k, config.num_counters, config.seed) {}
+
+std::vector<Count> EpochSnapshot::counter_values(FlowId flow) const {
+  std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
+  selector_.select(flow, std::span<std::uint64_t>(idx.data(), params_.k));
+  std::vector<Count> w(params_.k);
+  for (std::size_t r = 0; r < params_.k; ++r) w[r] = sram_.peek(idx[r]);
+  return w;
+}
+
+double EpochSnapshot::estimate_csm(FlowId flow) const {
+  return csm_estimate(counter_values(flow), params_);
+}
+
+double EpochSnapshot::estimate_mlm(FlowId flow) const {
+  return mlm_estimate(counter_values(flow), params_);
+}
+
+EpochManager::EpochManager(const CaesarConfig& config, std::size_t max_epochs)
+    : config_(config), sketch_(config), max_epochs_(max_epochs) {}
+
+void EpochManager::add(FlowId flow) { sketch_.add(flow); }
+
+std::size_t EpochManager::rotate() {
+  sketch_.flush();
+  epochs_.emplace_back(sketch_.sram(), sketch_.estimator_params(), config_);
+  if (max_epochs_ > 0 && epochs_.size() > max_epochs_)
+    epochs_.erase(epochs_.begin());
+
+  // Fresh sketch for the next window: same geometry, same hash mapping
+  // (the seed is preserved so per-flow counters stay comparable across
+  // epochs), fresh counters.
+  ++epoch_counter_;
+  sketch_ = CaesarSketch(config_);
+  return epochs_.size() - 1;
+}
+
+double EpochManager::estimate_csm_total(FlowId flow) const {
+  double total = 0.0;
+  for (const auto& epoch : epochs_) total += epoch.estimate_csm(flow);
+  return total;
+}
+
+}  // namespace caesar::core

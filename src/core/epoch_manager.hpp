@@ -1,0 +1,76 @@
+// Epoch management — continuous measurement as a sequence of bounded
+// measurement windows. The paper's construction/query split assumes one
+// finite measurement ("at the end of the measurement, we dump all the
+// cache entries"); real deployments measure forever and report per
+// interval. EpochManager rotates the sketch: closing an epoch flushes the
+// cache, snapshots the SRAM state (the offline-queryable artifact) and
+// resets the counters for the next window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/caesar_sketch.hpp"
+
+namespace caesar::core {
+
+/// A closed epoch: everything needed to run the offline query phase.
+class EpochSnapshot {
+ public:
+  EpochSnapshot(counters::CounterArray sram, EstimatorParams params,
+                const CaesarConfig& config);
+
+  [[nodiscard]] double estimate_csm(FlowId flow) const;
+  [[nodiscard]] double estimate_mlm(FlowId flow) const;
+  [[nodiscard]] Count packets() const noexcept {
+    return static_cast<Count>(params_.total_packets);
+  }
+  [[nodiscard]] const counters::CounterArray& sram() const noexcept {
+    return sram_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<Count> counter_values(FlowId flow) const;
+
+  counters::CounterArray sram_;
+  EstimatorParams params_;
+  hash::KIndexSelector selector_;
+};
+
+class EpochManager {
+ public:
+  /// `max_epochs` bounds the retained history (oldest snapshots are
+  /// discarded); 0 keeps everything.
+  EpochManager(const CaesarConfig& config, std::size_t max_epochs = 0);
+
+  /// Account one packet in the current epoch.
+  void add(FlowId flow);
+
+  /// Close the current epoch: flush, snapshot, reset. Returns the index
+  /// of the new snapshot within epochs().
+  std::size_t rotate();
+
+  [[nodiscard]] const std::vector<EpochSnapshot>& epochs() const noexcept {
+    return epochs_;
+  }
+  /// Packets accounted in the (open) current epoch.
+  [[nodiscard]] Count current_packets() const noexcept {
+    return sketch_.packets();
+  }
+  [[nodiscard]] const CaesarSketch& current() const noexcept {
+    return sketch_;
+  }
+
+  /// Sum of a flow's CSM estimates across all retained epochs — the
+  /// long-horizon size of a persistent flow.
+  [[nodiscard]] double estimate_csm_total(FlowId flow) const;
+
+ private:
+  CaesarConfig config_;
+  CaesarSketch sketch_;
+  std::vector<EpochSnapshot> epochs_;
+  std::size_t max_epochs_;
+  std::uint64_t epoch_counter_ = 0;
+};
+
+}  // namespace caesar::core

@@ -1,0 +1,124 @@
+#include "core/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.hpp"
+
+namespace caesar::core {
+
+namespace {
+double noise_mean_total(const EstimatorParams& p) noexcept {
+  // k*Q*mu/L — the aggregate expected noise over the flow's k counters.
+  //
+  // NOTE — correction to the paper's Eq. (15). The construction (§3.1)
+  // deposits e/k of every eviction into EACH of the evicting flow's k
+  // counters, so another flow of size z adds z/k to a specific counter
+  // with probability k/L (the chance the counter is in its k-set),
+  // i.e. E(Z) = z/L and the per-counter noise mean is Q*mu/L, not
+  // Q*mu/(L*k): summing all L counters must give n, so the average
+  // counter holds n/L. Eq. (15)'s extra 1/k would leave the estimator
+  // biased by +(k-1)*n/L, which the unbiasedness the paper proves (and
+  // its Fig. 4 scatter shows) contradicts. See DESIGN.md §5.
+  return static_cast<double>(p.k) * p.total_packets /
+         static_cast<double>(p.num_counters);
+}
+}  // namespace
+
+double csm_estimate(std::span<const Count> w,
+                    const EstimatorParams& p) noexcept {
+  double sum = 0.0;
+  for (Count v : w) sum += static_cast<double>(v);
+  return sum - noise_mean_total(p);
+}
+
+double csm_variance(double x, const EstimatorParams& p) noexcept {
+  // Eq. 22 with the noise term carrying the corrected k*n/L mass (one
+  // factor k more than the paper prints — see noise_mean_total above):
+  // D(x_hat) = x*k*(k-1)^2/y + n*k^2*(k-1)^2/(y*L).
+  const auto k = static_cast<double>(p.k);
+  const auto y = static_cast<double>(p.entry_capacity);
+  const double km1sq = (k - 1.0) * (k - 1.0);
+  const double self = std::max(x, 0.0) * k * km1sq / y;
+  const double noise =
+      p.total_packets * k * k * km1sq /
+      (y * static_cast<double>(p.num_counters));
+  return self + noise;
+}
+
+ConfidenceInterval csm_interval(std::span<const Count> w,
+                                const EstimatorParams& p, double alpha) {
+  const double xh = csm_estimate(w, p);
+  const double half = z_value(alpha) * std::sqrt(csm_variance(xh, p));
+  return {xh - half, xh + half};
+}
+
+ConfidenceInterval csm_interval_empirical(std::span<const Count> w,
+                                          const EstimatorParams& p,
+                                          double counter_variance,
+                                          double alpha) {
+  const double xh = csm_estimate(w, p);
+  // x_hat sums k counters whose noise components are (nearly)
+  // independent, each with the measured per-counter variance; the flow's
+  // own split variance (Eq. 14) rides on top.
+  const auto k = static_cast<double>(p.k);
+  const auto y = static_cast<double>(p.entry_capacity);
+  const double self =
+      std::max(xh, 0.0) * k * (k - 1.0) * (k - 1.0) / y;
+  const double half =
+      z_value(alpha) * std::sqrt(k * counter_variance + self);
+  return {xh - half, xh + half};
+}
+
+double mlm_estimate(std::span<const Count> w,
+                    const EstimatorParams& p) noexcept {
+  const auto k = static_cast<double>(p.k);
+  const auto y = static_cast<double>(p.entry_capacity);
+  const double km1sq = (k - 1.0) * (k - 1.0);
+  double sumsq = 0.0;
+  for (Count v : w) {
+    const auto d = static_cast<double>(v);
+    sumsq += d * d;
+  }
+  const double disc = km1sq * km1sq / (y * y) + 4.0 * k * sumsq;
+  return 0.5 * (std::sqrt(disc) - 2.0 * noise_mean_total(p) - km1sq / y);
+}
+
+CounterDistribution counter_distribution(double x,
+                                         const EstimatorParams& p) noexcept {
+  const auto k = static_cast<double>(p.k);
+  const auto y = static_cast<double>(p.entry_capacity);
+  const auto l = static_cast<double>(p.num_counters);
+  const double km1sq = (k - 1.0) * (k - 1.0);
+  CounterDistribution d;
+  // Eq. 24 with the corrected noise mass (per-counter noise mean n/L,
+  // modeled as a phantom flow of size k*n/L split like any other).
+  d.mean = x / k + p.total_packets / l;
+  d.variance = x * km1sq / (y * k) + p.total_packets * km1sq / (y * l);
+  return d;
+}
+
+double mlm_variance(double x, const EstimatorParams& p) noexcept {
+  if (p.k <= 1) {
+    // Degenerate single-counter case: the Fisher-information expression
+    // below is 0/0; the only randomness is the noise term, identical to
+    // CSM's.
+    return csm_variance(x, p);
+  }
+  const auto k = static_cast<double>(p.k);
+  const auto y = static_cast<double>(p.entry_capacity);
+  const double km1sq = (k - 1.0) * (k - 1.0);
+  const double delta = counter_distribution(std::max(x, 0.0), p).variance;
+  const double denom = 2.0 * delta + km1sq * km1sq / (y * y);
+  if (denom <= 0.0) return 0.0;
+  return 2.0 * k * k * delta * delta / denom;
+}
+
+ConfidenceInterval mlm_interval(std::span<const Count> w,
+                                const EstimatorParams& p, double alpha) {
+  const double xh = mlm_estimate(w, p);
+  const double half = z_value(alpha) * std::sqrt(mlm_variance(xh, p));
+  return {xh - half, xh + half};
+}
+
+}  // namespace caesar::core

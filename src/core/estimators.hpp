@@ -1,0 +1,81 @@
+// Closed-form CAESAR estimators and their theoretical accuracy (paper §5).
+//
+// Both estimators de-noise the k mapped counter values w_0..w_{k-1} of a
+// flow. Parameters follow Table 1 of the paper:
+//   k        — counters per flow,
+//   y        — cache entry capacity,
+//   L        — number of SRAM counters,
+//   total_n  — Q*mu = n, the total number of recorded packets (which is
+//              exactly the sum of all SRAM counters after the flush).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace caesar::core {
+
+struct EstimatorParams {
+  std::size_t k = 3;
+  Count entry_capacity = 64;      ///< y
+  std::uint64_t num_counters = 0; ///< L
+  double total_packets = 0.0;     ///< n = Q*mu
+};
+
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// CSM point estimate: x_hat = sum(w) - k*Q*mu/L. (Paper Eq. 20 prints
+/// the noise as Q*mu/L following Eq. 15's per-counter noise Q*mu/(L*k);
+/// the construction actually deposits n/L per counter — see the note in
+/// estimators.cpp — so the unbiased estimator subtracts k*n/L.)
+[[nodiscard]] double csm_estimate(std::span<const Count> w,
+                                  const EstimatorParams& p) noexcept;
+
+/// Theoretical CSM estimator variance (Eq. 22), evaluated at flow size x
+/// (use the point estimate when the true size is unknown).
+[[nodiscard]] double csm_variance(double x, const EstimatorParams& p) noexcept;
+
+/// CSM confidence interval at reliability alpha (Eq. 26).
+[[nodiscard]] ConfidenceInterval csm_interval(std::span<const Count> w,
+                                              const EstimatorParams& p,
+                                              double alpha);
+
+/// Empirical-variance extension (not in the paper): confidence interval
+/// built from the measured per-counter variance of the whole SRAM array
+/// instead of Eq. 22's model. Eq. 22 drops the heavy-tail selection
+/// variance of the noise, so its intervals undercover badly on real
+/// traffic; the empirical interval stays calibrated.
+[[nodiscard]] ConfidenceInterval csm_interval_empirical(
+    std::span<const Count> w, const EstimatorParams& p,
+    double counter_variance, double alpha);
+
+/// MLM point estimate (closed form below Eq. 28, with the same corrected
+/// noise mass A = k*Q*mu/L):
+/// x_hat = ((k-1)^4/y^2 + 4k*sum(w^2))^1/2 / 2 - A - (k-1)^2/(2y).
+[[nodiscard]] double mlm_estimate(std::span<const Count> w,
+                                  const EstimatorParams& p) noexcept;
+
+/// Theoretical MLM estimator variance via Fisher information (Eq. 31).
+[[nodiscard]] double mlm_variance(double x, const EstimatorParams& p) noexcept;
+
+/// MLM confidence interval at reliability alpha (Eq. 32).
+[[nodiscard]] ConfidenceInterval mlm_interval(std::span<const Count> w,
+                                              const EstimatorParams& p,
+                                              double alpha);
+
+/// Per-counter Gaussian parameters of X (Eq. 24 with corrected noise
+/// mass): mean x/k + Q*mu/L and variance
+/// x(k-1)^2/(y*k) + Q*mu*(k-1)^2/(y*L). Exposed for tests that validate
+/// the construction-phase analysis (§4.4).
+struct CounterDistribution {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+[[nodiscard]] CounterDistribution counter_distribution(
+    double x, const EstimatorParams& p) noexcept;
+
+}  // namespace caesar::core

@@ -1,0 +1,117 @@
+#include "core/sharded_caesar.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "hash/murmur3.hpp"
+
+namespace caesar::core {
+
+ShardedCaesar::ShardedCaesar(const CaesarConfig& per_shard,
+                             std::size_t shards) {
+  if (shards == 0)
+    throw std::invalid_argument("ShardedCaesar: need at least one shard");
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    CaesarConfig cfg = per_shard;
+    cfg.seed = per_shard.seed ^ (0x9e3779b97f4a7c15ULL * (s + 1));
+    shards_.emplace_back(cfg);
+  }
+  // The routing hash must be independent of every in-shard hash; derive
+  // it from the base seed with a distinct tweak.
+  route_seed_ = per_shard.seed ^ 0x517cc1b727220a95ULL;
+}
+
+std::size_t ShardedCaesar::shard_of(FlowId flow) const noexcept {
+  return static_cast<std::size_t>(
+      (static_cast<__uint128_t>(hash::fmix64(flow ^ route_seed_)) *
+       shards_.size()) >>
+      64);
+}
+
+void ShardedCaesar::add(FlowId flow) { shards_[shard_of(flow)].add(flow); }
+
+void ShardedCaesar::add_parallel(std::span<const FlowId> flows,
+                                 std::size_t threads) {
+  if (threads == 0) threads = shards_.size();
+  threads = std::min(threads, shards_.size());
+  if (threads <= 1) {
+    for (FlowId f : flows) add(f);
+    return;
+  }
+  // Two parallel phases with a barrier between them (textbook radix
+  // partition):
+  //   1. each worker partitions its contiguous slice of the batch into
+  //      per-(worker, shard) buckets;
+  //   2. worker w drains the buckets of shards s with s % threads == w,
+  //      visiting the sub-buckets in slice order.
+  // Concatenating sub-buckets in slice order reproduces the original
+  // batch order within every shard, so the result — every counter
+  // value — is bit-identical to a sequential run.
+  const std::size_t n = flows.size();
+  std::vector<std::vector<std::vector<FlowId>>> buckets(
+      threads, std::vector<std::vector<FlowId>>(shards_.size()));
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([this, flows, &buckets, w, threads, n] {
+      const std::size_t lo = w * n / threads;
+      const std::size_t hi = (w + 1) * n / threads;
+      auto& mine = buckets[w];
+      for (auto& b : mine)
+        b.reserve((hi - lo) / shards_.size() + 8);
+      for (std::size_t i = lo; i < hi; ++i)
+        mine[shard_of(flows[i])].push_back(flows[i]);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  workers.clear();
+
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([this, &buckets, w, threads] {
+      for (std::size_t s = w; s < shards_.size(); s += threads)
+        for (std::size_t slice = 0; slice < buckets.size(); ++slice)
+          for (FlowId f : buckets[slice][s]) shards_[s].add(f);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+void ShardedCaesar::flush() {
+  for (auto& shard : shards_) shard.flush();
+}
+
+double ShardedCaesar::estimate_csm(FlowId flow) const {
+  return shards_[shard_of(flow)].estimate_csm(flow);
+}
+
+double ShardedCaesar::estimate_mlm(FlowId flow) const {
+  return shards_[shard_of(flow)].estimate_mlm(flow);
+}
+
+ConfidenceInterval ShardedCaesar::interval_csm(FlowId flow,
+                                               double alpha) const {
+  return shards_[shard_of(flow)].interval_csm(flow, alpha);
+}
+
+Count ShardedCaesar::packets() const noexcept {
+  Count total = 0;
+  for (const auto& shard : shards_) total += shard.packets();
+  return total;
+}
+
+double ShardedCaesar::memory_kb() const noexcept {
+  double total = 0.0;
+  for (const auto& shard : shards_) total += shard.memory_kb();
+  return total;
+}
+
+memsim::OpCounts ShardedCaesar::op_counts() const noexcept {
+  memsim::OpCounts total;
+  for (const auto& shard : shards_) total += shard.op_counts();
+  return total;
+}
+
+}  // namespace caesar::core

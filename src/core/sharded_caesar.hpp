@@ -1,0 +1,60 @@
+// Sharded CAESAR — scale-out across cores (or measurement pipelines).
+//
+// Flows are partitioned by a hash of the flow ID into S independent
+// CaesarSketch shards. Because every packet of a flow lands in exactly
+// one shard, per-flow queries route to a single shard and no cross-shard
+// merging is needed; each shard's de-noising uses its own packet count.
+// add_parallel() ingests a packet batch with the owner-computes pattern:
+// every worker scans the batch and processes only the flows it owns, so
+// per-shard processing order — and therefore every counter value — is
+// bit-identical to a sequential run (verified by the tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/caesar_sketch.hpp"
+
+namespace caesar::core {
+
+class ShardedCaesar {
+ public:
+  /// `shards` independent sketches, each built from `per_shard` with a
+  /// distinct derived seed. The aggregate SRAM is shards * L counters.
+  ShardedCaesar(const CaesarConfig& per_shard, std::size_t shards);
+
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_of(FlowId flow) const noexcept;
+
+  /// Sequential ingest of one packet.
+  void add(FlowId flow);
+
+  /// Parallel ingest of a packet batch using `threads` workers
+  /// (owner-computes: deterministic, identical to sequential ingest).
+  /// threads == 0 picks the shard count.
+  void add_parallel(std::span<const FlowId> flows, std::size_t threads = 0);
+
+  void flush();
+
+  [[nodiscard]] double estimate_csm(FlowId flow) const;
+  [[nodiscard]] double estimate_mlm(FlowId flow) const;
+  [[nodiscard]] ConfidenceInterval interval_csm(FlowId flow,
+                                                double alpha) const;
+
+  [[nodiscard]] Count packets() const noexcept;
+  [[nodiscard]] double memory_kb() const noexcept;
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+  [[nodiscard]] const CaesarSketch& shard(std::size_t index) const noexcept {
+    return shards_[index];
+  }
+
+ private:
+  std::vector<CaesarSketch> shards_;
+  std::uint64_t route_seed_;
+};
+
+}  // namespace caesar::core

@@ -1,0 +1,141 @@
+#include "counters/counter_array.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+
+namespace caesar::counters {
+
+CounterArray::CounterArray(std::uint64_t size, unsigned bits)
+    : values_(size, 0), bits_(bits) {
+  assert(bits >= 1 && bits <= 64);
+  capacity_ = bits >= 64 ? ~Count{0} : (Count{1} << bits) - 1;
+}
+
+CounterArray::CounterArray(const CounterArray& other)
+    : values_(other.values_),
+      bits_(other.bits_),
+      capacity_(other.capacity_),
+      reads_(other.reads()),
+      writes_(other.writes_),
+      saturations_(other.saturations_) {}
+
+CounterArray& CounterArray::operator=(const CounterArray& other) {
+  if (this != &other) {
+    values_ = other.values_;
+    bits_ = other.bits_;
+    capacity_ = other.capacity_;
+    reads_.store(other.reads(), std::memory_order_relaxed);
+    writes_ = other.writes_;
+    saturations_ = other.saturations_;
+  }
+  return *this;
+}
+
+CounterArray::CounterArray(CounterArray&& other) noexcept
+    : values_(std::move(other.values_)),
+      bits_(other.bits_),
+      capacity_(other.capacity_),
+      reads_(other.reads()),
+      writes_(other.writes_),
+      saturations_(other.saturations_) {}
+
+CounterArray& CounterArray::operator=(CounterArray&& other) noexcept {
+  if (this != &other) {
+    values_ = std::move(other.values_);
+    bits_ = other.bits_;
+    capacity_ = other.capacity_;
+    reads_.store(other.reads(), std::memory_order_relaxed);
+    writes_ = other.writes_;
+    saturations_ = other.saturations_;
+  }
+  return *this;
+}
+
+double CounterArray::memory_kb() const noexcept {
+  return static_cast<double>(values_.size()) * bits_ / (1024.0 * 8.0);
+}
+
+void CounterArray::add(std::uint64_t index, Count delta) noexcept {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  ++writes_;
+  Count& v = values_[index];
+  if (capacity_ - v < delta) {
+    v = capacity_;
+    ++saturations_;
+  } else {
+    v += delta;
+  }
+}
+
+Count CounterArray::read(std::uint64_t index) const noexcept {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return values_[index];
+}
+
+Count CounterArray::total() const noexcept {
+  return std::accumulate(values_.begin(), values_.end(), Count{0});
+}
+
+double CounterArray::sample_variance() const noexcept {
+  if (values_.size() < 2) return 0.0;
+  const double mean = static_cast<double>(total()) /
+                      static_cast<double>(values_.size());
+  double m2 = 0.0;
+  for (Count v : values_) {
+    const double d = static_cast<double>(v) - mean;
+    m2 += d * d;
+  }
+  return m2 / static_cast<double>(values_.size() - 1);
+}
+
+void CounterArray::reset() noexcept {
+  std::fill(values_.begin(), values_.end(), 0);
+  reads_.store(0, std::memory_order_relaxed);
+  writes_ = saturations_ = 0;
+}
+
+void CounterArray::merge(const CounterArray& other) {
+  if (other.values_.size() != values_.size() || other.bits_ != bits_)
+    throw std::invalid_argument("CounterArray::merge: geometry mismatch");
+  for (std::uint64_t i = 0; i < values_.size(); ++i) {
+    Count& v = values_[i];
+    const Count delta = other.values_[i];
+    if (capacity_ - v < delta) {
+      v = capacity_;
+      ++saturations_;
+    } else {
+      v += delta;
+    }
+  }
+}
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4341455341524332ULL;  // "CAESARC2"
+}
+
+void CounterArray::save(std::ostream& out) const {
+  put_u64(out, kMagic);
+  put_u32(out, bits_);
+  put_u64_vector(out, values_);
+}
+
+CounterArray CounterArray::load(std::istream& in) {
+  if (get_u64(in) != kMagic)
+    throw std::runtime_error("CounterArray::load: bad magic");
+  const std::uint32_t bits = get_u32(in);
+  if (bits < 1 || bits > 64)
+    throw std::runtime_error("CounterArray::load: bad bit width");
+  auto values = get_u64_vector(in);
+  CounterArray array(values.size(), bits);
+  for (Count v : values)
+    if (v > array.capacity_)
+      throw std::runtime_error("CounterArray::load: value exceeds capacity");
+  array.values_ = std::move(values);
+  return array;
+}
+
+}  // namespace caesar::counters

@@ -1,0 +1,95 @@
+// Off-chip SRAM counter array model.
+//
+// The paper's SRAM holds L counters of capacity l (= 2^bits - 1); its
+// size is L * log2(l) / (1024*8) KB (§6.2). Counters saturate at capacity
+// rather than wrap — a saturated counter is a measurement artifact the
+// evaluation should surface, not silent corruption. Reads and writes are
+// counted so the timing model (memsim) can charge off-chip access costs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace caesar::counters {
+
+class CounterArray {
+ public:
+  /// `size` = L counters, each `bits` wide (1..64).
+  CounterArray(std::uint64_t size, unsigned bits);
+
+  // Copyable and movable; the read-access counter is atomic (so that
+  // concurrent const queries — e.g. analysis::evaluate_parallel — are
+  // race-free), which requires spelling the special members out.
+  CounterArray(const CounterArray& other);
+  CounterArray& operator=(const CounterArray& other);
+  CounterArray(CounterArray&& other) noexcept;
+  CounterArray& operator=(CounterArray&& other) noexcept;
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return values_.size();
+  }
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  /// Per-counter capacity l = 2^bits - 1.
+  [[nodiscard]] Count capacity() const noexcept { return capacity_; }
+  /// Memory footprint in KB per the paper's formula L*bits/(1024*8).
+  [[nodiscard]] double memory_kb() const noexcept;
+
+  /// Saturating add. Each call is one SRAM read-modify-write.
+  void add(std::uint64_t index, Count delta) noexcept;
+
+  /// Read a counter (one SRAM read).
+  [[nodiscard]] Count read(std::uint64_t index) const noexcept;
+
+  /// Read without touching access accounting (ground-truth inspection in
+  /// tests and analysis, not a modeled memory access).
+  [[nodiscard]] Count peek(std::uint64_t index) const noexcept {
+    return values_[index];
+  }
+
+  /// Sum of all counters. In CAESAR the sum equals the number of packets
+  /// recorded so far (each eviction value is split but fully stored).
+  [[nodiscard]] Count total() const noexcept;
+
+  /// Sample variance of the counter values. Estimates the per-counter
+  /// noise variance directly from the structure — used by the empirical
+  /// confidence intervals, which remain calibrated under heavy-tailed
+  /// flow sizes where the paper's Eq. (22) variance undershoots.
+  [[nodiscard]] double sample_variance() const noexcept;
+
+  void reset() noexcept;
+
+  /// Binary snapshot of the counter values and geometry (access stats
+  /// are not persisted). Throws std::runtime_error on malformed input.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static CounterArray load(std::istream& in);
+
+  /// Counter-wise saturating add of another array with identical
+  /// geometry (throws std::invalid_argument otherwise). The aggregation
+  /// step of distributed collection: counters of the same index merge by
+  /// addition because deposits are additive.
+  void merge(const CounterArray& other);
+
+  // --- access accounting for the timing model -----------------------------
+  [[nodiscard]] std::uint64_t reads() const noexcept {
+    return reads_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t saturations() const noexcept {
+    return saturations_;
+  }
+
+ private:
+  std::vector<Count> values_;
+  unsigned bits_;
+  Count capacity_;
+  mutable std::atomic<std::uint64_t> reads_{0};
+  std::uint64_t writes_ = 0;
+  std::uint64_t saturations_ = 0;
+};
+
+}  // namespace caesar::counters

@@ -1,0 +1,58 @@
+#include "counters/packed_counter_array.hpp"
+
+#include <stdexcept>
+
+namespace caesar::counters {
+
+PackedCounterArray::PackedCounterArray(std::uint64_t size, unsigned bits)
+    : size_(size), bits_(bits) {
+  if (bits < 1 || bits > 57)
+    throw std::invalid_argument(
+        "PackedCounterArray: bits must be in [1, 57]");
+  capacity_ = (Count{1} << bits) - 1;
+  const std::uint64_t total_bits = size * bits;
+  words_.assign((total_bits + 63) / 64, 0);
+}
+
+double PackedCounterArray::memory_kb() const noexcept {
+  return static_cast<double>(size_) * bits_ / (1024.0 * 8.0);
+}
+
+Count PackedCounterArray::get(std::uint64_t index) const noexcept {
+  const std::uint64_t bit = index * bits_;
+  const std::uint64_t word = bit >> 6;
+  const unsigned offset = static_cast<unsigned>(bit & 63);
+  std::uint64_t value = words_[word] >> offset;
+  const unsigned taken = 64 - offset;
+  if (taken < bits_) value |= words_[word + 1] << taken;
+  return value & capacity_;
+}
+
+void PackedCounterArray::set(std::uint64_t index, Count value) noexcept {
+  value &= capacity_;
+  const std::uint64_t bit = index * bits_;
+  const std::uint64_t word = bit >> 6;
+  const unsigned offset = static_cast<unsigned>(bit & 63);
+  words_[word] &= ~(static_cast<std::uint64_t>(capacity_) << offset);
+  words_[word] |= value << offset;
+  const unsigned taken = 64 - offset;
+  if (taken < bits_) {
+    words_[word + 1] &= ~(static_cast<std::uint64_t>(capacity_) >> taken);
+    words_[word + 1] |= value >> taken;
+  }
+}
+
+void PackedCounterArray::add(std::uint64_t index, Count delta) noexcept {
+  const Count current = get(index);
+  const Count updated =
+      capacity_ - current < delta ? capacity_ : current + delta;
+  set(index, updated);
+}
+
+Count PackedCounterArray::total() const noexcept {
+  Count sum = 0;
+  for (std::uint64_t i = 0; i < size_; ++i) sum += get(i);
+  return sum;
+}
+
+}  // namespace caesar::counters

@@ -1,0 +1,50 @@
+// Bit-packed counter storage — the physical layout behind the paper's
+// memory arithmetic. CounterArray models b-bit counters but stores each
+// in a 64-bit word for speed; PackedCounterArray actually packs them
+// (L * b bits, rounded up to whole words), so the §6.2 KB budgets hold
+// byte-for-byte. Counters may straddle a word boundary; reads and writes
+// handle the split. Used where memory parity matters (e.g. serialized
+// sketches shipped between hosts) and cross-checked against CounterArray
+// by the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace caesar::counters {
+
+class PackedCounterArray {
+ public:
+  /// `size` counters of `bits` each (1..57 — a value never spans more
+  /// than two 64-bit words).
+  PackedCounterArray(std::uint64_t size, unsigned bits);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] Count capacity() const noexcept { return capacity_; }
+
+  /// Exact backing-store footprint in bytes (whole words).
+  [[nodiscard]] std::uint64_t backing_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+  /// Nominal footprint per the paper's formula L*b/(1024*8) KB.
+  [[nodiscard]] double memory_kb() const noexcept;
+
+  [[nodiscard]] Count get(std::uint64_t index) const noexcept;
+  void set(std::uint64_t index, Count value) noexcept;
+
+  /// Saturating add (matches CounterArray::add semantics).
+  void add(std::uint64_t index, Count delta) noexcept;
+
+  [[nodiscard]] Count total() const noexcept;
+
+ private:
+  std::uint64_t size_;
+  unsigned bits_;
+  Count capacity_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace caesar::counters

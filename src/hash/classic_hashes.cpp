@@ -1,0 +1,75 @@
+#include "hash/classic_hashes.hpp"
+
+namespace caesar::hash {
+
+namespace {
+std::span<const std::uint8_t> as_bytes(std::string_view text) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+}
+}  // namespace
+
+std::uint32_t ap_hash(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t h = 0xAAAAAAAAu;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if ((i & 1) == 0)
+      h ^= (h << 7) ^ (static_cast<std::uint32_t>(data[i]) * (h >> 3));
+    else
+      h ^= ~((h << 11) + (static_cast<std::uint32_t>(data[i]) ^ (h >> 5)));
+  }
+  return h;
+}
+
+std::uint32_t bkdr_hash(std::span<const std::uint8_t> data) noexcept {
+  constexpr std::uint32_t seed = 131;  // 31 131 1313 13131 ...
+  std::uint32_t h = 0;
+  for (std::uint8_t b : data) h = h * seed + b;
+  return h;
+}
+
+std::uint32_t djb2_hash(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t h = 5381;
+  for (std::uint8_t b : data) h = ((h << 5) + h) + b;  // h * 33 + b
+  return h;
+}
+
+std::uint32_t fnv1a_hash(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t h = 0x811C9DC5u;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+std::uint32_t sdbm_hash(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t h = 0;
+  for (std::uint8_t b : data) h = b + (h << 6) + (h << 16) - h;
+  return h;
+}
+
+std::uint32_t js_hash(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t h = 1315423911u;
+  for (std::uint8_t b : data) h ^= ((h << 5) + b + (h >> 2));
+  return h;
+}
+
+std::uint32_t ap_hash(std::string_view text) noexcept {
+  return ap_hash(as_bytes(text));
+}
+std::uint32_t bkdr_hash(std::string_view text) noexcept {
+  return bkdr_hash(as_bytes(text));
+}
+std::uint32_t djb2_hash(std::string_view text) noexcept {
+  return djb2_hash(as_bytes(text));
+}
+std::uint32_t fnv1a_hash(std::string_view text) noexcept {
+  return fnv1a_hash(as_bytes(text));
+}
+std::uint32_t sdbm_hash(std::string_view text) noexcept {
+  return sdbm_hash(as_bytes(text));
+}
+std::uint32_t js_hash(std::string_view text) noexcept {
+  return js_hash(as_bytes(text));
+}
+
+}  // namespace caesar::hash

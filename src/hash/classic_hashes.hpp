@@ -1,0 +1,27 @@
+// Classic string-hash family (Arash Partow's collection). The paper's
+// flow-ID pipeline uses APHash alongside SHA-1; the others are provided for
+// the hash-quality ablation and as cheap FPGA-friendly mixers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace caesar::hash {
+
+[[nodiscard]] std::uint32_t ap_hash(std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] std::uint32_t bkdr_hash(std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] std::uint32_t djb2_hash(std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] std::uint32_t fnv1a_hash(std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] std::uint32_t sdbm_hash(std::span<const std::uint8_t> data) noexcept;
+[[nodiscard]] std::uint32_t js_hash(std::span<const std::uint8_t> data) noexcept;
+
+// string_view overloads for convenience in tests and examples.
+[[nodiscard]] std::uint32_t ap_hash(std::string_view text) noexcept;
+[[nodiscard]] std::uint32_t bkdr_hash(std::string_view text) noexcept;
+[[nodiscard]] std::uint32_t djb2_hash(std::string_view text) noexcept;
+[[nodiscard]] std::uint32_t fnv1a_hash(std::string_view text) noexcept;
+[[nodiscard]] std::uint32_t sdbm_hash(std::string_view text) noexcept;
+[[nodiscard]] std::uint32_t js_hash(std::string_view text) noexcept;
+
+}  // namespace caesar::hash

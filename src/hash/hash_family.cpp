@@ -1,0 +1,13 @@
+#include "hash/hash_family.hpp"
+
+#include "common/random.hpp"
+
+namespace caesar::hash {
+
+HashFamily::HashFamily(std::size_t size, std::uint64_t seed) {
+  seeds_.reserve(size);
+  SplitMix64 sm(seed);
+  for (std::size_t i = 0; i < size; ++i) seeds_.push_back(sm.next());
+}
+
+}  // namespace caesar::hash

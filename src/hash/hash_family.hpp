@@ -1,0 +1,43 @@
+// Seeded 64-bit hash family over fixed-width flow IDs.
+//
+// All sketches (CAESAR, RCS, CASE) need "k different collision-free hash
+// functions" acting on the flow ID (paper §3.1). We realize the family as
+// h_i(f) = fmix64(f ^ seed_i) with independent per-function seeds expanded
+// from one experiment seed. fmix64 is a bijection on 64-bit words, so for
+// fixed i distinct flows never collide at 64 bits; collisions only appear
+// when reducing modulo L, which is exactly the sharing the paper analyzes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/murmur3.hpp"
+
+namespace caesar::hash {
+
+class HashFamily {
+ public:
+  /// Create `size` independent hash functions derived from `seed`.
+  HashFamily(std::size_t size, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return seeds_.size(); }
+
+  /// Value of the i-th hash function on `key`.
+  [[nodiscard]] std::uint64_t operator()(std::size_t i,
+                                         std::uint64_t key) const noexcept {
+    return fmix64(key ^ seeds_[i]);
+  }
+
+  /// i-th hash of `key` reduced to [0, bound) via the multiply-shift trick
+  /// (unbiased enough at bound << 2^64 and much faster than modulo).
+  [[nodiscard]] std::uint64_t bounded(std::size_t i, std::uint64_t key,
+                                      std::uint64_t bound) const noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(operator()(i, key)) * bound) >> 64);
+  }
+
+ private:
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace caesar::hash

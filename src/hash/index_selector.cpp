@@ -1,0 +1,47 @@
+#include "hash/index_selector.hpp"
+
+#include <cassert>
+
+namespace caesar::hash {
+
+KIndexSelector::KIndexSelector(std::size_t k, std::uint64_t num_counters,
+                               std::uint64_t seed)
+    : k_(k),
+      l_(num_counters),
+      family_(k, seed),
+      step_family_(k, seed ^ 0x9e3779b97f4a7c15ULL) {
+  assert(k >= 1 && k <= kMaxK);
+  assert(num_counters >= k);
+}
+
+void KIndexSelector::select(std::uint64_t flow,
+                            std::span<std::uint64_t> out) const noexcept {
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::uint64_t idx = family_.bounded(i, flow, l_);
+    // Double-hash probing until distinct from all previously chosen slots.
+    // The step is made odd-ish and non-zero; with k <= 16 and L >= k the
+    // loop terminates after at most a few probes in practice, and always
+    // terminates because step 1+h < L ensures a full cycle over Z_L only
+    // when gcd(step, L) == 1 — we defensively fall back to +1 stepping
+    // after L misses, which trivially visits every slot.
+    std::uint64_t step = 1 + step_family_.bounded(i, flow, l_ - 1);
+    std::uint64_t attempts = 0;
+    for (;;) {
+      bool duplicate = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (out[j] == idx) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) break;
+      ++attempts;
+      if (attempts > l_) step = 1;
+      idx += step;
+      if (idx >= l_) idx %= l_;
+    }
+    out[i] = idx;
+  }
+}
+
+}  // namespace caesar::hash

@@ -1,0 +1,41 @@
+// Deterministic selection of k pairwise-distinct counter indices per flow.
+//
+// The paper requires each flow be mapped to k *fixed, distinct* SRAM
+// counters ("k different collision-free hash functions", §3.1). We use the
+// hash family for the first probe of each slot and fall back to double
+// hashing when two functions land on the same counter — the result is a
+// pure function of (flow ID, seed, L, k), as the construction and query
+// phases must agree on the mapping without any shared state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hash/hash_family.hpp"
+
+namespace caesar::hash {
+
+class KIndexSelector {
+ public:
+  static constexpr std::size_t kMaxK = 16;
+
+  /// `k` indices drawn from [0, num_counters); requires k <= kMaxK and
+  /// k <= num_counters.
+  KIndexSelector(std::size_t k, std::uint64_t num_counters,
+                 std::uint64_t seed);
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t num_counters() const noexcept { return l_; }
+
+  /// Write the k distinct indices for `flow` into `out` (size >= k).
+  /// Deterministic in (flow, seed).
+  void select(std::uint64_t flow, std::span<std::uint64_t> out) const noexcept;
+
+ private:
+  std::size_t k_;
+  std::uint64_t l_;
+  HashFamily family_;
+  HashFamily step_family_;
+};
+
+}  // namespace caesar::hash

@@ -1,0 +1,28 @@
+// MurmurHash3 (Austin Appleby, public domain): x86_32 and x64_128 variants.
+// Used as the seeded counter-index hash family (fast, good avalanche).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace caesar::hash {
+
+[[nodiscard]] std::uint32_t murmur3_x86_32(std::span<const std::uint8_t> data,
+                                           std::uint32_t seed) noexcept;
+
+[[nodiscard]] std::array<std::uint64_t, 2> murmur3_x64_128(
+    std::span<const std::uint8_t> data, std::uint32_t seed) noexcept;
+
+/// Murmur3-style 64-bit finalizer (fmix64) — a fast seeded mix for
+/// fixed-width keys such as flow IDs.
+[[nodiscard]] constexpr std::uint64_t fmix64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace caesar::hash

@@ -1,0 +1,148 @@
+#include "hash/sha1.hpp"
+
+#include <cstring>
+
+namespace caesar::hash {
+
+namespace {
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+}  // namespace
+
+Sha1::Sha1() noexcept { reset(); }
+
+void Sha1::reset() noexcept {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffer_len_ = 0;
+  total_bits_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i)
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t need = 64 - buffer_len_;
+    const std::size_t take = data.size() < need ? data.size() : need;
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+void Sha1::update(std::string_view text) noexcept {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Sha1::Digest Sha1::finalize() noexcept {
+  const std::uint64_t bits = total_bits_;
+  const std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    len_bytes[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  // The two synthetic updates above inflated total_bits_; it is no longer
+  // needed after the length block is emitted.
+  update(std::span<const std::uint8_t>(len_bytes, 8));
+
+  Digest digest{};
+  for (int i = 0; i < 5; ++i) {
+    digest[static_cast<std::size_t>(i * 4)] =
+        static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >> 24);
+    digest[static_cast<std::size_t>(i * 4 + 1)] =
+        static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >> 16);
+    digest[static_cast<std::size_t>(i * 4 + 2)] =
+        static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >> 8);
+    digest[static_cast<std::size_t>(i * 4 + 3)] =
+        static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)]);
+  }
+  return digest;
+}
+
+Sha1::Digest Sha1::digest(std::span<const std::uint8_t> data) noexcept {
+  Sha1 s;
+  s.update(data);
+  return s.finalize();
+}
+
+Sha1::Digest Sha1::digest(std::string_view text) noexcept {
+  Sha1 s;
+  s.update(text);
+  return s.finalize();
+}
+
+std::string to_hex(const Sha1::Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(digest.size() * 2);
+  for (std::uint8_t b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0x0F]);
+  }
+  return out;
+}
+
+std::uint64_t digest_to_u64(const Sha1::Digest& digest) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v = (v << 8) | digest[static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace caesar::hash

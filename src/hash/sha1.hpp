@@ -1,0 +1,52 @@
+// SHA-1 (FIPS 180-1). The paper derives flow IDs from the 5-tuple header
+// using SHA-1 and APHash (Section 6.1); we implement the same pipeline.
+// SHA-1 is used here purely as a mixing function, not for security.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace caesar::hash {
+
+/// Incremental SHA-1.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() noexcept;
+
+  /// Absorb more input.
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept;
+
+  /// Finish and return the 160-bit digest. The object may not be reused
+  /// afterwards without calling reset().
+  [[nodiscard]] Digest finalize() noexcept;
+
+  void reset() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest digest(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Digest digest(std::string_view text) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// Hex string of a digest (lowercase), for tests against known vectors.
+[[nodiscard]] std::string to_hex(const Sha1::Digest& digest);
+
+/// First 8 digest bytes as a big-endian 64-bit value — the truncation the
+/// flow-ID pipeline uses.
+[[nodiscard]] std::uint64_t digest_to_u64(const Sha1::Digest& digest) noexcept;
+
+}  // namespace caesar::hash

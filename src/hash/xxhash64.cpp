@@ -1,0 +1,105 @@
+#include "hash/xxhash64.hpp"
+
+#include <cstring>
+
+namespace caesar::hash {
+
+namespace {
+constexpr std::uint64_t kPrime1 = 11400714785074694791ULL;
+constexpr std::uint64_t kPrime2 = 14029467366897019727ULL;
+constexpr std::uint64_t kPrime3 = 1609587929392839161ULL;
+constexpr std::uint64_t kPrime4 = 9650029242287828579ULL;
+constexpr std::uint64_t kPrime5 = 2870177450012600261ULL;
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+std::uint64_t load64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+std::uint32_t load32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+constexpr std::uint64_t round1(std::uint64_t acc, std::uint64_t input) noexcept {
+  acc += input * kPrime2;
+  acc = rotl64(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+constexpr std::uint64_t merge_round(std::uint64_t acc,
+                                    std::uint64_t val) noexcept {
+  val = round1(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+}  // namespace
+
+std::uint64_t xxh64(std::span<const std::uint8_t> data,
+                    std::uint64_t seed) noexcept {
+  const std::uint8_t* p = data.data();
+  const std::uint8_t* const end = p + data.size();
+  std::uint64_t h;
+
+  if (data.size() >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    const std::uint8_t* const limit = end - 32;
+    do {
+      v1 = round1(v1, load64(p));
+      v2 = round1(v2, load64(p + 8));
+      v3 = round1(v3, load64(p + 16));
+      v4 = round1(v4, load64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(data.size());
+
+  while (p + 8 <= end) {
+    h ^= round1(0, load64(p));
+    h = rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(load32(p)) * kPrime1;
+    h = rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+    h = rotl64(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+std::uint64_t xxh64_u64(std::uint64_t key, std::uint64_t seed) noexcept {
+  std::uint8_t bytes[8];
+  std::memcpy(bytes, &key, sizeof key);
+  return xxh64(std::span<const std::uint8_t>(bytes, 8), seed);
+}
+
+}  // namespace caesar::hash

@@ -1,0 +1,18 @@
+// XXH64 (Yann Collet, BSD) — a fast seeded 64-bit hash used where a wide
+// seeded digest of variable-length input is needed (trace shuffling,
+// deterministic per-flow streams).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace caesar::hash {
+
+[[nodiscard]] std::uint64_t xxh64(std::span<const std::uint8_t> data,
+                                  std::uint64_t seed) noexcept;
+
+/// Seeded hash of a fixed 64-bit key (convenience wrapper).
+[[nodiscard]] std::uint64_t xxh64_u64(std::uint64_t key,
+                                      std::uint64_t seed) noexcept;
+
+}  // namespace caesar::hash

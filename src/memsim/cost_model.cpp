@@ -1,0 +1,29 @@
+#include "memsim/cost_model.hpp"
+
+namespace caesar::memsim {
+
+double CostModel::cycles(const OpCounts& ops) const noexcept {
+  return static_cast<double>(ops.cache_accesses) * cache_access_cycles +
+         static_cast<double>(ops.sram_accesses) * sram_access_cycles +
+         static_cast<double>(ops.hashes) * hash_cycles +
+         static_cast<double>(ops.power_ops) * power_op_cycles +
+         static_cast<double>(ops.fixed_cycles) +
+         static_cast<double>(setup_cycles);
+}
+
+double CostModel::time_ns(const OpCounts& ops) const noexcept {
+  return cycles(ops) * ns_per_cycle();
+}
+
+CostModel virtex7_model() noexcept { return CostModel{}; }
+
+double LineRateBuffer::completion_cycles(std::uint64_t packets) const noexcept {
+  const auto n = static_cast<double>(packets);
+  const auto b = static_cast<double>(buffer_packets);
+  if (service_cycles_per_packet <= line_cycles_per_packet || n <= b)
+    return line_cycles_per_packet * n;
+  return service_cycles_per_packet * n -
+         (service_cycles_per_packet - line_cycles_per_packet) * b;
+}
+
+}  // namespace caesar::memsim

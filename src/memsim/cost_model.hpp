@@ -1,0 +1,87 @@
+// Hardware timing model — the substitute for the paper's Virtex-7 FPGA
+// prototype (§6.2, Fig. 8). See DESIGN.md §2/§5.
+//
+// The paper's platform: 18.912 MHz design clock, on-chip dual-port RAM
+// cache (~1 ns class), off-chip QDRII+ SRAM (3–10 ns class, we take the
+// upper end: 10x the cache), and CASE's "time-consuming power operations"
+// in the compression step. Each scheme reports how many operations of
+// each kind it performed; the model converts operation counts to time.
+#pragma once
+
+#include <cstdint>
+
+namespace caesar::memsim {
+
+/// Operation counts accumulated by a measurement scheme.
+struct OpCounts {
+  std::uint64_t cache_accesses = 0;  ///< on-chip cache reads/writes
+  std::uint64_t sram_accesses = 0;   ///< off-chip counter reads/writes
+  std::uint64_t hashes = 0;          ///< hash-function evaluations
+  std::uint64_t power_ops = 0;       ///< CASE compression power operations
+  /// Fixed pipeline cost charged once (e.g. CASE's compression-pipeline
+  /// fill), already expressed in cycles.
+  std::uint64_t fixed_cycles = 0;
+
+  OpCounts& operator+=(const OpCounts& other) noexcept {
+    cache_accesses += other.cache_accesses;
+    sram_accesses += other.sram_accesses;
+    hashes += other.hashes;
+    power_ops += other.power_ops;
+    fixed_cycles += other.fixed_cycles;
+    return *this;
+  }
+};
+
+/// Cycle costs per operation on the modeled FPGA pipeline.
+struct CostModel {
+  double clock_mhz = 18.912;            ///< paper's max design clock
+  std::uint32_t cache_access_cycles = 1;
+  std::uint32_t sram_access_cycles = 10;  ///< off-chip is ~10x on-chip
+  std::uint32_t hash_cycles = 1;          ///< pipelined hardware hash
+  std::uint32_t power_op_cycles = 10;     ///< CASE's compression power op
+  std::uint64_t setup_cycles = 0;         ///< fixed pipeline fill cost
+
+  [[nodiscard]] double ns_per_cycle() const noexcept {
+    return 1000.0 / clock_mhz;
+  }
+
+  [[nodiscard]] double cycles(const OpCounts& ops) const noexcept;
+
+  /// Total processing time in nanoseconds for the given operation counts.
+  [[nodiscard]] double time_ns(const OpCounts& ops) const noexcept;
+
+  /// Same, in milliseconds (the unit of the paper's Fig. 8 axis).
+  [[nodiscard]] double time_ms(const OpCounts& ops) const noexcept {
+    return time_ns(ops) / 1e6;
+  }
+};
+
+/// The paper's default platform model.
+[[nodiscard]] CostModel virtex7_model() noexcept;
+
+/// Input-FIFO model for cache-free schemes (the Fig. 8 "drastic
+/// increase" of RCS beyond ~10^4 packets).
+///
+/// Packets arrive at line rate; a per-packet dependent read-modify-write
+/// to off-chip SRAM takes `service_cycles_per_packet`. An on-chip FIFO of
+/// `buffer_packets` absorbs the backlog, so short bursts complete at line
+/// rate; once the FIFO fills the pipeline is paced by the SRAM:
+///
+///   completion(n) = line * n                          for n <= B
+///   completion(n) = service * n - (service-line) * B  for n >  B
+///
+/// (continuous at n = B; the fluid limit of a finite-buffer D/D/1 queue
+/// with blocking).
+struct LineRateBuffer {
+  std::uint64_t buffer_packets = 10'000;
+  double line_cycles_per_packet = 4.0;     ///< hash + FIFO push
+  double service_cycles_per_packet = 22.0; ///< 2 hashes + off-chip RMW
+
+  [[nodiscard]] double completion_cycles(std::uint64_t packets) const noexcept;
+  [[nodiscard]] double completion_ms(std::uint64_t packets,
+                                     const CostModel& model) const noexcept {
+    return completion_cycles(packets) * model.ns_per_cycle() / 1e6;
+  }
+};
+
+}  // namespace caesar::memsim

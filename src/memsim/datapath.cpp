@@ -1,0 +1,63 @@
+#include "memsim/datapath.hpp"
+
+#include <algorithm>
+
+namespace caesar::memsim {
+
+DatapathSimulator::DatapathSimulator(const DatapathConfig& config)
+    : config_(config) {}
+
+void DatapathSimulator::advance_cycles(std::uint64_t cycles) {
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    ++stats_.total_cycles;
+
+    // SRAM writer: finish the in-flight RMW, then start the next.
+    if (writer_busy_ > 0) {
+      if (--writer_busy_ == 0) ++stats_.counter_writes;
+    }
+    if (writer_busy_ == 0 && !fifo_.empty()) {
+      writer_busy_ = fifo_.front();
+      fifo_.pop_front();
+    }
+
+    // Front end: one packet per cycle unless its eviction writes don't
+    // fit in the FIFO (back-pressure stall).
+    if (backlog_packets_ > 0) {
+      const std::uint32_t writes = pending_writes_.front();
+      if (fifo_.size() + writes <= config_.eviction_fifo_depth) {
+        pending_writes_.pop_front();
+        --backlog_packets_;
+        ++stats_.packets_processed;
+        for (std::uint32_t w = 0; w < writes; ++w)
+          fifo_.push_back(config_.sram_cycles);
+        stats_.fifo_high_water =
+            std::max<std::uint64_t>(stats_.fifo_high_water, fifo_.size());
+      } else {
+        ++stats_.stall_cycles;
+      }
+    }
+  }
+}
+
+bool DatapathSimulator::step(std::uint32_t counter_writes) {
+  ++stats_.packets_offered;
+  bool admitted = true;
+  if (backlog_packets_ >= config_.input_buffer_depth) {
+    ++stats_.packets_dropped;
+    admitted = false;
+  } else {
+    ++backlog_packets_;
+    pending_writes_.push_back(counter_writes);
+  }
+  advance_cycles(1);
+  return admitted;
+}
+
+void DatapathSimulator::finish() {
+  // Pipeline fill for the hash stage, then drain everything in flight.
+  advance_cycles(config_.hash_latency);
+  while (backlog_packets_ > 0 || !fifo_.empty() || writer_busy_ > 0)
+    advance_cycles(1);
+}
+
+}  // namespace caesar::memsim

@@ -1,0 +1,92 @@
+// Cycle-level structural simulation of the CAESAR FPGA datapath — the
+// finest-grained layer of the hardware stand-in (above it sit the
+// event-level QueueSimulator and the closed-form LineRateBuffer; all
+// three are cross-validated in the tests).
+//
+// Pipeline structure modeled per the paper's prototype description
+// (§6.2: dual-port BRAM cache, off-chip SRAM, 36-bit input bus at the
+// design clock):
+//
+//   input bus ──> hash unit ──> cache RMW ──> [eviction FIFO] ──> SRAM
+//   1 pkt/cycle   pipelined,    dual-port,     depth-limited     writer,
+//                 fixed latency 1 RMW/cycle                      RMW every
+//                                                                sram_cycles
+//
+// The hash unit and cache are fully pipelined (throughput 1/cycle), so
+// the front end never stalls; eviction bursts are absorbed by the FIFO
+// and drained by the SRAM writer. If the FIFO is full when an eviction
+// is produced, the front end STALLS (back-pressure) until a slot frees —
+// the conservative hardware choice (no measurement loss, possible input
+// loss, both reported).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace caesar::memsim {
+
+struct DatapathConfig {
+  std::uint32_t hash_latency = 2;       ///< pipeline fill only
+  std::uint32_t sram_cycles = 3;        ///< per counter RMW (QDRII+ burst)
+  std::uint32_t eviction_fifo_depth = 64;  ///< pending counter writes
+  /// Input buffer absorbing front-end stall back-pressure; arrivals
+  /// finding it full are lost (input drops).
+  std::uint32_t input_buffer_depth = 1024;
+};
+
+struct DatapathStats {
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_processed = 0;
+  std::uint64_t packets_dropped = 0;   ///< input-buffer overflow
+  std::uint64_t counter_writes = 0;    ///< SRAM RMWs completed
+  std::uint64_t stall_cycles = 0;      ///< front end blocked on FIFO
+  std::uint64_t total_cycles = 0;
+  std::uint64_t fifo_high_water = 0;
+
+  [[nodiscard]] double cycles_per_packet() const noexcept {
+    return packets_processed == 0
+               ? 0.0
+               : static_cast<double>(total_cycles) /
+                     static_cast<double>(packets_processed);
+  }
+  [[nodiscard]] double drop_rate() const noexcept {
+    return packets_offered == 0
+               ? 0.0
+               : static_cast<double>(packets_dropped) /
+                     static_cast<double>(packets_offered);
+  }
+};
+
+/// Drives the pipeline one packet at a time. The caller supplies how many
+/// SRAM counter writes each packet triggered (0 for a plain cache hit,
+/// k per eviction) — typically read off a real CaesarSketch as it runs.
+class DatapathSimulator {
+ public:
+  explicit DatapathSimulator(const DatapathConfig& config);
+
+  /// Advance the machine by one packet arrival (one bus cycle) that
+  /// enqueues `counter_writes` SRAM RMWs. Returns false if the packet
+  /// was dropped at the input buffer.
+  bool step(std::uint32_t counter_writes);
+
+  /// Drain everything in flight; call once after the last packet.
+  void finish();
+
+  [[nodiscard]] const DatapathStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  void advance_cycles(std::uint64_t cycles);
+
+  DatapathConfig config_;
+  DatapathStats stats_;
+  /// Pending SRAM RMWs (each entry = service cycles for that write).
+  std::deque<std::uint32_t> fifo_;
+  /// Per-buffered-packet eviction write counts (front = oldest).
+  std::deque<std::uint32_t> pending_writes_;
+  std::uint64_t backlog_packets_ = 0;  ///< input buffer occupancy
+  std::uint32_t writer_busy_ = 0;      ///< cycles left on current RMW
+};
+
+}  // namespace caesar::memsim

@@ -1,0 +1,27 @@
+#include "memsim/loss_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace caesar::memsim {
+
+double fluid_loss_rate(double arrival_interval_ns,
+                       double service_time_ns) noexcept {
+  if (service_time_ns <= 0.0) return 0.0;
+  return std::max(0.0, 1.0 - arrival_interval_ns / service_time_ns);
+}
+
+PacketDropper::PacketDropper(double loss_rate, std::uint64_t seed)
+    : loss_rate_(loss_rate), rng_(seed) {
+  if (loss_rate < 0.0 || loss_rate >= 1.0)
+    throw std::invalid_argument("PacketDropper: loss_rate must be in [0,1)");
+}
+
+bool PacketDropper::drop() noexcept {
+  ++offered_;
+  const bool d = rng_.bernoulli(loss_rate_);
+  if (d) ++dropped_;
+  return d;
+}
+
+}  // namespace caesar::memsim

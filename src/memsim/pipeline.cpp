@@ -1,0 +1,37 @@
+#include "memsim/pipeline.hpp"
+
+#include <algorithm>
+
+namespace caesar::memsim {
+
+QueueSimulator::QueueSimulator(const QueueConfig& config) : config_(config) {}
+
+bool QueueSimulator::offer(double service_cycles) {
+  const bool admitted = offer_at(now_, service_cycles);
+  now_ += config_.arrival_cycles;
+  return admitted;
+}
+
+bool QueueSimulator::offer_at(double time, double service_cycles) {
+  ++stats_.offered;
+  if (time > now_) now_ = time;
+
+  // Drain packets that completed before this arrival.
+  while (!completions_.empty() && completions_.front() <= time)
+    completions_.pop_front();
+
+  if (completions_.size() >= config_.fifo_depth) {
+    ++stats_.dropped;
+    return false;
+  }
+  ++stats_.admitted;
+  const double start = std::max(time, server_free_);
+  server_free_ = start + service_cycles;
+  completions_.push_back(server_free_);
+  stats_.completion_cycles = server_free_;
+  stats_.max_backlog =
+      std::max<std::uint64_t>(stats_.max_backlog, completions_.size());
+  return true;
+}
+
+}  // namespace caesar::memsim

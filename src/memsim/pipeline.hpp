@@ -1,0 +1,73 @@
+// Event-level queue simulation of the FPGA datapath — the deeper
+// substitute for the paper's hardware experiment. Where LineRateBuffer is
+// a closed-form fluid model, QueueSimulator tracks individual packets
+// through a finite FIFO in front of a (possibly variable-rate) server, so
+// the paper's empirical loss rates (2/3 for 3x-slow SRAM, 9/10 for
+// 10x-slow, §6.3.3) fall out of the simulation instead of being assumed.
+//
+// Usage pattern:
+//   QueueSimulator q(cfg);
+//   for (packet : trace)
+//     if (q.offer(service_cycles_for(packet))) sketch.add(packet);
+//     // rejected packets never reach the sketch: that IS the loss
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace caesar::memsim {
+
+struct QueueConfig {
+  /// Cycles between packet arrivals (line rate; the paper's 36-bit bus
+  /// delivers one packet ID per clock, i.e. 1.0).
+  double arrival_cycles = 1.0;
+  /// Input FIFO depth in packets; arrivals finding it full are dropped.
+  std::uint64_t fifo_depth = 1024;
+};
+
+struct QueueStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t dropped = 0;
+  /// Cycle at which the last admitted packet finished service.
+  double completion_cycles = 0.0;
+  /// Largest backlog observed (<= fifo_depth).
+  std::uint64_t max_backlog = 0;
+
+  [[nodiscard]] double loss_rate() const noexcept {
+    return offered == 0
+               ? 0.0
+               : static_cast<double>(dropped) / static_cast<double>(offered);
+  }
+};
+
+class QueueSimulator {
+ public:
+  explicit QueueSimulator(const QueueConfig& config);
+
+  /// Offer the next packet (arriving one arrival interval after the
+  /// previous) with the given service demand. Returns true if the packet
+  /// was admitted to the FIFO; false if it was dropped.
+  bool offer(double service_cycles);
+
+  /// Offer a packet at an explicit (non-decreasing) arrival time — used
+  /// for irregular streams such as the cache-eviction traffic feeding
+  /// CAESAR's off-chip write queue.
+  bool offer_at(double time, double service_cycles);
+
+  [[nodiscard]] const QueueStats& stats() const noexcept { return stats_; }
+  /// Packets currently queued or in service (diagnostic).
+  [[nodiscard]] std::uint64_t backlog() const noexcept {
+    return completions_.size();
+  }
+
+ private:
+  QueueConfig config_;
+  QueueStats stats_;
+  double now_ = 0.0;        ///< arrival clock
+  double server_free_ = 0.0;
+  /// Completion times of admitted-but-unfinished packets (FIFO order).
+  std::deque<double> completions_;
+};
+
+}  // namespace caesar::memsim

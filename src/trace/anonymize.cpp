@@ -1,0 +1,36 @@
+#include "trace/anonymize.hpp"
+
+#include "hash/murmur3.hpp"
+
+namespace caesar::trace {
+
+std::uint32_t PrefixPreservingAnonymizer::anonymize(
+    std::uint32_t ip) const noexcept {
+  // Crypto-PAn: output bit i is input bit i XOR f(first i bits of the
+  // input). Flipping any input bit therefore changes that output bit's
+  // pad for all *later* positions only — prefixes are preserved bit for
+  // bit.
+  std::uint32_t out = 0;
+  for (int i = 0; i < 32; ++i) {
+    // The i high-order bits of the input, right-aligned, plus the
+    // position so the empty prefix at every depth pads independently.
+    const std::uint32_t prefix = i == 0 ? 0u : ip >> (32 - i);
+    const std::uint64_t pad =
+        hash::fmix64(key_ ^ (static_cast<std::uint64_t>(prefix) << 8) ^
+                     static_cast<std::uint64_t>(i));
+    const std::uint32_t in_bit = (ip >> (31 - i)) & 1u;
+    const std::uint32_t pad_bit = static_cast<std::uint32_t>(pad & 1u);
+    out = (out << 1) | (in_bit ^ pad_bit);
+  }
+  return out;
+}
+
+FiveTuple PrefixPreservingAnonymizer::anonymize(
+    const FiveTuple& tuple) const noexcept {
+  FiveTuple out = tuple;
+  out.src_ip = anonymize(tuple.src_ip);
+  out.dst_ip = anonymize(tuple.dst_ip);
+  return out;
+}
+
+}  // namespace caesar::trace

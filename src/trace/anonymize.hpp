@@ -1,0 +1,36 @@
+// Prefix-preserving IP anonymization (Crypto-PAn construction, Xu et al.
+// 2002) — the transformation applied to public backbone traces like the
+// ones the paper measures (CAIDA distributes captures in exactly this
+// form). Two addresses sharing a j-bit prefix map to addresses sharing
+// exactly a j-bit prefix, so subnet structure (and therefore per-flow
+// semantics) survives while addresses are unlinkable without the key.
+//
+// The one-time-pad of the original construction is AES; here the PRF is
+// the seeded 64-bit mix from hash/, which preserves the structural
+// property exactly (it is not meant to be cryptographically strong — use
+// a real Crypto-PAn for data release).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/packet.hpp"
+
+namespace caesar::trace {
+
+class PrefixPreservingAnonymizer {
+ public:
+  explicit PrefixPreservingAnonymizer(std::uint64_t key) : key_(key) {}
+
+  /// Anonymize one IPv4 address. Deterministic in (key, address);
+  /// prefix-preserving across all addresses under the same key.
+  [[nodiscard]] std::uint32_t anonymize(std::uint32_t ip) const noexcept;
+
+  /// Anonymize both addresses of a 5-tuple (ports/protocol untouched,
+  /// the common policy for flow research data).
+  [[nodiscard]] FiveTuple anonymize(const FiveTuple& tuple) const noexcept;
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace caesar::trace

@@ -1,0 +1,63 @@
+#include "trace/flow_id.hpp"
+
+#include <span>
+
+#include "hash/classic_hashes.hpp"
+#include "hash/sha1.hpp"
+
+namespace caesar::trace {
+
+std::array<std::uint8_t, 13> serialize(const FiveTuple& tuple) noexcept {
+  std::array<std::uint8_t, 13> out{};
+  auto put32 = [&](std::size_t at, std::uint32_t v) {
+    out[at] = static_cast<std::uint8_t>(v >> 24);
+    out[at + 1] = static_cast<std::uint8_t>(v >> 16);
+    out[at + 2] = static_cast<std::uint8_t>(v >> 8);
+    out[at + 3] = static_cast<std::uint8_t>(v);
+  };
+  auto put16 = [&](std::size_t at, std::uint16_t v) {
+    out[at] = static_cast<std::uint8_t>(v >> 8);
+    out[at + 1] = static_cast<std::uint8_t>(v);
+  };
+  put32(0, tuple.src_ip);
+  put32(4, tuple.dst_ip);
+  put16(8, tuple.src_port);
+  put16(10, tuple.dst_port);
+  out[12] = static_cast<std::uint8_t>(tuple.protocol);
+  return out;
+}
+
+std::array<std::uint8_t, 38> serialize(const FiveTupleV6& tuple) noexcept {
+  std::array<std::uint8_t, 38> out{};
+  out[0] = 0x06;  // version tag: v6 tuples can never alias v4 tuples
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[1 + i] = tuple.src_ip[i];
+    out[17 + i] = tuple.dst_ip[i];
+  }
+  out[33] = static_cast<std::uint8_t>(tuple.src_port >> 8);
+  out[34] = static_cast<std::uint8_t>(tuple.src_port);
+  out[35] = static_cast<std::uint8_t>(tuple.dst_port >> 8);
+  out[36] = static_cast<std::uint8_t>(tuple.dst_port);
+  out[37] = tuple.next_header;
+  return out;
+}
+
+FlowId flow_id_of(const FiveTupleV6& tuple) noexcept {
+  const auto bytes = serialize(tuple);
+  const std::span<const std::uint8_t> view(bytes.data(), bytes.size());
+  const std::uint64_t sha = hash::digest_to_u64(hash::Sha1::digest(view));
+  const std::uint64_t ap = hash::ap_hash(view);
+  return sha ^ (ap | (ap << 32));
+}
+
+FlowId flow_id_of(const FiveTuple& tuple) noexcept {
+  const auto bytes = serialize(tuple);
+  const std::span<const std::uint8_t> view(bytes.data(), bytes.size());
+  const std::uint64_t sha = hash::digest_to_u64(hash::Sha1::digest(view));
+  const std::uint64_t ap = hash::ap_hash(view);
+  // Fold APHash into both halves so either function alone cannot collide
+  // the ID space.
+  return sha ^ (ap | (ap << 32));
+}
+
+}  // namespace caesar::trace

@@ -1,0 +1,35 @@
+// Flow-ID derivation. Paper §6.1: "After capturing each packet, we extract
+// the information of the 5-tuple packet header to artificially generate its
+// unique flow ID, using SHA-1 and APHash functions."
+//
+// We serialize the 5-tuple canonically (13 bytes, big-endian fields), take
+// the first 8 bytes of its SHA-1 digest and fold in the 32-bit APHash so
+// both functions contribute, yielding a 64-bit flow ID. At the paper's
+// scale (~10^6 flows) the birthday collision probability is ~3e-8.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "trace/packet.hpp"
+
+namespace caesar::trace {
+
+/// Canonical 13-byte serialization of a 5-tuple.
+[[nodiscard]] std::array<std::uint8_t, 13> serialize(
+    const FiveTuple& tuple) noexcept;
+
+/// Canonical 38-byte serialization of an IPv6 5-tuple (leading version
+/// tag 0x06, then addresses, ports, next header).
+[[nodiscard]] std::array<std::uint8_t, 38> serialize(
+    const FiveTupleV6& tuple) noexcept;
+
+/// 64-bit flow ID from a 5-tuple via SHA-1 + APHash (paper pipeline).
+[[nodiscard]] FlowId flow_id_of(const FiveTuple& tuple) noexcept;
+
+/// Same pipeline over the IPv6 tuple. The v6 serialization begins with a
+/// version tag byte so a v6 flow can never alias a v4 flow.
+[[nodiscard]] FlowId flow_id_of(const FiveTupleV6& tuple) noexcept;
+
+}  // namespace caesar::trace

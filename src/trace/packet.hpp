@@ -1,0 +1,51 @@
+// Packet and 5-tuple models mirroring the paper's front end: each captured
+// packet is reduced to its 5-tuple header, which is hashed into a flow ID.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace caesar::trace {
+
+/// IP protocol numbers the paper's traces contain (§6.1).
+enum class Protocol : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// The classic 5-tuple: src/dst IPv4 address, src/dst port, protocol.
+/// ICMP has no ports; the convention (also used by real capture tools) is
+/// ports = 0.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol protocol = Protocol::kTcp;
+
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+};
+
+/// A captured packet after header extraction.
+struct Packet {
+  FiveTuple tuple;
+  std::uint16_t length = 0;  ///< wire length in bytes (flow-volume counting)
+};
+
+/// IPv6 variant of the 5-tuple (128-bit addresses, same port/protocol
+/// semantics; protocol is the final next-header value).
+struct FiveTupleV6 {
+  std::array<std::uint8_t, 16> src_ip{};
+  std::array<std::uint8_t, 16> dst_ip{};
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t next_header = 6;
+
+  friend auto operator<=>(const FiveTupleV6&, const FiveTupleV6&) = default;
+};
+
+}  // namespace caesar::trace

@@ -1,0 +1,268 @@
+#include "trace/pcap.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "trace/flow_id.hpp"
+
+namespace caesar::trace {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xa1b2c3d4u;
+constexpr std::uint32_t kMagicSwapped = 0xd4c3b2a1u;
+constexpr std::uint32_t kLinkEthernet = 1;
+constexpr std::size_t kEthHeader = 14;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return __builtin_bswap32(v);
+}
+
+void put_u32le(std::ostream& out, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.write(b, 4);
+}
+void put_u16le(std::ostream& out, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  out.write(b, 2);
+}
+}  // namespace
+
+PcapReader::PcapReader(std::istream& in) : in_(in) {
+  std::array<std::uint8_t, 24> header{};
+  in_.read(reinterpret_cast<char*>(header.data()),
+           static_cast<std::streamsize>(header.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(header.size()))
+    throw std::runtime_error("pcap: truncated global header");
+
+  std::uint32_t magic;
+  std::memcpy(&magic, header.data(), 4);
+  if (magic == kMagic) {
+    swap_ = false;
+  } else if (magic == kMagicSwapped) {
+    swap_ = true;
+  } else {
+    throw std::runtime_error("pcap: bad magic number");
+  }
+  std::memcpy(&snaplen_, header.data() + 16, 4);
+  std::uint32_t network;
+  std::memcpy(&network, header.data() + 20, 4);
+  if (swap_) {
+    snaplen_ = bswap32(snaplen_);
+    network = bswap32(network);
+  }
+  if (network != kLinkEthernet)
+    throw std::runtime_error("pcap: unsupported link type (need Ethernet)");
+}
+
+std::uint32_t PcapReader::u32(const std::uint8_t* p) const noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return swap_ ? bswap32(v) : v;
+}
+
+std::uint16_t PcapReader::u16be_(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint16_t PcapReader::u16be(const std::uint8_t* p) const noexcept {
+  return u16be_(p);
+}
+
+bool PcapReader::next_record(std::vector<std::uint8_t>& frame,
+                             std::uint32_t& orig_len) {
+  std::array<std::uint8_t, 16> rec{};
+  in_.read(reinterpret_cast<char*>(rec.data()),
+           static_cast<std::streamsize>(rec.size()));
+  if (in_.gcount() == 0) return false;  // clean EOF
+  if (in_.gcount() != static_cast<std::streamsize>(rec.size()))
+    throw std::runtime_error("pcap: truncated record header");
+  const std::uint32_t incl_len = u32(rec.data() + 8);
+  orig_len = u32(rec.data() + 12);
+  if (incl_len > (1u << 26))
+    throw std::runtime_error("pcap: implausible record length");
+
+  frame.resize(incl_len);
+  in_.read(reinterpret_cast<char*>(frame.data()),
+           static_cast<std::streamsize>(incl_len));
+  if (in_.gcount() != static_cast<std::streamsize>(incl_len))
+    throw std::runtime_error("pcap: truncated packet body");
+  return true;
+}
+
+std::optional<Packet> PcapReader::parse_ipv4(
+    const std::vector<std::uint8_t>& frame, std::uint32_t orig_len) {
+  if (frame.size() < kEthHeader + 20 ||
+      u16be_(frame.data() + 12) != kEtherTypeIpv4)
+    return std::nullopt;
+  const std::uint8_t* ip = frame.data() + kEthHeader;
+  const std::uint8_t version = ip[0] >> 4;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
+  if (version != 4 || ihl < 20 || frame.size() < kEthHeader + ihl)
+    return std::nullopt;
+  const std::uint8_t proto = ip[9];
+  if (proto != static_cast<std::uint8_t>(Protocol::kTcp) &&
+      proto != static_cast<std::uint8_t>(Protocol::kUdp) &&
+      proto != static_cast<std::uint8_t>(Protocol::kIcmp))
+    return std::nullopt;
+
+  Packet pkt;
+  pkt.tuple.src_ip = (static_cast<std::uint32_t>(ip[12]) << 24) |
+                     (static_cast<std::uint32_t>(ip[13]) << 16) |
+                     (static_cast<std::uint32_t>(ip[14]) << 8) |
+                     static_cast<std::uint32_t>(ip[15]);
+  pkt.tuple.dst_ip = (static_cast<std::uint32_t>(ip[16]) << 24) |
+                     (static_cast<std::uint32_t>(ip[17]) << 16) |
+                     (static_cast<std::uint32_t>(ip[18]) << 8) |
+                     static_cast<std::uint32_t>(ip[19]);
+  pkt.tuple.protocol = static_cast<Protocol>(proto);
+  if (proto != static_cast<std::uint8_t>(Protocol::kIcmp)) {
+    const std::uint8_t* l4 = ip + ihl;
+    if (frame.size() < kEthHeader + ihl + 4) return std::nullopt;
+    pkt.tuple.src_port = u16be_(l4);
+    pkt.tuple.dst_port = u16be_(l4 + 2);
+  }
+  pkt.length =
+      static_cast<std::uint16_t>(orig_len > 0xFFFF ? 0xFFFF : orig_len);
+  return pkt;
+}
+
+std::optional<FiveTupleV6> PcapReader::parse_ipv6(
+    const std::vector<std::uint8_t>& frame) {
+  constexpr std::uint16_t kEtherTypeIpv6 = 0x86DD;
+  constexpr std::size_t kV6Header = 40;
+  if (frame.size() < kEthHeader + kV6Header ||
+      u16be_(frame.data() + 12) != kEtherTypeIpv6)
+    return std::nullopt;
+  const std::uint8_t* ip = frame.data() + kEthHeader;
+  if ((ip[0] >> 4) != 6) return std::nullopt;
+  const std::uint8_t next = ip[6];
+  constexpr std::uint8_t kIcmpV6 = 58;
+  // Direct TCP/UDP/ICMPv6 only; packets with extension-header chains are
+  // skipped (counted by the caller), as in typical fast-path parsers.
+  if (next != static_cast<std::uint8_t>(Protocol::kTcp) &&
+      next != static_cast<std::uint8_t>(Protocol::kUdp) && next != kIcmpV6)
+    return std::nullopt;
+
+  FiveTupleV6 tuple;
+  for (std::size_t i = 0; i < 16; ++i) {
+    tuple.src_ip[i] = ip[8 + i];
+    tuple.dst_ip[i] = ip[24 + i];
+  }
+  tuple.next_header = next;
+  if (next != kIcmpV6) {
+    if (frame.size() < kEthHeader + kV6Header + 4) return std::nullopt;
+    tuple.src_port = u16be_(ip + kV6Header);
+    tuple.dst_port = u16be_(ip + kV6Header + 2);
+  }
+  return tuple;
+}
+
+std::optional<Packet> PcapReader::next() {
+  std::vector<std::uint8_t> frame;
+  std::uint32_t orig_len = 0;
+  while (next_record(frame, orig_len)) {
+    if (auto pkt = parse_ipv4(frame, orig_len)) {
+      ++parsed_;
+      return pkt;
+    }
+    ++skipped_;
+  }
+  return std::nullopt;
+}
+
+std::optional<PcapReader::PacketInfo> PcapReader::next_info() {
+  std::vector<std::uint8_t> frame;
+  std::uint32_t orig_len = 0;
+  while (next_record(frame, orig_len)) {
+    const std::uint16_t length =
+        static_cast<std::uint16_t>(orig_len > 0xFFFF ? 0xFFFF : orig_len);
+    if (const auto v4 = parse_ipv4(frame, orig_len)) {
+      ++parsed_;
+      return PacketInfo{flow_id_of(v4->tuple), length, false};
+    }
+    if (const auto v6 = parse_ipv6(frame)) {
+      ++parsed_;
+      return PacketInfo{flow_id_of(*v6), length, true};
+    }
+    ++skipped_;
+  }
+  return std::nullopt;
+}
+
+PcapWriter::PcapWriter(std::ostream& out) : out_(out) {
+  put_u32le(out_, kMagic);
+  put_u16le(out_, 2);   // version major
+  put_u16le(out_, 4);   // version minor
+  put_u32le(out_, 0);   // thiszone
+  put_u32le(out_, 0);   // sigfigs
+  put_u32le(out_, 65535);  // snaplen
+  put_u32le(out_, kLinkEthernet);
+}
+
+void PcapWriter::write(const Packet& packet, std::uint32_t ts_sec,
+                       std::uint32_t ts_usec) {
+  const bool has_ports = packet.tuple.protocol != Protocol::kIcmp;
+  const std::size_t l4_len = has_ports ? 8 : 8;  // UDP-like stub / ICMP hdr
+  const std::size_t frame_len = kEthHeader + 20 + l4_len;
+
+  std::vector<std::uint8_t> frame(frame_len, 0);
+  // Ethernet: synthetic MACs, EtherType IPv4.
+  frame[12] = 0x08;
+  frame[13] = 0x00;
+  std::uint8_t* ip = frame.data() + kEthHeader;
+  ip[0] = 0x45;  // IPv4, IHL=5
+  const std::uint16_t ip_total = static_cast<std::uint16_t>(20 + l4_len);
+  ip[2] = static_cast<std::uint8_t>(ip_total >> 8);
+  ip[3] = static_cast<std::uint8_t>(ip_total);
+  ip[8] = 64;  // TTL
+  ip[9] = static_cast<std::uint8_t>(packet.tuple.protocol);
+  ip[12] = static_cast<std::uint8_t>(packet.tuple.src_ip >> 24);
+  ip[13] = static_cast<std::uint8_t>(packet.tuple.src_ip >> 16);
+  ip[14] = static_cast<std::uint8_t>(packet.tuple.src_ip >> 8);
+  ip[15] = static_cast<std::uint8_t>(packet.tuple.src_ip);
+  ip[16] = static_cast<std::uint8_t>(packet.tuple.dst_ip >> 24);
+  ip[17] = static_cast<std::uint8_t>(packet.tuple.dst_ip >> 16);
+  ip[18] = static_cast<std::uint8_t>(packet.tuple.dst_ip >> 8);
+  ip[19] = static_cast<std::uint8_t>(packet.tuple.dst_ip);
+  if (has_ports) {
+    std::uint8_t* l4 = ip + 20;
+    l4[0] = static_cast<std::uint8_t>(packet.tuple.src_port >> 8);
+    l4[1] = static_cast<std::uint8_t>(packet.tuple.src_port);
+    l4[2] = static_cast<std::uint8_t>(packet.tuple.dst_port >> 8);
+    l4[3] = static_cast<std::uint8_t>(packet.tuple.dst_port);
+  }
+
+  put_u32le(out_, ts_sec);
+  put_u32le(out_, ts_usec);
+  put_u32le(out_, static_cast<std::uint32_t>(frame.size()));
+  const std::uint32_t orig =
+      packet.length > frame.size() ? packet.length
+                                   : static_cast<std::uint32_t>(frame.size());
+  put_u32le(out_, orig);
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  ++written_;
+}
+
+std::vector<Packet> read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pcap: cannot open " + path);
+  PcapReader reader(in);
+  std::vector<Packet> packets;
+  while (auto p = reader.next()) packets.push_back(*p);
+  return packets;
+}
+
+void write_pcap_file(const std::string& path,
+                     const std::vector<Packet>& packets) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("pcap: cannot open " + path);
+  PcapWriter writer(out);
+  for (const auto& p : packets) writer.write(p);
+}
+
+}  // namespace caesar::trace

@@ -1,0 +1,89 @@
+// Minimal classic-PCAP (libpcap tcpdump format) reader and writer.
+//
+// The paper evaluates on captured backbone traces; users with real
+// captures (e.g. CAIDA) can feed them straight into the sketches through
+// PcapReader, while PcapWriter lets the test suite fabricate valid files.
+// Supported link type: Ethernet II frames carrying IPv4 TCP/UDP/ICMP.
+// Both byte orders of the magic number are handled.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/packet.hpp"
+
+namespace caesar::trace {
+
+class PcapReader {
+ public:
+  /// Binds to a stream positioned at the global header. Throws
+  /// std::runtime_error on a malformed or non-Ethernet file.
+  explicit PcapReader(std::istream& in);
+
+  /// Next IPv4 TCP/UDP/ICMP packet, or nullopt at end of file.
+  /// Non-IPv4 and truncated frames are skipped (counted in skipped()).
+  [[nodiscard]] std::optional<Packet> next();
+
+  /// Protocol-agnostic parse: next IPv4 *or* IPv6 packet reduced to its
+  /// flow identity. The measurement sketches only need the FlowId, so
+  /// this is the ingest entry point for dual-stack captures.
+  struct PacketInfo {
+    FlowId flow = 0;
+    std::uint16_t length = 0;
+    bool ipv6 = false;
+  };
+  [[nodiscard]] std::optional<PacketInfo> next_info();
+
+  [[nodiscard]] std::uint64_t parsed() const noexcept { return parsed_; }
+  [[nodiscard]] std::uint64_t skipped() const noexcept { return skipped_; }
+
+ private:
+  /// Read the next record into `frame`; false at clean EOF.
+  [[nodiscard]] bool next_record(std::vector<std::uint8_t>& frame,
+                                 std::uint32_t& orig_len);
+  [[nodiscard]] static std::optional<Packet> parse_ipv4(
+      const std::vector<std::uint8_t>& frame, std::uint32_t orig_len);
+  [[nodiscard]] static std::optional<FiveTupleV6> parse_ipv6(
+      const std::vector<std::uint8_t>& frame);
+
+  [[nodiscard]] std::uint32_t u32(const std::uint8_t* p) const noexcept;
+  [[nodiscard]] static std::uint16_t u16be_(const std::uint8_t* p) noexcept;
+  [[nodiscard]] std::uint16_t u16be(const std::uint8_t* p) const noexcept;
+
+  std::istream& in_;
+  bool swap_ = false;  // file written on an opposite-endian host
+  std::uint32_t snaplen_ = 0;
+  std::uint64_t parsed_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+class PcapWriter {
+ public:
+  /// Writes the global header immediately.
+  explicit PcapWriter(std::ostream& out);
+
+  /// Append one packet; `length` is used as both captured and original
+  /// length (padded with zeros beyond the generated headers).
+  void write(const Packet& packet, std::uint32_t ts_sec = 0,
+             std::uint32_t ts_usec = 0);
+
+  [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t written_ = 0;
+};
+
+/// Read every parseable packet from a pcap file on disk.
+[[nodiscard]] std::vector<Packet> read_pcap_file(const std::string& path);
+
+/// Write packets to a pcap file on disk (overwrites).
+void write_pcap_file(const std::string& path,
+                     const std::vector<Packet>& packets);
+
+}  // namespace caesar::trace

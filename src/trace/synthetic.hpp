@@ -1,0 +1,120 @@
+// Synthetic trace generation — the substitute for the paper's captured
+// backbone traces (n = 27,720,011 packets, Q = 1,014,601 flows on a
+// 10 Gbps link; §6.1). See DESIGN.md §2 for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "trace/packet.hpp"
+
+namespace caesar::trace {
+
+/// How packets of different flows are interleaved on the wire.
+enum class Interleaving {
+  /// Uniform random permutation of all packets — the paper's analytical
+  /// assumption ("all the packets arrive at the same probability", §1.4).
+  kUniformShuffle,
+  /// All packets of a flow arrive back to back (best case for the cache).
+  kSequential,
+  /// Flows take turns one packet at a time (worst case for the cache).
+  kRoundRobin,
+  /// Geometric bursts from randomly chosen active flows — the temporal
+  /// locality of real links (between kUniformShuffle and kSequential).
+  kBursty,
+};
+
+struct TraceConfig {
+  std::uint64_t num_flows = 101'460;     ///< Q
+  double mean_flow_size = 27.32;         ///< n/Q target
+  /// Zeta upper bound N. Kept fixed across scales so the tail moments
+  /// (which drive shared-counter noise) are scale-independent.
+  std::uint64_t max_flow_size = 20'000;
+  Interleaving interleaving = Interleaving::kUniformShuffle;
+  /// Also generate per-packet byte lengths (IMIX-like mixture) so flow
+  /// *volume* (paper §3.1: "size can be counted in either packets or
+  /// bytes") has ground truth. Off by default: lengths cost 2 bytes per
+  /// packet of memory.
+  bool generate_lengths = false;
+  std::uint64_t seed = 20180813;
+};
+
+/// A fully materialized trace: ground-truth flow sizes plus the packet
+/// arrival order, stored as flow *indices* for compactness. flow_ids[i]
+/// is the 64-bit ID the sketches see for flow index i.
+class Trace {
+ public:
+  Trace(std::vector<Count> flow_sizes, std::vector<FlowId> flow_ids,
+        std::vector<std::uint32_t> arrivals,
+        std::vector<std::uint16_t> lengths = {});
+
+  [[nodiscard]] std::uint64_t num_flows() const noexcept {
+    return flow_sizes_.size();
+  }
+  [[nodiscard]] std::uint64_t num_packets() const noexcept {
+    return arrivals_.size();
+  }
+  [[nodiscard]] double mean_flow_size() const noexcept {
+    return static_cast<double>(num_packets()) /
+           static_cast<double>(num_flows());
+  }
+
+  [[nodiscard]] const std::vector<Count>& flow_sizes() const noexcept {
+    return flow_sizes_;
+  }
+  [[nodiscard]] const std::vector<FlowId>& flow_ids() const noexcept {
+    return flow_ids_;
+  }
+  /// Packet arrival order as flow indices into flow_sizes()/flow_ids().
+  [[nodiscard]] const std::vector<std::uint32_t>& arrivals() const noexcept {
+    return arrivals_;
+  }
+
+  [[nodiscard]] Count size_of(std::uint32_t flow_index) const noexcept {
+    return flow_sizes_[flow_index];
+  }
+  [[nodiscard]] FlowId id_of(std::uint32_t flow_index) const noexcept {
+    return flow_ids_[flow_index];
+  }
+
+  /// Per-packet byte lengths, parallel to arrivals(); empty unless the
+  /// trace was generated with generate_lengths.
+  [[nodiscard]] const std::vector<std::uint16_t>& lengths() const noexcept {
+    return lengths_;
+  }
+  [[nodiscard]] bool has_lengths() const noexcept {
+    return !lengths_.empty();
+  }
+  /// Ground-truth byte volume per flow (sum of packet lengths); empty
+  /// unless lengths were generated.
+  [[nodiscard]] std::vector<Count> flow_volumes() const;
+
+ private:
+  std::vector<Count> flow_sizes_;
+  std::vector<FlowId> flow_ids_;
+  std::vector<std::uint32_t> arrivals_;
+  std::vector<std::uint16_t> lengths_;
+};
+
+/// One IMIX-style packet length draw: ~50% minimum-size (40-99 B),
+/// ~30% mid-size (~576 B), ~20% MTU-size (~1500 B).
+[[nodiscard]] std::uint16_t sample_packet_length(Xoshiro256pp& rng) noexcept;
+
+/// Generate a heavy-tailed trace per `config`. Deterministic in the seed.
+/// Flow IDs are produced through the real 5-tuple -> SHA-1+APHash pipeline
+/// on synthetic tuples, so the ID distribution matches what a capture
+/// front end would emit.
+[[nodiscard]] Trace generate_trace(const TraceConfig& config);
+
+/// Synthetic-but-plausible 5-tuple for a flow index (deterministic in
+/// (seed, index)); used by the generator and the PCAP writer.
+[[nodiscard]] FiveTuple synth_tuple(std::uint64_t seed,
+                                    std::uint64_t flow_index) noexcept;
+
+/// Paper-scale configuration (n ~ 27.7M packets, Q ~ 1.01M flows) or the
+/// 10% default used by the benches, matching DESIGN.md §5.
+[[nodiscard]] TraceConfig paper_config(bool full_scale);
+
+}  // namespace caesar::trace

@@ -1,0 +1,76 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+
+namespace caesar::trace {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4341455354524331ULL;  // "CAESTRC1"
+
+template <typename T>
+void put_pod_vector(std::ostream& out, const std::vector<T>& v) {
+  put_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> get_pod_vector(std::istream& in) {
+  const std::uint64_t size = get_u64(in);
+  if (size > (std::uint64_t{1} << 34))
+    throw std::runtime_error("trace_io: implausible vector size");
+  std::vector<T> v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (static_cast<std::uint64_t>(in.gcount()) != size * sizeof(T))
+    throw std::runtime_error("trace_io: truncated vector");
+  return v;
+}
+}  // namespace
+
+void save_trace(std::ostream& out, const Trace& trace) {
+  put_u64(out, kMagic);
+  put_pod_vector(out, trace.flow_sizes());
+  put_pod_vector(out, trace.flow_ids());
+  put_pod_vector(out, trace.arrivals());
+  put_pod_vector(out, trace.lengths());
+}
+
+Trace load_trace(std::istream& in) {
+  if (get_u64(in) != kMagic)
+    throw std::runtime_error("trace_io: bad magic");
+  auto sizes = get_pod_vector<Count>(in);
+  auto ids = get_pod_vector<FlowId>(in);
+  auto arrivals = get_pod_vector<std::uint32_t>(in);
+  auto lengths = get_pod_vector<std::uint16_t>(in);
+  if (sizes.size() != ids.size())
+    throw std::runtime_error("trace_io: size/id length mismatch");
+  if (!lengths.empty() && lengths.size() != arrivals.size())
+    throw std::runtime_error("trace_io: lengths/arrivals mismatch");
+  Count total = 0;
+  for (Count s : sizes) total += s;
+  if (total != arrivals.size())
+    throw std::runtime_error("trace_io: arrivals disagree with sizes");
+  for (auto idx : arrivals)
+    if (idx >= sizes.size())
+      throw std::runtime_error("trace_io: arrival index out of range");
+  return Trace(std::move(sizes), std::move(ids), std::move(arrivals),
+               std::move(lengths));
+}
+
+void save_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("trace_io: cannot open " + path);
+  save_trace(out, trace);
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace_io: cannot open " + path);
+  return load_trace(in);
+}
+
+}  // namespace caesar::trace

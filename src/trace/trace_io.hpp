@@ -1,0 +1,28 @@
+// Compact binary persistence for generated traces, so a full-scale
+// workload (n ~ 27.7 M packets takes a little while to synthesize and
+// shuffle) can be generated once and replayed across bench runs and
+// machines. The format stores exactly what the sketches consume: ground
+// truth sizes, 64-bit flow IDs, the arrival order (32-bit indices) and,
+// when present, per-packet byte lengths.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "trace/synthetic.hpp"
+
+namespace caesar::trace {
+
+/// Write a trace (about 12 bytes/flow + 4 (+2) bytes/packet).
+void save_trace(std::ostream& out, const Trace& trace);
+
+/// Read a trace saved by save_trace. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] Trace load_trace(std::istream& in);
+
+/// File-path conveniences.
+void save_trace_file(const std::string& path, const Trace& trace);
+[[nodiscard]] Trace load_trace_file(const std::string& path);
+
+}  // namespace caesar::trace

@@ -1,0 +1,70 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caesar::trace {
+
+DistributionSummary summarize(const std::vector<Count>& sizes) {
+  DistributionSummary s;
+  s.num_flows = sizes.size();
+  if (sizes.empty()) return s;
+  for (Count c : sizes) s.num_packets += c;
+  s.mean = static_cast<double>(s.num_packets) /
+           static_cast<double>(s.num_flows);
+
+  std::vector<Count> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  s.max_size = sorted.back();
+  s.median = sorted[sorted.size() / 2];
+  s.p99 = sorted[static_cast<std::size_t>(
+      static_cast<double>(sorted.size() - 1) * 0.99)];
+
+  const auto below = std::lower_bound(
+      sorted.begin(), sorted.end(),
+      static_cast<Count>(std::ceil(s.mean)));
+  s.fraction_below_mean = static_cast<double>(below - sorted.begin()) /
+                          static_cast<double>(sorted.size());
+  return s;
+}
+
+std::vector<SizeBin> size_distribution(const std::vector<Count>& sizes) {
+  std::vector<SizeBin> bins;
+  if (sizes.empty()) return bins;
+  Count max_size = *std::max_element(sizes.begin(), sizes.end());
+  for (Count lo = 1; lo <= max_size; lo *= 2) {
+    SizeBin b;
+    b.lo = lo;
+    b.hi = lo * 2;
+    bins.push_back(b);
+  }
+  for (Count c : sizes) {
+    if (c == 0) continue;
+    const auto idx = static_cast<std::size_t>(
+        std::floor(std::log2(static_cast<double>(c))));
+    bins[idx].flows += 1;
+  }
+  for (auto& b : bins)
+    b.fraction = static_cast<double>(b.flows) /
+                 static_cast<double>(sizes.size());
+  return bins;
+}
+
+std::vector<CcdfPoint> ccdf_points(const std::vector<Count>& sizes) {
+  std::vector<CcdfPoint> out;
+  if (sizes.empty()) return out;
+  std::vector<Count> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  const Count max_size = sorted.back();
+  for (Count s = 1; s <= max_size; s *= 2) {
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), s);
+    CcdfPoint p;
+    p.size = s;
+    p.ccdf = static_cast<double>(sorted.end() - it) /
+             static_cast<double>(sorted.size());
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace caesar::trace

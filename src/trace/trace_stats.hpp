@@ -1,0 +1,46 @@
+// Trace statistics backing Fig. 3 (heavy-tailed flow-size distribution)
+// and the §6.1 trace summary (n, Q, mean, fraction below mean).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace caesar::trace {
+
+struct DistributionSummary {
+  std::uint64_t num_flows = 0;       ///< Q
+  std::uint64_t num_packets = 0;     ///< n
+  double mean = 0.0;                 ///< n / Q
+  double fraction_below_mean = 0.0;  ///< paper: > 92%
+  Count max_size = 0;
+  Count median = 0;
+  Count p99 = 0;
+};
+
+[[nodiscard]] DistributionSummary summarize(const std::vector<Count>& sizes);
+
+/// One point of the Fig. 3 series: number of flows whose size equals s,
+/// aggregated over log-spaced size bins.
+struct SizeBin {
+  Count lo = 0;          ///< inclusive
+  Count hi = 0;          ///< exclusive
+  std::uint64_t flows = 0;
+  double fraction = 0.0;
+};
+
+/// Log-binned (base 2) flow-size histogram for Fig. 3.
+[[nodiscard]] std::vector<SizeBin> size_distribution(
+    const std::vector<Count>& sizes);
+
+/// Complementary CDF P(size >= s) sampled at log-spaced s values — the
+/// standard heavy-tail diagnostic (a straight line on log-log axes).
+struct CcdfPoint {
+  Count size = 0;
+  double ccdf = 0.0;
+};
+[[nodiscard]] std::vector<CcdfPoint> ccdf_points(
+    const std::vector<Count>& sizes);
+
+}  // namespace caesar::trace

@@ -1,0 +1,64 @@
+#include "trace/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace caesar::trace {
+
+ZipfSampler::ZipfSampler(double alpha, std::uint64_t max_value)
+    : alpha_(alpha) {
+  assert(max_value >= 1);
+  cdf_.resize(max_value);
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::uint64_t s = 1; s <= max_value; ++s) {
+    const double w = std::pow(static_cast<double>(s), -alpha);
+    total += w;
+    weighted += w * static_cast<double>(s);
+    cdf_[s - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+  mean_ = weighted / total;
+}
+
+std::uint64_t ZipfSampler::sample(Xoshiro256pp& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::cdf(std::uint64_t s) const noexcept {
+  if (s == 0) return 0.0;
+  if (s >= cdf_.size()) return 1.0;
+  return cdf_[s - 1];
+}
+
+double bounded_zeta_mean(double alpha, std::uint64_t max_value) {
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::uint64_t s = 1; s <= max_value; ++s) {
+    const double w = std::pow(static_cast<double>(s), -alpha);
+    total += w;
+    weighted += w * static_cast<double>(s);
+  }
+  return weighted / total;
+}
+
+double calibrate_alpha(double target_mean, std::uint64_t max_value,
+                       double alpha_lo, double alpha_hi) {
+  // Mean is strictly decreasing in alpha over the bracket.
+  assert(bounded_zeta_mean(alpha_lo, max_value) >= target_mean);
+  assert(bounded_zeta_mean(alpha_hi, max_value) <= target_mean);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (alpha_lo + alpha_hi) / 2.0;
+    if (bounded_zeta_mean(mid, max_value) > target_mean)
+      alpha_lo = mid;
+    else
+      alpha_hi = mid;
+  }
+  return (alpha_lo + alpha_hi) / 2.0;
+}
+
+}  // namespace caesar::trace

@@ -1,0 +1,151 @@
+#include "analysis/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/caesar_sketch.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::analysis {
+namespace {
+
+trace::Trace tiny_trace() {
+  trace::TraceConfig c;
+  c.num_flows = 100;
+  c.mean_flow_size = 8.0;
+  c.max_flow_size = 1000;
+  c.seed = 12;
+  return trace::generate_trace(c);
+}
+
+TEST(Evaluate, PerfectEstimatorHasZeroError) {
+  const auto t = tiny_trace();
+  std::map<FlowId, Count> truth;
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+    truth[t.id_of(i)] = t.size_of(i);
+  const auto r = evaluate(t, [&](FlowId f) {
+    return static_cast<double>(truth.at(f));
+  });
+  EXPECT_DOUBLE_EQ(r.avg_relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(r.bias, 0.0);
+  EXPECT_DOUBLE_EQ(r.rmse, 0.0);
+  EXPECT_EQ(r.flows, 100u);
+}
+
+TEST(Evaluate, ZeroEstimatorHasFullError) {
+  const auto t = tiny_trace();
+  const auto r = evaluate(t, [](FlowId) { return 0.0; });
+  EXPECT_DOUBLE_EQ(r.avg_relative_error, 1.0);
+  EXPECT_LT(r.bias, 0.0);
+}
+
+TEST(Evaluate, NegativeEstimatesClampedForErrorButNotBias) {
+  const auto t = tiny_trace();
+  const auto r = evaluate(t, [](FlowId) { return -10.0; });
+  EXPECT_DOUBLE_EQ(r.avg_relative_error, 1.0);  // clamped to 0
+  EXPECT_LT(r.bias, -10.0);                     // raw bias keeps the -10
+}
+
+TEST(Evaluate, ConstantOffsetBias) {
+  const auto t = tiny_trace();
+  std::map<FlowId, Count> truth;
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+    truth[t.id_of(i)] = t.size_of(i);
+  const auto r = evaluate(t, [&](FlowId f) {
+    return static_cast<double>(truth.at(f)) + 2.0;
+  });
+  EXPECT_NEAR(r.bias, 2.0, 1e-9);
+  EXPECT_NEAR(r.rmse, 2.0, 1e-9);
+}
+
+TEST(Evaluate, BinsPartitionFlows) {
+  const auto t = tiny_trace();
+  const auto r = evaluate(t, [](FlowId) { return 1.0; });
+  std::uint64_t total = 0;
+  for (const auto& b : r.bins) {
+    total += b.flows;
+    EXPECT_EQ(b.hi, b.lo * 2);
+  }
+  EXPECT_EQ(total, t.num_flows());
+}
+
+TEST(Evaluate, ScatterSamplingRespectsBudget) {
+  const auto t = tiny_trace();
+  EvalOptions opt;
+  opt.scatter_samples = 10;
+  const auto r = evaluate(t, [](FlowId) { return 1.0; }, opt);
+  EXPECT_LE(r.scatter.size(), 11u);
+  EXPECT_GE(r.scatter.size(), 10u);
+  opt.scatter_samples = 0;
+  const auto r2 = evaluate(t, [](FlowId) { return 1.0; }, opt);
+  EXPECT_TRUE(r2.scatter.empty());
+}
+
+TEST(EvaluateParallel, MatchesSequential) {
+  trace::TraceConfig tc;
+  tc.num_flows = 5000;
+  tc.mean_flow_size = 10.0;
+  tc.max_flow_size = 2000;
+  tc.seed = 31;
+  const auto t = trace::generate_trace(tc);
+  core::CaesarConfig cfg;
+  cfg.cache_entries = 256;
+  cfg.num_counters = 100'000;
+  cfg.counter_bits = 20;
+  cfg.seed = 4;
+  core::CaesarSketch sketch(cfg);
+  for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+  sketch.flush();
+
+  const analysis::Estimator est = [&](FlowId f) {
+    return sketch.estimate_csm(f);
+  };
+  const auto seq = evaluate(t, est);
+  const auto par = evaluate_parallel(t, est, 4);
+  EXPECT_EQ(par.flows, seq.flows);
+  EXPECT_NEAR(par.avg_relative_error, seq.avg_relative_error, 1e-12);
+  EXPECT_NEAR(par.bias, seq.bias, 1e-9);
+  EXPECT_NEAR(par.rmse, seq.rmse, 1e-9);
+  ASSERT_EQ(par.bins.size(), seq.bins.size());
+  for (std::size_t b = 0; b < seq.bins.size(); ++b) {
+    EXPECT_EQ(par.bins[b].flows, seq.bins[b].flows);
+    EXPECT_NEAR(par.bins[b].avg_rel_error, seq.bins[b].avg_rel_error,
+                1e-12);
+  }
+  ASSERT_EQ(par.scatter.size(), seq.scatter.size());
+  for (std::size_t i = 0; i < seq.scatter.size(); ++i) {
+    EXPECT_EQ(par.scatter[i].actual, seq.scatter[i].actual);
+    EXPECT_DOUBLE_EQ(par.scatter[i].estimated, seq.scatter[i].estimated);
+  }
+}
+
+TEST(EvaluateParallel, TinyInputFallsBackToSequential) {
+  trace::TraceConfig tc;
+  tc.num_flows = 3;
+  tc.mean_flow_size = 5.0;
+  tc.max_flow_size = 100;
+  tc.seed = 2;
+  const auto t = trace::generate_trace(tc);
+  const auto r = evaluate_parallel(t, [](FlowId) { return 1.0; }, 8);
+  EXPECT_EQ(r.flows, 3u);
+}
+
+TEST(IntervalCoverage, AllCoveringInterval) {
+  const auto t = tiny_trace();
+  const auto c = interval_coverage(t, [](FlowId) {
+    return core::ConfidenceInterval{0.0, 1e12};
+  });
+  EXPECT_DOUBLE_EQ(c.coverage, 1.0);
+}
+
+TEST(IntervalCoverage, NeverCoveringInterval) {
+  const auto t = tiny_trace();
+  const auto c = interval_coverage(t, [](FlowId) {
+    return core::ConfidenceInterval{-2.0, -1.0};
+  });
+  EXPECT_DOUBLE_EQ(c.coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace caesar::analysis

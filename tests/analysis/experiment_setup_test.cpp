@@ -1,0 +1,86 @@
+#include "analysis/experiment_setup.hpp"
+
+#include <gtest/gtest.h>
+
+namespace caesar::analysis {
+namespace {
+
+TEST(PaperSetup, FullScaleMatchesPublishedBudgetGeometry) {
+  const auto s = paper_setup(true, 1);
+  EXPECT_EQ(s.trace.num_flows, 1'014'601u);
+  EXPECT_EQ(s.caesar.cache_entries, 100'000u);
+  EXPECT_EQ(s.caesar.entry_capacity, 54u);   // floor(2 * 27.32)
+  EXPECT_EQ(s.caesar.num_counters, 50'000u);
+  EXPECT_EQ(s.caesar.counter_bits, 15u);
+  EXPECT_EQ(s.caesar.k, 3u);
+  // SRAM budget: 50,000 x 15 bits = 91.55 KB (paper Fig. 4).
+  const auto g = describe(s.caesar);
+  EXPECT_NEAR(g.sram_kb, 91.55, 0.01);
+  // CASE codes: 1 bit (183.11 KB budget at the paper's Q) and 10 bits
+  // (1.21 MB), one counter per flow intent.
+  EXPECT_EQ(s.case_small.counter_bits, 1u);
+  EXPECT_EQ(s.case_large.counter_bits, 10u);
+  EXPECT_GE(s.case_small.num_counters, s.trace_accuracy.num_flows);
+}
+
+TEST(PaperSetup, AccuracyGeometryIsLowNoise) {
+  const auto s = paper_setup(false, 1);
+  const double n = static_cast<double>(s.trace_accuracy.num_flows) *
+                   s.trace_accuracy.mean_flow_size;
+  const double noise_per_flow =
+      static_cast<double>(s.caesar_accuracy.k) * n /
+      static_cast<double>(s.caesar_accuracy.num_counters);
+  // The calibrated regime: the mean noise subtracted per query is well
+  // below one packet, the prerequisite for the paper's error levels.
+  EXPECT_LT(noise_per_flow, 0.5);
+  EXPECT_EQ(s.rcs_accuracy.num_counters, s.caesar_accuracy.num_counters);
+}
+
+TEST(PaperSetup, ScaledSetupPreservesLoadFactors) {
+  const auto full = paper_setup(true, 1);
+  const auto small = paper_setup(false, 1);
+  const double q_ratio = static_cast<double>(small.trace.num_flows) /
+                         static_cast<double>(full.trace.num_flows);
+  const double l_ratio =
+      static_cast<double>(small.caesar.num_counters) /
+      static_cast<double>(full.caesar.num_counters);
+  const double m_ratio =
+      static_cast<double>(small.caesar.cache_entries) /
+      static_cast<double>(full.caesar.cache_entries);
+  EXPECT_NEAR(l_ratio, q_ratio, 0.01);
+  EXPECT_NEAR(m_ratio, q_ratio, 0.01);
+  EXPECT_EQ(small.caesar.entry_capacity, full.caesar.entry_capacity);
+  EXPECT_EQ(small.caesar.counter_bits, full.caesar.counter_bits);
+  EXPECT_DOUBLE_EQ(small.trace.mean_flow_size, full.trace.mean_flow_size);
+  // Tail cap is scale-invariant so tail moments (noise drivers) match.
+  EXPECT_EQ(small.trace.max_flow_size, full.trace.max_flow_size);
+}
+
+TEST(PaperSetup, RcsSharesCaesarSramBudget) {
+  const auto s = paper_setup(false, 3);
+  EXPECT_EQ(s.rcs.num_counters, s.caesar.num_counters);
+  EXPECT_EQ(s.rcs.counter_bits, s.caesar.counter_bits);
+  EXPECT_EQ(s.rcs.k, s.caesar.k);
+}
+
+TEST(PaperSetup, SeedPropagates) {
+  const auto a = paper_setup(false, 1);
+  const auto b = paper_setup(false, 2);
+  EXPECT_NE(a.trace.seed, b.trace.seed);
+  EXPECT_NE(a.caesar.seed, b.caesar.seed);
+  EXPECT_NE(a.caesar_accuracy.seed, b.caesar_accuracy.seed);
+}
+
+TEST(Describe, ComputesCacheKb) {
+  core::CaesarConfig c;
+  c.cache_entries = 100'000;
+  c.entry_capacity = 255;  // 8-bit entries
+  c.num_counters = 50'000;
+  c.counter_bits = 15;
+  const auto g = describe(c);
+  EXPECT_NEAR(g.cache_kb, 97.66, 0.01);  // the paper's quoted cache size
+  EXPECT_NEAR(g.sram_kb, 91.55, 0.01);
+}
+
+}  // namespace
+}  // namespace caesar::analysis

@@ -1,0 +1,66 @@
+#include "baselines/compressed/anls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+TEST(AnlsArray, TracksSingleFlow) {
+  auto arr = AnlsArray::for_range(1024, 12, 100000.0, 5);
+  constexpr Count kTrue = 5000;
+  for (Count i = 0; i < kTrue; ++i) arr.add(7);
+  EXPECT_NEAR(arr.estimate(7), static_cast<double>(kTrue),
+              0.25 * static_cast<double>(kTrue));
+  EXPECT_DOUBLE_EQ(arr.estimate(999), 0.0);
+}
+
+TEST(AnlsArray, ApproximatelyUnbiased) {
+  RunningStats est;
+  constexpr Count kTrue = 2000;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    auto arr = AnlsArray::for_range(64, 12, 100000.0, seed);
+    for (Count i = 0; i < kTrue; ++i) arr.add(3);
+    est.add(arr.estimate(3));
+  }
+  EXPECT_NEAR(est.mean(), static_cast<double>(kTrue),
+              0.05 * static_cast<double>(kTrue));
+}
+
+TEST(AnlsArray, SmallBudgetCoarsens) {
+  // 4-bit codes over a 100k range: resolution collapses, exactly the
+  // §2.1 storage-inefficiency critique.
+  auto arr = AnlsArray::for_range(64, 4, 100000.0, 2);
+  for (Count i = 0; i < 100; ++i) arr.add(1);
+  // Representable values are only 16 rungs over 5 decades; the estimate
+  // is a very coarse bucket.
+  const double est = arr.estimate(1);
+  EXPECT_GT(est, 0.0);
+  const double rel = std::abs(est - 100.0) / 100.0;
+  EXPECT_LT(rel, 6.0);  // same decade at best
+}
+
+TEST(AnlsArray, ExactWhileRangeFits) {
+  // When the code space covers the range, b ~ 0 and counting is exact.
+  AnlsArray arr(16, 12, 1e-9, 3);
+  for (Count i = 0; i < 1000; ++i) arr.add(4);
+  EXPECT_NEAR(arr.estimate(4), 1000.0, 1.0);
+}
+
+TEST(AnlsArray, OpCountsIncludePowerOps) {
+  auto arr = AnlsArray::for_range(64, 12, 1000.0, 4);
+  for (int i = 0; i < 500; ++i) arr.add(1);
+  const auto ops = arr.op_counts();
+  EXPECT_EQ(ops.sram_accesses, 500u);
+  EXPECT_EQ(ops.power_ops, 500u);
+  EXPECT_EQ(ops.cache_accesses, 0u);
+}
+
+TEST(AnlsArray, MemoryFormula) {
+  AnlsArray arr(8192, 12, 0.01, 1);
+  EXPECT_NEAR(arr.memory_kb(), 8192.0 * 12 / 8192.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace caesar::baselines

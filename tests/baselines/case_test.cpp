@@ -1,0 +1,126 @@
+#include "baselines/case/case_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/evaluation.hpp"
+#include "common/random.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+CaseConfig small_config(unsigned bits = 10) {
+  CaseConfig c;
+  c.cache_entries = 300;
+  c.entry_capacity = 30;
+  c.num_counters = 3000;
+  c.counter_bits = bits;
+  c.max_flow_size = 20000.0;
+  c.seed = 99;
+  return c;
+}
+
+trace::Trace small_trace(std::uint64_t seed = 21) {
+  trace::TraceConfig tc;
+  tc.num_flows = 3000;
+  tc.mean_flow_size = 15.0;
+  tc.max_flow_size = 20000;
+  tc.seed = seed;
+  return trace::generate_trace(tc);
+}
+
+TEST(CaseSketch, WideCountersEstimateReasonably) {
+  // With a healthy bit budget CASE works: it is the budget, not the
+  // mechanism, that fails in the paper's Fig. 5.
+  const auto t = small_trace();
+  CaseSketch sketch(small_config(10));
+  for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+  sketch.flush();
+  std::uint32_t big = 0;
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+    if (t.size_of(i) > t.size_of(big)) big = i;
+  const auto actual = static_cast<double>(t.size_of(big));
+  EXPECT_NEAR(sketch.estimate(t.id_of(big)), actual, 0.5 * actual);
+}
+
+TEST(CaseSketch, OneBitCountersCollapseToNearZero) {
+  // Fig. 5(a): 1-bit codes can represent only {0, 1}; every flow of size
+  // >= 2 is crushed toward zero (size-1 mice accidentally read exact).
+  const auto t = small_trace(22);
+  CaseSketch sketch(small_config(1));
+  for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+  sketch.flush();
+  const auto eval = analysis::evaluate(
+      t, [&](FlowId f) { return sketch.estimate(f); });
+  // Every estimate is at most f(1) = 1.
+  for (const auto& p : eval.scatter) EXPECT_LE(p.estimated, 1.0 + 1e-9);
+  // Bins above mice sizes show near-total error.
+  for (const auto& bin : eval.bins) {
+    if (bin.lo >= 4) {
+      EXPECT_GT(bin.avg_rel_error, 0.6)
+          << "bin [" << bin.lo << "," << bin.hi << ")";
+    }
+  }
+  // Strongly negative bias overall: mass is crushed.
+  EXPECT_LT(eval.bias, -5.0);
+}
+
+TEST(CaseSketch, PowerOpsScaleWithPackets) {
+  // Every evicted unit costs one power operation — the §2.3 complaint.
+  CaseSketch sketch(small_config());
+  Xoshiro256pp rng(5);
+  constexpr Count kPackets = 20000;
+  for (Count i = 0; i < kPackets; ++i) sketch.add(rng.below(2000));
+  sketch.flush();
+  const auto ops = sketch.op_counts();
+  EXPECT_EQ(ops.power_ops, kPackets);  // all packets eventually evicted
+  EXPECT_GE(ops.cache_accesses, 2 * kPackets);
+}
+
+TEST(CaseSketch, DeterministicInSeed) {
+  auto run = [] {
+    CaseSketch sketch(small_config());
+    Xoshiro256pp rng(6);
+    for (int i = 0; i < 10000; ++i) sketch.add(rng.below(100));
+    sketch.flush();
+    return sketch.estimate(42);
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(CaseSketch, FlushMovesResidueOffChip) {
+  CaseSketch sketch(small_config());
+  for (int i = 0; i < 5; ++i) sketch.add(1234);  // stays in cache (y=30)
+  EXPECT_DOUBLE_EQ(sketch.estimate(1234), 0.0);
+  sketch.flush();
+  EXPECT_GT(sketch.estimate(1234), 0.0);
+}
+
+TEST(CaseSketch, MemoryMatchesBudgetFormulas) {
+  const CaseSketch sketch(small_config(10));
+  // 3000 counters x 10 bits + 300 cache entries x 5 bits.
+  EXPECT_NEAR(sketch.memory_kb(),
+              3000 * 10 / 8192.0 + 300 * 5 / 8192.0, 1e-9);
+}
+
+TEST(CaseSketch, SharedCounterCollisionsInflateSmallFlows) {
+  // One-to-one mapping with L < Q: colliding flows pool into the same
+  // compressed counter, so estimates for small flows can exceed truth.
+  trace::TraceConfig tc;
+  tc.num_flows = 5000;
+  tc.mean_flow_size = 10.0;
+  tc.max_flow_size = 5000;
+  tc.seed = 3;
+  const auto t = trace::generate_trace(tc);
+  auto cfg = small_config(12);
+  cfg.num_counters = 500;  // 10 flows per counter
+  CaseSketch sketch(cfg);
+  for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+  sketch.flush();
+  const auto eval = analysis::evaluate(
+      t, [&](FlowId f) { return sketch.estimate(f); });
+  EXPECT_GT(eval.bias, 1.0);  // systematic over-estimation
+}
+
+}  // namespace
+}  // namespace caesar::baselines

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/compressed/cedar.hpp"
+#include "baselines/compressed/small_active_counter.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+// ---------------------------------------------------------------- SAC --
+
+TEST(SacCounter, ExactWhileMantissaFits) {
+  SacConfig cfg;
+  cfg.mantissa_bits = 12;
+  SacCounter c;
+  Xoshiro256pp rng(1);
+  c.add(1000, cfg, rng);  // < 4095: mode stays 0, counting exact
+  EXPECT_EQ(c.mode(), 0u);
+  EXPECT_DOUBLE_EQ(c.estimate(cfg), 1000.0);
+}
+
+TEST(SacCounter, RenormalizesOnMantissaOverflow) {
+  SacConfig cfg;
+  cfg.mantissa_bits = 4;  // overflow at 15
+  SacCounter c;
+  Xoshiro256pp rng(2);
+  c.add(16, cfg, rng);
+  EXPECT_EQ(c.mode(), 1u);
+  EXPECT_EQ(c.mantissa(), 8u);  // (15+1) >> 1
+  EXPECT_DOUBLE_EQ(c.estimate(cfg), 16.0);
+}
+
+TEST(SacCounter, ApproximatelyUnbiasedAcrossModes) {
+  SacConfig cfg;
+  cfg.mantissa_bits = 8;
+  cfg.exponent_bits = 4;
+  constexpr Count kTrue = 20000;  // forces several renormalizations
+  Xoshiro256pp rng(3);
+  RunningStats est;
+  for (int rep = 0; rep < 300; ++rep) {
+    SacCounter c;
+    c.add(kTrue, cfg, rng);
+    est.add(c.estimate(cfg));
+  }
+  EXPECT_NEAR(est.mean(), static_cast<double>(kTrue),
+              0.05 * static_cast<double>(kTrue));
+}
+
+TEST(SacArray, PerFlowEstimates) {
+  SacConfig cfg;
+  SacArray arr(1024, cfg, 7);
+  for (int i = 0; i < 500; ++i) arr.add(1);
+  for (int i = 0; i < 50; ++i) arr.add(2);
+  EXPECT_NEAR(arr.estimate(1), 500.0, 20.0);
+  EXPECT_NEAR(arr.estimate(2), 50.0, 10.0);
+  EXPECT_DOUBLE_EQ(arr.estimate(999), 0.0);
+  EXPECT_EQ(arr.packets(), 550u);
+}
+
+TEST(SacArray, OpCountsAreCacheFree) {
+  SacArray arr(64, SacConfig{}, 1);
+  for (int i = 0; i < 100; ++i) arr.add(5);
+  const auto ops = arr.op_counts();
+  EXPECT_EQ(ops.cache_accesses, 0u);
+  EXPECT_EQ(ops.sram_accesses, 100u);
+  EXPECT_EQ(ops.power_ops, 100u);
+}
+
+TEST(SacArray, MemoryFormula) {
+  SacConfig cfg;
+  cfg.mantissa_bits = 12;
+  cfg.exponent_bits = 4;
+  SacArray arr(1024, cfg, 1);
+  EXPECT_NEAR(arr.memory_kb(), 1024.0 * 16 / 8192.0, 1e-9);
+}
+
+// -------------------------------------------------------------- CEDAR --
+
+TEST(CedarLadder, StartsAtZeroAndGrows) {
+  CedarLadder ladder(8, 0.1);
+  EXPECT_DOUBLE_EQ(ladder.value(0), 0.0);
+  EXPECT_NEAR(ladder.value(1), 1.0 / (1.0 - 0.01), 1e-9);
+  for (std::uint32_t i = 1; i < ladder.rungs(); ++i)
+    EXPECT_GT(ladder.value(i), ladder.value(i - 1));
+}
+
+TEST(CedarLadder, GapsGrowGeometrically) {
+  CedarLadder ladder(10, 0.2);
+  // For large values the gap ratio approaches (1+delta^2)/(1-delta^2).
+  const auto r = ladder.rungs();
+  const double gap1 = ladder.value(r - 1) - ladder.value(r - 2);
+  const double gap0 = ladder.value(r - 2) - ladder.value(r - 3);
+  EXPECT_NEAR(gap1 / gap0, (1.0 + 2.0 * 0.04 + 0.0016) / 1.0, 0.15);
+  EXPECT_GT(gap1, gap0);
+}
+
+TEST(CedarLadder, StepProbabilityIsInverseGap) {
+  CedarLadder ladder(6, 0.15);
+  for (std::uint32_t i = 0; i + 1 < ladder.rungs(); ++i) {
+    const double gap = ladder.value(i + 1) - ladder.value(i);
+    EXPECT_NEAR(ladder.step_probability(i), 1.0 / gap, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(ladder.step_probability(ladder.rungs() - 1), 0.0);
+}
+
+TEST(CedarLadder, RejectsBadParameters) {
+  EXPECT_THROW(CedarLadder(0, 0.1), std::invalid_argument);
+  EXPECT_THROW(CedarLadder(8, 0.0), std::invalid_argument);
+  EXPECT_THROW(CedarLadder(8, 1.0), std::invalid_argument);
+}
+
+TEST(CedarArray, RelativeErrorRoughlyUniformAcrossMagnitudes) {
+  // CEDAR's design goal: the same relative error for small and large
+  // flows. Measure empirical relative RMSE at two magnitudes.
+  constexpr double kDelta = 0.1;
+  auto rel_rmse = [&](Count true_size) {
+    RunningStats err;
+    for (std::uint64_t rep = 0; rep < 120; ++rep) {
+      CedarArray arr(8, 14, kDelta, rep * 7 + 1);
+      for (Count i = 0; i < true_size; ++i) arr.add(3);
+      const double e =
+          (arr.estimate(3) - static_cast<double>(true_size)) /
+          static_cast<double>(true_size);
+      err.add(e * e);
+    }
+    return std::sqrt(err.mean());
+  };
+  const double small = rel_rmse(200);
+  const double large = rel_rmse(5000);
+  // Both within a factor ~2.5 of the design delta.
+  EXPECT_LT(small, kDelta * 2.5);
+  EXPECT_LT(large, kDelta * 2.5);
+  EXPECT_LT(std::abs(small - large), kDelta * 1.5);
+}
+
+TEST(CedarArray, EstimateTracksTruth) {
+  CedarArray arr(1024, 12, 0.1, 5);
+  for (int i = 0; i < 3000; ++i) arr.add(9);
+  EXPECT_NEAR(arr.estimate(9), 3000.0, 600.0);
+  EXPECT_DOUBLE_EQ(arr.estimate(12345), 0.0);
+}
+
+TEST(CedarArray, MemoryCountsOnlyIndexBits) {
+  CedarArray arr(8192, 10, 0.1, 1);
+  EXPECT_NEAR(arr.memory_kb(), 8192.0 * 10 / 8192.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace caesar::baselines

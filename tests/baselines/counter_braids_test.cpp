@@ -1,0 +1,143 @@
+#include "baselines/braids/counter_braids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+CounterBraidsConfig small_config() {
+  CounterBraidsConfig c;
+  c.layer1_counters = 4096;
+  c.layer1_bits = 6;  // wrap at 64 to exercise carries
+  c.k1 = 3;
+  c.layer2_counters = 512;
+  c.layer2_bits = 24;
+  c.k2 = 3;
+  c.seed = 5;
+  return c;
+}
+
+TEST(CounterBraids, DecodesExactlyBelowThreshold) {
+  // Counter Braids' flagship property: below the decodability threshold
+  // (m1/Q ~ 1.22 for k=3; here m1/Q = 4) message passing recovers every
+  // flow size exactly.
+  auto cfg = small_config();
+  CounterBraids cb(cfg);
+
+  trace::TraceConfig tc;
+  tc.num_flows = 1000;
+  tc.mean_flow_size = 12.0;
+  tc.max_flow_size = 2000;
+  tc.seed = 3;
+  const auto t = trace::generate_trace(tc);
+  for (auto idx : t.arrivals()) cb.add(t.id_of(idx));
+
+  const auto est = cb.decode(t.flow_ids());
+  ASSERT_EQ(est.size(), t.num_flows());
+  std::uint64_t exact = 0;
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+    if (std::llround(est[i]) == static_cast<long long>(t.size_of(i)))
+      ++exact;
+  // Essentially all flows decode exactly at this load.
+  EXPECT_GT(static_cast<double>(exact) / static_cast<double>(t.num_flows()),
+            0.99);
+}
+
+TEST(CounterBraids, CarriesPropagateToLayer2) {
+  auto cfg = small_config();
+  CounterBraids cb(cfg);
+  // One flow with 1000 packets: each of its 3 layer-1 counters wraps
+  // floor(1000/64) = 15 times.
+  for (int i = 0; i < 1000; ++i) cb.add(42);
+  EXPECT_EQ(cb.carries(), 3u * 15u);
+  const FlowId flows[] = {42};
+  const auto est = cb.decode(flows);
+  EXPECT_NEAR(est[0], 1000.0, 1.0);
+}
+
+TEST(CounterBraids, SingleSmallFlowDecodesWithoutCarries) {
+  CounterBraids cb(small_config());
+  for (int i = 0; i < 5; ++i) cb.add(7);
+  EXPECT_EQ(cb.carries(), 0u);
+  const FlowId flows[] = {7};
+  EXPECT_NEAR(cb.decode(flows)[0], 5.0, 1e-9);
+}
+
+TEST(CounterBraids, ReconstructLayer1ConservesMass) {
+  CounterBraids cb(small_config());
+  Xoshiro256pp rng(9);
+  constexpr Count kPackets = 30000;
+  for (Count i = 0; i < kPackets; ++i) cb.add(rng.below(500));
+  const auto full = cb.reconstruct_layer1();
+  double total = 0.0;
+  for (double v : full) total += v;
+  // Every packet increments k1 = 3 layer-1 counters.
+  EXPECT_NEAR(total, 3.0 * static_cast<double>(kPackets),
+              0.01 * 3.0 * static_cast<double>(kPackets));
+}
+
+TEST(CounterBraids, OverloadDegradesGracefully) {
+  // Far above the threshold the decoder cannot be exact, but estimates
+  // must stay finite and (as upper bounds) cover the truth on average.
+  auto cfg = small_config();
+  cfg.layer1_counters = 256;  // m1/Q = 0.256 — far beyond overload
+  CounterBraids cb(cfg);
+  trace::TraceConfig tc;
+  tc.num_flows = 1000;
+  tc.mean_flow_size = 8.0;
+  tc.max_flow_size = 500;
+  tc.seed = 4;
+  const auto t = trace::generate_trace(tc);
+  for (auto idx : t.arrivals()) cb.add(t.id_of(idx));
+  const auto est = cb.decode(t.flow_ids());
+  double bias = 0.0;
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i) {
+    ASSERT_TRUE(std::isfinite(est[i]));
+    ASSERT_GE(est[i], 1.0);
+    bias += est[i] - static_cast<double>(t.size_of(i));
+  }
+  EXPECT_GT(bias, 0.0);  // min-sum final estimates are upper bounds
+}
+
+TEST(CounterBraids, OpCountsShowPerPacketOffChipCost) {
+  CounterBraids cb(small_config());
+  for (int i = 0; i < 1000; ++i) cb.add(static_cast<FlowId>(i));
+  const auto ops = cb.op_counts();
+  EXPECT_EQ(ops.cache_accesses, 0u);
+  EXPECT_GE(ops.sram_accesses, 3000u);  // k1 off-chip updates per packet
+  EXPECT_GE(ops.hashes, 4000u);
+}
+
+TEST(CounterBraids, MemoryMatchesFormula) {
+  // d1 bits + 1 status bit per layer-1 counter, d2 bits per layer-2.
+  const CounterBraids cb(small_config());
+  EXPECT_NEAR(cb.memory_kb(), (4096.0 * 7 + 512.0 * 24) / 8192.0, 1e-9);
+}
+
+TEST(CounterBraids, RejectsBadConfig) {
+  auto cfg = small_config();
+  cfg.layer1_bits = 0;
+  EXPECT_THROW(CounterBraids cb(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.layer1_counters = 2;  // < k1
+  EXPECT_THROW(CounterBraids cb2(cfg), std::invalid_argument);
+}
+
+TEST(CounterBraids, DeterministicInSeed) {
+  auto run = [] {
+    CounterBraids cb(small_config());
+    for (int i = 0; i < 5000; ++i) cb.add(static_cast<FlowId>(i % 200));
+    const FlowId f[] = {17};
+    return cb.decode(f)[0];
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace caesar::baselines

@@ -1,0 +1,97 @@
+#include "baselines/tree/counter_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+CounterTreeConfig small_config() {
+  CounterTreeConfig c;
+  c.leaves = 4096;
+  c.leaf_bits = 6;  // wrap at 64
+  c.degree = 8;
+  c.parent_bits = 24;
+  c.seed = 3;
+  return c;
+}
+
+TEST(CounterTree, SingleFlowExactThroughCarries) {
+  CounterTree tree(small_config());
+  constexpr Count kTrue = 1000;  // 15 carries at wrap 64
+  for (Count i = 0; i < kTrue; ++i) tree.add(7);
+  EXPECT_EQ(tree.raw_value(7), kTrue);
+  EXPECT_EQ(tree.carries(), kTrue / 64);
+  // The de-noising term assumes uniform background; alone it costs
+  // (degree-1)*n/leaves ~ 1.7 packets of benign under-correction.
+  EXPECT_NEAR(tree.estimate(7), static_cast<double>(kTrue), 2.0);
+}
+
+TEST(CounterTree, VirtualCounterExtendsRange) {
+  // A 6-bit leaf alone caps at 63; the tree represents far more.
+  CounterTree tree(small_config());
+  for (Count i = 0; i < 100'000; ++i) tree.add(42);
+  EXPECT_EQ(tree.raw_value(42), 100'000u);
+}
+
+TEST(CounterTree, SiblingNoiseIsSubtracted) {
+  // Heavy background traffic: raw readouts inflate by shared-parent
+  // carries; the de-noised estimate must track truth on average.
+  const auto t = [] {
+    trace::TraceConfig tc;
+    tc.num_flows = 2000;
+    tc.mean_flow_size = 30.0;
+    tc.max_flow_size = 5000;
+    tc.seed = 9;
+    return trace::generate_trace(tc);
+  }();
+  CounterTree tree(small_config());
+  for (auto idx : t.arrivals()) tree.add(t.id_of(idx));
+
+  RunningStats bias_raw, bias_est;
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i) {
+    const auto actual = static_cast<double>(t.size_of(i));
+    bias_raw.add(static_cast<double>(tree.raw_value(t.id_of(i))) - actual);
+    bias_est.add(tree.estimate(t.id_of(i)) - actual);
+  }
+  EXPECT_GT(bias_raw.mean(), 5.0);  // raw is inflated
+  EXPECT_LT(std::abs(bias_est.mean()), std::abs(bias_raw.mean()) / 2.0);
+}
+
+TEST(CounterTree, ParentSaturates) {
+  auto cfg = small_config();
+  cfg.parent_bits = 4;  // cap 15 carries per subtree
+  CounterTree tree(cfg);
+  for (Count i = 0; i < 10'000; ++i) tree.add(1);
+  // 10'000/64 = 156 carries, parent capped at 15.
+  EXPECT_LE(tree.raw_value(1), 63u + (15u << 6));
+}
+
+TEST(CounterTree, OpCountsAmortizeParentAccesses) {
+  CounterTree tree(small_config());
+  for (int i = 0; i < 6400; ++i) tree.add(5);
+  const auto ops = tree.op_counts();
+  // 6400 leaf RMWs + 100 parent RMWs.
+  EXPECT_EQ(ops.sram_accesses, 6400u + 100u);
+  EXPECT_EQ(ops.cache_accesses, 0u);
+}
+
+TEST(CounterTree, MemoryFormula) {
+  const CounterTree tree(small_config());
+  EXPECT_NEAR(tree.memory_kb(),
+              (4096.0 * 6 + 512.0 * 24) / 8192.0, 1e-9);
+}
+
+TEST(CounterTree, RejectsBadConfig) {
+  auto cfg = small_config();
+  cfg.degree = 1;
+  EXPECT_THROW(CounterTree t(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.leaf_bits = 0;
+  EXPECT_THROW(CounterTree t2(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caesar::baselines

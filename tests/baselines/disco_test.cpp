@@ -1,0 +1,151 @@
+#include "baselines/case/disco_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+TEST(DiscoFunction, ValueIsZeroAtZero) {
+  DiscoFunction fn(0.1, 100);
+  EXPECT_DOUBLE_EQ(fn.value(0), 0.0);
+}
+
+TEST(DiscoFunction, FirstStepIsAlwaysOne) {
+  // f(1) = ((1+b) - 1)/b = 1 for every b — a 1-bit DISCO counter can only
+  // say "zero or one", the root cause of CASE's Fig. 5(a) collapse.
+  for (double b : {1e-6, 0.01, 1.0, 100.0}) {
+    DiscoFunction fn(b, 1);
+    EXPECT_NEAR(fn.value(1), 1.0, 1e-9) << "b=" << b;
+  }
+}
+
+TEST(DiscoFunction, ValueIsIncreasingAndConvex) {
+  DiscoFunction fn(0.05, 1000);
+  double prev = fn.value(0);
+  double prev_gap = 0.0;
+  for (Count c = 1; c <= 1000; c += 10) {
+    const double v = fn.value(c);
+    EXPECT_GT(v, prev);
+    const double gap = v - prev;
+    EXPECT_GE(gap, prev_gap * 0.99);  // geometric growth
+    prev = v;
+    prev_gap = gap;
+  }
+}
+
+TEST(DiscoFunction, IncrementProbabilityIsInverseGap) {
+  DiscoFunction fn(0.1, 100);
+  for (Count c : {0u, 1u, 5u, 50u}) {
+    const double gap = fn.value(c + 1) - fn.value(c);
+    EXPECT_NEAR(fn.increment_probability(c), 1.0 / gap, 1e-9);
+  }
+}
+
+TEST(DiscoFunction, SaturatedCodeNeverIncrements) {
+  DiscoFunction fn(0.1, 10);
+  EXPECT_DOUBLE_EQ(fn.increment_probability(10), 0.0);
+  EXPECT_DOUBLE_EQ(fn.increment_probability(11), 0.0);
+}
+
+TEST(DiscoFunction, ForRangeCoversTarget) {
+  const auto fn = DiscoFunction::for_range(1023, 200000.0);
+  EXPECT_NEAR(fn.value(1023), 200000.0, 200.0);
+}
+
+TEST(DiscoFunction, ForRangeDegeneratesToExactCounting) {
+  // When the code space already covers the range, b ~ 0 and f(c) ~ c.
+  const auto fn = DiscoFunction::for_range(1000, 500.0);
+  EXPECT_NEAR(fn.value(500), 500.0, 0.01);
+}
+
+TEST(DiscoFunction, RejectsBadParameters) {
+  EXPECT_THROW(DiscoFunction(-1.0, 10), std::invalid_argument);
+  EXPECT_THROW(DiscoFunction(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(DiscoFunction(0.5, 0), std::invalid_argument);
+}
+
+TEST(DiscoFunctionPolynomial, ValueFollowsPowerLaw) {
+  DiscoFunction fn(2.0, 100, StretchKind::kPolynomial, 2.0);
+  EXPECT_DOUBLE_EQ(fn.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.value(3), 2.0 * 9.0);
+  EXPECT_DOUBLE_EQ(fn.value(10), 200.0);
+  EXPECT_EQ(fn.kind(), StretchKind::kPolynomial);
+}
+
+TEST(DiscoFunctionPolynomial, IncrementProbabilityIsInverseGap) {
+  DiscoFunction fn(1.5, 100, StretchKind::kPolynomial, 2.0);
+  for (Count c : {1u, 5u, 50u}) {
+    const double gap = fn.value(c + 1) - fn.value(c);
+    EXPECT_NEAR(fn.increment_probability(c), 1.0 / gap, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(fn.increment_probability(100), 0.0);
+}
+
+TEST(DiscoFunctionPolynomial, ForRangeCoversTarget) {
+  const auto fn = DiscoFunction::for_range(255, 100000.0,
+                                           StretchKind::kPolynomial, 2.0);
+  EXPECT_NEAR(fn.value(255), 100000.0, 1.0);
+}
+
+TEST(DiscoFunctionPolynomial, StochasticCountingTracksTruth) {
+  const auto fn = DiscoFunction::for_range(255, 50000.0,
+                                           StretchKind::kPolynomial, 2.0);
+  Xoshiro256pp rng(6);
+  std::uint64_t power_ops = 0;
+  RunningStats estimates;
+  constexpr Count kTrue = 10000;
+  for (int rep = 0; rep < 200; ++rep) {
+    DiscoCounter c(fn);
+    c.add(kTrue, rng, power_ops);
+    estimates.add(c.estimate());
+  }
+  EXPECT_NEAR(estimates.mean(), static_cast<double>(kTrue),
+              0.06 * static_cast<double>(kTrue));
+}
+
+TEST(DiscoFunctionPolynomial, RejectsDegenerateExponent) {
+  EXPECT_THROW(DiscoFunction(1.0, 10, StretchKind::kPolynomial, 1.0),
+               std::invalid_argument);
+}
+
+TEST(DiscoCounter, EstimateIsApproximatelyUnbiased) {
+  // Add the same true count to many independent counters; the mean of
+  // f(code) must track the true count (the DISCO design invariant).
+  const auto fn = DiscoFunction::for_range(255, 10000.0);
+  constexpr Count kTrue = 2000;
+  Xoshiro256pp rng(8);
+  std::uint64_t power_ops = 0;
+  RunningStats estimates;
+  for (int rep = 0; rep < 200; ++rep) {
+    DiscoCounter c(fn);
+    c.add(kTrue, rng, power_ops);
+    estimates.add(c.estimate());
+  }
+  EXPECT_NEAR(estimates.mean(), static_cast<double>(kTrue),
+              0.05 * static_cast<double>(kTrue));
+}
+
+TEST(DiscoCounter, PowerOpsChargedPerUnit) {
+  const auto fn = DiscoFunction::for_range(255, 10000.0);
+  DiscoCounter c(fn);
+  Xoshiro256pp rng(9);
+  std::uint64_t power_ops = 0;
+  c.add(123, rng, power_ops);
+  EXPECT_EQ(power_ops, 123u);
+}
+
+TEST(DiscoCounter, CodeNeverExceedsMax) {
+  const auto fn = DiscoFunction::for_range(3, 1000.0);  // 2-bit counter
+  DiscoCounter c(fn);
+  Xoshiro256pp rng(10);
+  std::uint64_t power_ops = 0;
+  c.add(100000, rng, power_ops);
+  EXPECT_LE(c.code(), 3u);
+}
+
+}  // namespace
+}  // namespace caesar::baselines

@@ -1,0 +1,138 @@
+#include "baselines/rcs/rcs_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/evaluation.hpp"
+#include "baselines/rcs/lossy_front_end.hpp"
+#include "common/random.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+RcsConfig small_config() {
+  RcsConfig c;
+  c.num_counters = 2000;
+  c.counter_bits = 20;
+  c.k = 3;
+  c.seed = 7;
+  return c;
+}
+
+TEST(RcsSketch, ConservesPackets) {
+  RcsSketch sketch(small_config());
+  Xoshiro256pp rng(1);
+  constexpr Count kPackets = 30000;
+  for (Count i = 0; i < kPackets; ++i) sketch.add(rng.below(500));
+  EXPECT_EQ(sketch.sram().total(), kPackets);
+  EXPECT_EQ(sketch.packets(), kPackets);
+}
+
+TEST(RcsSketch, SingleFlowSumIsExact) {
+  // The k counters of the only flow hold exactly x in total — RCS's core
+  // property (randomized sharing splits, never loses).
+  RcsSketch sketch(small_config());
+  constexpr Count kX = 999;
+  for (Count i = 0; i < kX; ++i) sketch.add(42);
+  Count sum = 0;
+  for (Count w : sketch.counter_values(42)) sum += w;
+  EXPECT_EQ(sum, kX);
+  EXPECT_NEAR(sketch.estimate_csm(42), static_cast<double>(kX), 2.0);
+}
+
+TEST(RcsSketch, CsmSubtractsKTimesNoise) {
+  // With only flow A recorded, querying an unrelated flow B must give
+  // roughly 0 (its counters hold only noise).
+  RcsSketch sketch(small_config());
+  for (Count i = 0; i < 10000; ++i) sketch.add(1);
+  const double est = sketch.estimate_csm(999999);
+  // B's three counters hold on average 3 * n/L = 15 packets of noise; the
+  // estimator subtracts exactly that expectation.
+  EXPECT_NEAR(est, 0.0, 60.0);
+}
+
+TEST(RcsSketch, MlmAgreesWithCsmOnModerateFlows) {
+  const auto t = [&] {
+    trace::TraceConfig tc;
+    tc.num_flows = 1000;
+    tc.mean_flow_size = 20.0;
+    tc.max_flow_size = 10000;
+    tc.seed = 5;
+    return trace::generate_trace(tc);
+  }();
+  RcsSketch sketch(small_config());
+  for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+  // Compare on the largest flow (strong signal-to-noise).
+  std::uint32_t big = 0;
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+    if (t.size_of(i) > t.size_of(big)) big = i;
+  const double csm = sketch.estimate_csm(t.id_of(big));
+  const double mlm = sketch.estimate_mlm(t.id_of(big));
+  const auto actual = static_cast<double>(t.size_of(big));
+  EXPECT_NEAR(csm, actual, 0.35 * actual);
+  EXPECT_NEAR(mlm, actual, 0.35 * actual);
+}
+
+TEST(RcsSketch, WeightedAddConservesMass) {
+  RcsSketch sketch(small_config());
+  sketch.add_weighted(5, 1000);
+  sketch.add_weighted(5, 500);
+  EXPECT_EQ(sketch.sram().total(), 1500u);
+  EXPECT_EQ(sketch.packets(), 1500u);
+  EXPECT_NEAR(sketch.estimate_csm(5), 1500.0, 5.0);
+}
+
+TEST(RcsSketch, DeterministicInSeed) {
+  auto run = [] {
+    RcsSketch sketch(small_config());
+    Xoshiro256pp rng(3);
+    for (int i = 0; i < 5000; ++i) sketch.add(rng.below(100));
+    return sketch.estimate_csm(50);
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(RcsSketch, OpCountsShowNoCacheAmortization) {
+  RcsSketch sketch(small_config());
+  constexpr Count kPackets = 1000;
+  for (Count i = 0; i < kPackets; ++i) sketch.add(i % 10);
+  const auto ops = sketch.op_counts();
+  EXPECT_EQ(ops.cache_accesses, 0u);       // cache-free
+  EXPECT_EQ(ops.sram_accesses, kPackets);  // one off-chip RMW per packet
+  EXPECT_GE(ops.hashes, kPackets);
+}
+
+TEST(LossyRcs, DropsAtConfiguredRate) {
+  LossyRcs lossy(small_config(), 2.0 / 3.0);
+  Xoshiro256pp rng(9);
+  constexpr Count kPackets = 90000;
+  for (Count i = 0; i < kPackets; ++i) lossy.add(rng.below(100));
+  EXPECT_EQ(lossy.offered(), kPackets);
+  EXPECT_NEAR(static_cast<double>(lossy.dropped()) /
+                  static_cast<double>(kPackets),
+              2.0 / 3.0, 0.01);
+  EXPECT_EQ(lossy.sketch().packets(), kPackets - lossy.dropped());
+}
+
+TEST(LossyRcs, UnderestimatesByTheLossRate) {
+  // Loss-unaware decoding: a flow of size x is estimated near x*(1-loss),
+  // which is why the paper's Fig. 7 average relative error ~ loss rate.
+  LossyRcs lossy(small_config(), 0.5);
+  constexpr Count kX = 20000;
+  for (Count i = 0; i < kX; ++i) lossy.add(77);
+  const double est = lossy.estimate_csm(77);
+  EXPECT_NEAR(est, kX * 0.5, kX * 0.03);
+}
+
+TEST(LossyRcs, ZeroLossMatchesPlainRcs) {
+  LossyRcs lossy(small_config(), 0.0);
+  RcsSketch plain(small_config());
+  for (Count i = 0; i < 5000; ++i) {
+    lossy.add(i % 50);
+    plain.add(i % 50);
+  }
+  EXPECT_DOUBLE_EQ(lossy.estimate_csm(25), plain.estimate_csm(25));
+}
+
+}  // namespace
+}  // namespace caesar::baselines

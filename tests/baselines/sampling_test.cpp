@@ -1,0 +1,71 @@
+#include "baselines/sampling/sampled_counting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+TEST(SampledCounting, FullRateIsExact) {
+  SampledCounting s(1.0, 1);
+  for (int i = 0; i < 123; ++i) s.add(7);
+  EXPECT_DOUBLE_EQ(s.estimate(7), 123.0);
+  EXPECT_EQ(s.sampled(), 123u);
+}
+
+TEST(SampledCounting, ScalesByInverseRate) {
+  SampledCounting s(0.25, 2);
+  constexpr Count kTrue = 40000;
+  for (Count i = 0; i < kTrue; ++i) s.add(9);
+  EXPECT_NEAR(s.estimate(9), static_cast<double>(kTrue),
+              0.05 * static_cast<double>(kTrue));
+  EXPECT_NEAR(static_cast<double>(s.sampled()),
+              0.25 * static_cast<double>(kTrue),
+              0.05 * 0.25 * static_cast<double>(kTrue));
+}
+
+TEST(SampledCounting, UnbiasedOverRepetitions) {
+  RunningStats est;
+  for (std::uint64_t rep = 0; rep < 200; ++rep) {
+    SampledCounting s(0.1, rep + 1);
+    for (int i = 0; i < 500; ++i) s.add(3);
+    est.add(s.estimate(3));
+  }
+  EXPECT_NEAR(est.mean(), 500.0, 15.0);
+}
+
+TEST(SampledCounting, MiceFlowsAreFiltered) {
+  // The paper's §2.2 critique: with p = 1/100, most size-1 flows vanish.
+  SampledCounting s(0.01, 3);
+  trace::TraceConfig tc;
+  tc.num_flows = 5000;
+  tc.mean_flow_size = 5.0;
+  tc.max_flow_size = 2000;
+  tc.seed = 8;
+  const auto t = trace::generate_trace(tc);
+  for (auto idx : t.arrivals()) s.add(t.id_of(idx));
+  std::uint64_t missed = 0;
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+    if (s.estimate(t.id_of(i)) == 0.0) ++missed;
+  EXPECT_GT(static_cast<double>(missed) / static_cast<double>(t.num_flows()),
+            0.8);
+  EXPECT_LT(s.tracked_flows(), t.num_flows() / 4);
+}
+
+TEST(SampledCounting, RejectsBadRate) {
+  EXPECT_THROW(SampledCounting(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(SampledCounting(1.5, 1), std::invalid_argument);
+}
+
+TEST(SampledCounting, OpCountsOnlySampledPackets) {
+  SampledCounting s(0.5, 4);
+  for (int i = 0; i < 10000; ++i) s.add(static_cast<FlowId>(i % 10));
+  const auto ops = s.op_counts();
+  EXPECT_EQ(ops.hashes, 10000u);
+  EXPECT_NEAR(static_cast<double>(ops.sram_accesses), 5000.0, 250.0);
+}
+
+}  // namespace
+}  // namespace caesar::baselines

@@ -1,0 +1,93 @@
+#include "baselines/sampling/space_saving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+TEST(SpaceSaving, ExactWhileUnderCapacity) {
+  SpaceSaving ss(10);
+  for (int i = 0; i < 7; ++i) ss.add(1);
+  for (int i = 0; i < 3; ++i) ss.add(2);
+  EXPECT_DOUBLE_EQ(ss.estimate(1), 7.0);
+  EXPECT_DOUBLE_EQ(ss.estimate(2), 3.0);
+  EXPECT_EQ(ss.error_bound(1), 0u);
+  EXPECT_FALSE(ss.tracked(99));
+}
+
+TEST(SpaceSaving, OverestimatesNeverUnder) {
+  // Invariant: for tracked flows, count >= true count and
+  // count - error <= true count.
+  SpaceSaving ss(16);
+  std::map<FlowId, Count> truth;
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    const FlowId f = rng.below(200);
+    ss.add(f);
+    ++truth[f];
+  }
+  for (const auto& e : ss.top()) {
+    ASSERT_GE(e.count, truth[e.flow]) << e.flow;
+    ASSERT_LE(e.count - e.error, truth[e.flow]) << e.flow;
+  }
+}
+
+TEST(SpaceSaving, GuaranteesHeavyHittersTracked) {
+  // Classic guarantee: any flow with true count > n/m is monitored.
+  constexpr std::size_t kCapacity = 32;
+  SpaceSaving ss(kCapacity);
+  trace::TraceConfig tc;
+  tc.num_flows = 3000;
+  tc.mean_flow_size = 10.0;
+  tc.max_flow_size = 20000;
+  tc.seed = 6;
+  const auto t = trace::generate_trace(tc);
+  for (auto idx : t.arrivals()) ss.add(t.id_of(idx));
+  const double threshold =
+      static_cast<double>(t.num_packets()) / kCapacity;
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i) {
+    if (static_cast<double>(t.size_of(i)) > threshold) {
+      EXPECT_TRUE(ss.tracked(t.id_of(i))) << "flow " << i;
+    }
+  }
+}
+
+TEST(SpaceSaving, TopIsSortedDescending) {
+  SpaceSaving ss(8);
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 10000; ++i) ss.add(rng.below(50));
+  const auto top = ss.top();
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  EXPECT_LE(top.size(), 8u);
+}
+
+TEST(SpaceSaving, ReplacementInheritsMinCount) {
+  SpaceSaving ss(2);
+  ss.add(1);
+  ss.add(1);  // 1 -> 2
+  ss.add(2);  // 2 -> 1
+  ss.add(3);  // replaces flow 2 (min count 1): count 2, error 1
+  EXPECT_FALSE(ss.tracked(2));
+  EXPECT_DOUBLE_EQ(ss.estimate(3), 2.0);
+  EXPECT_EQ(ss.error_bound(3), 1u);
+}
+
+TEST(SpaceSaving, RejectsZeroCapacity) {
+  EXPECT_THROW(SpaceSaving ss(0), std::invalid_argument);
+}
+
+TEST(SpaceSaving, PacketAccounting) {
+  SpaceSaving ss(4);
+  for (int i = 0; i < 100; ++i) ss.add(static_cast<FlowId>(i));
+  EXPECT_EQ(ss.packets(), 100u);
+  EXPECT_GT(ss.memory_kb(), 0.0);
+}
+
+}  // namespace
+}  // namespace caesar::baselines

@@ -1,0 +1,107 @@
+#include "baselines/vhc/virtual_hll.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+VhcConfig small_config() {
+  VhcConfig c;
+  c.physical_registers = 1u << 14;
+  c.virtual_registers = 128;
+  c.seed = 7;
+  return c;
+}
+
+TEST(HllAlpha, StandardConstants) {
+  EXPECT_DOUBLE_EQ(hll_alpha(16), 0.673);
+  EXPECT_DOUBLE_EQ(hll_alpha(32), 0.697);
+  EXPECT_DOUBLE_EQ(hll_alpha(64), 0.709);
+  EXPECT_NEAR(hll_alpha(16384), 0.7213 / (1.0 + 1.079 / 16384.0), 1e-12);
+}
+
+TEST(VirtualHyperLogLog, SingleFlowEstimate) {
+  // Alone in the structure, a flow's virtual counter is a plain HLL with
+  // s = 128 registers: relative error ~ 1.04/sqrt(128) ~ 9%.
+  VirtualHyperLogLog vhc(small_config());
+  constexpr Count kTrue = 20000;
+  for (Count i = 0; i < kTrue; ++i) vhc.add(42);
+  EXPECT_NEAR(vhc.estimate(42), static_cast<double>(kTrue),
+              0.3 * static_cast<double>(kTrue));
+}
+
+TEST(VirtualHyperLogLog, TotalEstimateTracksAllPackets) {
+  // vHLL's aggregate estimate relies on many flows overlapping every
+  // register (ownership ~ Q*s/M must be large); with only a handful of
+  // flows the register loads clump and the harmonic mean biases low.
+  // Q = 5000 flows puts ownership at ~39 per register — the scheme's
+  // intended operating regime.
+  VirtualHyperLogLog vhc(small_config());
+  Xoshiro256pp rng(3);
+  constexpr Count kPackets = 500000;
+  for (Count i = 0; i < kPackets; ++i) vhc.add(rng.below(5000));
+  EXPECT_NEAR(vhc.estimate_total(), static_cast<double>(kPackets),
+              0.10 * static_cast<double>(kPackets));
+}
+
+TEST(VirtualHyperLogLog, NoiseSubtractionKeepsAbsentFlowsSmall) {
+  VirtualHyperLogLog vhc(small_config());
+  Xoshiro256pp rng(4);
+  for (Count i = 0; i < 100000; ++i) vhc.add(rng.below(200));
+  // A flow that never appeared: estimate should sit near 0, far below
+  // the per-flow average of 500.
+  RunningStats absent;
+  for (FlowId f = 1000; f < 1100; ++f) absent.add(vhc.estimate(f));
+  EXPECT_LT(std::abs(absent.mean()), 150.0);
+}
+
+TEST(VirtualHyperLogLog, LargeFlowsRankCorrectly) {
+  VirtualHyperLogLog vhc(small_config());
+  for (int i = 0; i < 50000; ++i) vhc.add(1);
+  for (int i = 0; i < 5000; ++i) vhc.add(2);
+  for (int i = 0; i < 500; ++i) vhc.add(3);
+  EXPECT_GT(vhc.estimate(1), vhc.estimate(2));
+  EXPECT_GT(vhc.estimate(2), vhc.estimate(3));
+}
+
+TEST(VirtualHyperLogLog, ApproximatelyUnbiasedOverSeeds) {
+  constexpr Count kTrue = 5000;
+  RunningStats est;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    auto cfg = small_config();
+    cfg.seed = seed;
+    VirtualHyperLogLog vhc(cfg);
+    for (Count i = 0; i < kTrue; ++i) vhc.add(9);
+    est.add(vhc.estimate(9));
+  }
+  EXPECT_NEAR(est.mean(), static_cast<double>(kTrue),
+              0.1 * static_cast<double>(kTrue));
+}
+
+TEST(VirtualHyperLogLog, MemoryIsFiveBitsPerRegister) {
+  const VirtualHyperLogLog vhc(small_config());
+  EXPECT_NEAR(vhc.memory_kb(), (1 << 14) * 5.0 / 8192.0, 1e-9);
+}
+
+TEST(VirtualHyperLogLog, OpCountsNearOneAccessPerPacket) {
+  VirtualHyperLogLog vhc(small_config());
+  for (int i = 0; i < 1000; ++i) vhc.add(5);
+  EXPECT_EQ(vhc.op_counts().sram_accesses, 1000u);
+}
+
+TEST(VirtualHyperLogLog, RejectsBadGeometry) {
+  VhcConfig c;
+  c.virtual_registers = 8;  // < 16
+  EXPECT_THROW(VirtualHyperLogLog vhc(c), std::invalid_argument);
+  c = small_config();
+  c.physical_registers = 100;  // < 2s
+  EXPECT_THROW(VirtualHyperLogLog vhc2(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caesar::baselines

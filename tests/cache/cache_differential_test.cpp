@@ -1,0 +1,120 @@
+// Differential test: CacheTable (open-addressing index + intrusive LRU)
+// against a deliberately naive reference model (std::map + std::list).
+// Any divergence in eviction identity, eviction value, or cached state
+// across a long random workload is a bug in one of them — and the
+// reference is simple enough to be right by inspection.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cache/cache_table.hpp"
+#include "common/random.hpp"
+
+namespace caesar::cache {
+namespace {
+
+/// Naive LRU cache with per-entry capacity, mirroring CacheTable's
+/// contract exactly.
+class ReferenceCache {
+ public:
+  ReferenceCache(std::uint32_t entries, Count capacity)
+      : max_entries_(entries), capacity_(capacity) {}
+
+  struct Ev {
+    FlowId flow;
+    Count value;
+    EvictionCause cause;
+  };
+
+  std::vector<Ev> process(FlowId flow) {
+    std::vector<Ev> out;
+    auto it = values_.find(flow);
+    if (it == values_.end()) {
+      if (values_.size() == max_entries_) {
+        const FlowId victim = lru_.back();
+        lru_.pop_back();
+        const Count v = values_.at(victim);
+        if (v > 0)
+          out.push_back({victim, v, EvictionCause::kReplacement});
+        values_.erase(victim);
+      }
+      values_[flow] = 0;
+      lru_.push_front(flow);
+      it = values_.find(flow);
+    } else {
+      lru_.remove(flow);
+      lru_.push_front(flow);
+    }
+    if (++it->second >= capacity_) {
+      out.push_back({flow, it->second, EvictionCause::kOverflow});
+      it->second = 0;
+    }
+    return out;
+  }
+
+  [[nodiscard]] Count peek(FlowId flow) const {
+    const auto it = values_.find(flow);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::uint32_t max_entries_;
+  Count capacity_;
+  std::map<FlowId, Count> values_;
+  std::list<FlowId> lru_;  // front = most recent
+};
+
+struct DiffCase {
+  std::uint32_t entries;
+  Count capacity;
+  std::uint64_t flow_space;
+};
+
+class CacheDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(CacheDifferential, MatchesReferenceModel) {
+  const auto [entries, capacity, flow_space] = GetParam();
+  CacheTable::Config cfg;
+  cfg.num_entries = entries;
+  cfg.entry_capacity = capacity;
+  cfg.policy = ReplacementPolicy::kLru;
+  CacheTable cache(cfg);
+  ReferenceCache ref(entries, capacity);
+
+  Xoshiro256pp rng(entries * 1000003ULL + capacity);
+  for (int step = 0; step < 30000; ++step) {
+    const FlowId f = rng.below(flow_space) + 1;
+    const auto got = cache.process(f);
+    const auto want = ref.process(f);
+    ASSERT_EQ(got.count, want.size()) << "step " << step;
+    for (unsigned e = 0; e < got.count; ++e) {
+      ASSERT_EQ(got.evictions[e].flow, want[e].flow) << "step " << step;
+      ASSERT_EQ(got.evictions[e].value, want[e].value) << "step " << step;
+      ASSERT_EQ(got.evictions[e].cause, want[e].cause) << "step " << step;
+    }
+    if (step % 1000 == 0) {
+      // Spot-check cached values.
+      for (FlowId probe = 1; probe <= flow_space; probe += 7)
+        ASSERT_EQ(cache.peek(probe), ref.peek(probe)) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, CacheDifferential,
+    ::testing::Values(DiffCase{4, 3, 10},      // tiny, heavy churn
+                      DiffCase{16, 10, 20},    // moderate pressure
+                      DiffCase{64, 5, 1000},   // mostly misses
+                      DiffCase{32, 1, 100},    // y=1 degenerate mode
+                      DiffCase{128, 54, 96}),  // fits: no replacement
+    [](const ::testing::TestParamInfo<DiffCase>& param_info) {
+      return "M" + std::to_string(param_info.param.entries) + "_y" +
+             std::to_string(param_info.param.capacity) + "_F" +
+             std::to_string(param_info.param.flow_space);
+    });
+
+}  // namespace
+}  // namespace caesar::cache

@@ -1,0 +1,206 @@
+#include "cache/cache_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace caesar::cache {
+namespace {
+
+CacheTable::Config small(std::uint32_t entries = 4, Count capacity = 10,
+                         ReplacementPolicy policy = ReplacementPolicy::kLru) {
+  CacheTable::Config c;
+  c.num_entries = entries;
+  c.entry_capacity = capacity;
+  c.policy = policy;
+  c.seed = 13;
+  return c;
+}
+
+std::vector<Eviction> drain(CacheTable::ProcessResult r) {
+  return {r.evictions.begin(), r.evictions.begin() + r.count};
+}
+
+TEST(CacheTable, HitIncrementsWithoutEviction) {
+  CacheTable cache(small());
+  EXPECT_EQ(cache.process(1).count, 0u);
+  EXPECT_EQ(cache.process(1).count, 0u);
+  EXPECT_EQ(cache.peek(1), 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheTable, OverflowEvictsFullValueAndKeepsCounting) {
+  CacheTable cache(small(4, 3));
+  EXPECT_EQ(cache.process(7).count, 0u);
+  EXPECT_EQ(cache.process(7).count, 0u);
+  const auto evs = drain(cache.process(7));  // third packet reaches y=3
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].flow, 7u);
+  EXPECT_EQ(evs[0].value, 3u);
+  EXPECT_EQ(evs[0].cause, EvictionCause::kOverflow);
+  EXPECT_EQ(cache.peek(7), 0u);  // entry retained, count restarted
+  EXPECT_EQ(cache.process(7).count, 0u);
+  EXPECT_EQ(cache.peek(7), 1u);
+  EXPECT_EQ(cache.stats().overflow_evictions, 1u);
+}
+
+TEST(CacheTable, ReplacementEvictsLruVictim) {
+  CacheTable cache(small(2, 100, ReplacementPolicy::kLru));
+  cache.process(1);  // LRU order: 1
+  cache.process(2);  // order: 2,1
+  cache.process(1);  // order: 1,2 -> 2 is LRU
+  const auto evs = drain(cache.process(3));
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].flow, 2u);
+  EXPECT_EQ(evs[0].value, 1u);
+  EXPECT_EQ(evs[0].cause, EvictionCause::kReplacement);
+  EXPECT_EQ(cache.peek(2), 0u);
+  EXPECT_EQ(cache.peek(1), 2u);
+  EXPECT_EQ(cache.peek(3), 1u);
+}
+
+TEST(CacheTable, RandomPolicyEvictsSomeOccupant) {
+  CacheTable cache(small(2, 100, ReplacementPolicy::kRandom));
+  cache.process(1);
+  cache.process(2);
+  const auto evs = drain(cache.process(3));
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_TRUE(evs[0].flow == 1u || evs[0].flow == 2u);
+  EXPECT_EQ(cache.stats().replacement_evictions, 1u);
+}
+
+TEST(CacheTable, CapacityOneBehavesLikeNoCache) {
+  // y == 1: every packet overflows immediately — the paper's observation
+  // that CAESAR with y=1 degenerates to (lossless) RCS.
+  CacheTable cache(small(2, 1));
+  const auto evs = drain(cache.process(5));
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].value, 1u);
+  EXPECT_EQ(evs[0].cause, EvictionCause::kOverflow);
+}
+
+TEST(CacheTable, CapacityOneWithFullTableEmitsTwoEvictions) {
+  CacheTable cache(small(1, 1));
+  cache.process(1);  // overflow-evicts flow 1 immediately, entry stays
+  const auto r = cache.process(2);
+  // Flow 1's empty entry is replaced (value 0 -> no record) and flow 2
+  // overflows; or flow 1 still holds value 0 -> only the overflow.
+  ASSERT_GE(r.count, 1u);
+  const auto& last = r.evictions[r.count - 1];
+  EXPECT_EQ(last.flow, 2u);
+  EXPECT_EQ(last.cause, EvictionCause::kOverflow);
+}
+
+TEST(CacheTable, ZeroValueVictimsAreNotEmitted) {
+  CacheTable cache(small(1, 2));
+  cache.process(1);
+  cache.process(1);  // overflow -> value reset to 0
+  // Replacing flow 1 (value 0) must not emit a zero eviction.
+  const auto evs = drain(cache.process(2));
+  EXPECT_TRUE(evs.empty());
+}
+
+TEST(CacheTable, FlushDumpsEverythingAndEmpties) {
+  CacheTable cache(small(8, 100));
+  cache.process(1);
+  cache.process(1);
+  cache.process(2);
+  auto evs = cache.flush();
+  ASSERT_EQ(evs.size(), 2u);
+  Count total = 0;
+  for (const auto& e : evs) {
+    total += e.value;
+    EXPECT_EQ(e.cause, EvictionCause::kFlush);
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(cache.occupied(), 0u);
+  EXPECT_TRUE(cache.flush().empty());
+  // Cache is reusable after a flush.
+  EXPECT_EQ(cache.process(9).count, 0u);
+  EXPECT_EQ(cache.peek(9), 1u);
+}
+
+TEST(CacheTable, ConservationUnderChurn) {
+  // Property: packets in == sum(evicted values) + sum(cached values),
+  // for both policies, across heavy replacement churn.
+  for (auto policy : {ReplacementPolicy::kLru, ReplacementPolicy::kRandom}) {
+    CacheTable cache(small(16, 5, policy));
+    Xoshiro256pp rng(99);
+    Count in = 0;
+    Count evicted = 0;
+    for (int i = 0; i < 20000; ++i) {
+      const FlowId f = rng.below(200);
+      const auto r = cache.process(f);
+      ++in;
+      for (unsigned e = 0; e < r.count; ++e) evicted += r.evictions[e].value;
+    }
+    for (const auto& e : cache.flush()) evicted += e.value;
+    EXPECT_EQ(in, evicted) << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(CacheTable, EvictionValuesNeverExceedCapacity) {
+  CacheTable cache(small(8, 7));
+  Xoshiro256pp rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto r = cache.process(rng.below(64));
+    for (unsigned e = 0; e < r.count; ++e) {
+      EXPECT_GE(r.evictions[e].value, 1u);
+      EXPECT_LE(r.evictions[e].value, 7u);
+    }
+  }
+}
+
+TEST(CacheTable, WeightedProcessAccumulates) {
+  CacheTable cache(small(4, 100));
+  cache.process_weighted(1, 30);
+  cache.process_weighted(1, 30);
+  EXPECT_EQ(cache.peek(1), 60u);
+  const auto evs = drain(cache.process_weighted(1, 50));  // 110 >= 100
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].value, 110u);
+}
+
+TEST(CacheTable, StatsAddUp) {
+  CacheTable cache(small(4, 10));
+  for (FlowId f = 0; f < 8; ++f) cache.process(f);
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.packets, 8u);
+  EXPECT_EQ(s.hits + s.misses, 8u);
+  EXPECT_EQ(s.misses, 8u);  // all distinct flows
+  EXPECT_EQ(s.replacement_evictions, 4u);
+}
+
+TEST(CacheTable, MemoryKbMatchesPaperFormula) {
+  CacheTable::Config c;
+  c.num_entries = 100'000;
+  c.entry_capacity = 54;  // needs ceil(log2(55)) = 6 bits... paper uses 8
+  CacheTable cache(c);
+  EXPECT_NEAR(cache.memory_kb(), 100'000 * 6 / 8192.0, 1e-9);
+}
+
+TEST(CacheTable, RejectsDegenerateConfig) {
+  CacheTable::Config c;
+  c.num_entries = 0;
+  EXPECT_THROW(CacheTable cache(c), std::invalid_argument);
+  c.num_entries = 1;
+  c.entry_capacity = 0;
+  EXPECT_THROW(CacheTable cache2(c), std::invalid_argument);
+}
+
+TEST(CacheTable, LruOrderSurvivesOverflowEvictions) {
+  CacheTable cache(small(2, 2, ReplacementPolicy::kLru));
+  cache.process(1);
+  cache.process(2);
+  cache.process(1);  // overflow of 1 (value 2); 1 stays most recent
+  const auto evs = drain(cache.process(3));  // must evict 2, not 1
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].flow, 2u);
+}
+
+}  // namespace
+}  // namespace caesar::cache

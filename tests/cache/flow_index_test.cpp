@@ -1,0 +1,111 @@
+#include "cache/flow_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace caesar::cache {
+namespace {
+
+TEST(FlowIndex, InsertFindErase) {
+  FlowIndex idx(16);
+  EXPECT_FALSE(idx.find(42).has_value());
+  idx.insert(42, 3);
+  ASSERT_TRUE(idx.find(42).has_value());
+  EXPECT_EQ(*idx.find(42), 3u);
+  EXPECT_EQ(idx.size(), 1u);
+  idx.erase(42);
+  EXPECT_FALSE(idx.find(42).has_value());
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(FlowIndex, ManyEntries) {
+  constexpr std::uint32_t kN = 10000;
+  FlowIndex idx(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) idx.insert(i * 1000003ULL + 7, i);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    auto found = idx.find(i * 1000003ULL + 7);
+    ASSERT_TRUE(found.has_value()) << i;
+    EXPECT_EQ(*found, i);
+  }
+  EXPECT_FALSE(idx.find(999999999999ULL).has_value());
+}
+
+TEST(FlowIndex, BackwardShiftDeletionKeepsChainsIntact) {
+  // Insert keys, delete half in random order, verify survivors findable
+  // and removed keys absent — the classic linear-probing deletion trap.
+  constexpr std::uint32_t kN = 4000;
+  FlowIndex idx(kN);
+  std::vector<FlowId> keys;
+  Xoshiro256pp rng(5);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    keys.push_back(rng());
+    idx.insert(keys.back(), i);
+  }
+  // Delete odd positions.
+  for (std::uint32_t i = 1; i < kN; i += 2) idx.erase(keys[i]);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    if (i % 2 == 0) {
+      auto found = idx.find(keys[i]);
+      ASSERT_TRUE(found.has_value()) << i;
+      EXPECT_EQ(*found, i);
+    } else {
+      EXPECT_FALSE(idx.find(keys[i]).has_value()) << i;
+    }
+  }
+  EXPECT_EQ(idx.size(), kN / 2);
+}
+
+TEST(FlowIndex, ReinsertAfterEraseWorks) {
+  FlowIndex idx(8);
+  idx.insert(1, 0);
+  idx.erase(1);
+  idx.insert(1, 5);
+  EXPECT_EQ(*idx.find(1), 5u);
+}
+
+TEST(FlowIndex, RandomizedAgainstReferenceMap) {
+  FlowIndex idx(2048);
+  std::map<FlowId, std::uint32_t> ref;
+  Xoshiro256pp rng(11);
+  for (int op = 0; op < 50000; ++op) {
+    const FlowId key = rng.below(5000);  // force collisions/chains
+    const auto in_ref = ref.find(key);
+    if (rng.bernoulli(0.5)) {
+      if (in_ref == ref.end() && ref.size() < 2000) {
+        const auto slot = static_cast<std::uint32_t>(rng.below(100000));
+        idx.insert(key, slot);
+        ref[key] = slot;
+      }
+    } else {
+      if (in_ref != ref.end()) {
+        idx.erase(key);
+        ref.erase(in_ref);
+      }
+    }
+    // Periodic full consistency check.
+    if (op % 5000 == 0) {
+      for (const auto& [k, v] : ref) {
+        auto found = idx.find(k);
+        ASSERT_TRUE(found.has_value());
+        ASSERT_EQ(*found, v);
+      }
+      ASSERT_EQ(idx.size(), ref.size());
+    }
+  }
+}
+
+TEST(FlowIndex, FlowIdZeroIsAValidKey) {
+  FlowIndex idx(4);
+  idx.insert(0, 9);
+  ASSERT_TRUE(idx.find(0).has_value());
+  EXPECT_EQ(*idx.find(0), 9u);
+  idx.erase(0);
+  EXPECT_FALSE(idx.find(0).has_value());
+}
+
+}  // namespace
+}  // namespace caesar::cache

@@ -1,0 +1,58 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace caesar {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full = {"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(full.size()), full.data());
+}
+
+TEST(CliArgs, ParsesSpaceSeparatedOption) {
+  const auto args = make({"--flows", "1000"});
+  EXPECT_EQ(args.get_u64("flows", 0), 1000u);
+}
+
+TEST(CliArgs, ParsesEqualsSeparatedOption) {
+  const auto args = make({"--flows=42"});
+  EXPECT_EQ(args.get_u64("flows", 0), 42u);
+}
+
+TEST(CliArgs, BooleanFlag) {
+  const auto args = make({"--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get_or("verbose", ""), "true");
+}
+
+TEST(CliArgs, BooleanFlagFollowedByOption) {
+  const auto args = make({"--verbose", "--k", "5"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get_u64("k", 0), 5u);
+}
+
+TEST(CliArgs, FallbacksWhenMissing) {
+  const auto args = make({});
+  EXPECT_FALSE(args.has("x"));
+  EXPECT_EQ(args.get_u64("x", 7), 7u);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(args.get_or("x", "d"), "d");
+  EXPECT_FALSE(args.get("x").has_value());
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const auto args = make({"input.pcap", "--k", "3", "out.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.pcap");
+  EXPECT_EQ(args.positional()[1], "out.csv");
+}
+
+TEST(CliArgs, DoubleParsing) {
+  const auto args = make({"--rate=0.666"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.666);
+}
+
+}  // namespace
+}  // namespace caesar

@@ -1,0 +1,50 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace caesar {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("CAESAR_FULL_SCALE");
+    unsetenv("CAESAR_SEED");
+  }
+};
+
+TEST_F(EnvTest, FullScaleDefaultsOff) {
+  unsetenv("CAESAR_FULL_SCALE");
+  EXPECT_FALSE(full_scale_requested());
+}
+
+TEST_F(EnvTest, FullScaleParsesTruthy) {
+  setenv("CAESAR_FULL_SCALE", "1", 1);
+  EXPECT_TRUE(full_scale_requested());
+  setenv("CAESAR_FULL_SCALE", "yes", 1);
+  EXPECT_TRUE(full_scale_requested());
+}
+
+TEST_F(EnvTest, FullScaleParsesFalsy) {
+  setenv("CAESAR_FULL_SCALE", "0", 1);
+  EXPECT_FALSE(full_scale_requested());
+  setenv("CAESAR_FULL_SCALE", "false", 1);
+  EXPECT_FALSE(full_scale_requested());
+  setenv("CAESAR_FULL_SCALE", "", 1);
+  EXPECT_FALSE(full_scale_requested());
+}
+
+TEST_F(EnvTest, SeedDefaultsToFallback) {
+  unsetenv("CAESAR_SEED");
+  EXPECT_EQ(experiment_seed(777), 777u);
+}
+
+TEST_F(EnvTest, SeedOverride) {
+  setenv("CAESAR_SEED", "123456789", 1);
+  EXPECT_EQ(experiment_seed(777), 123456789u);
+}
+
+}  // namespace
+}  // namespace caesar

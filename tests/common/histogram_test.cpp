@@ -1,0 +1,72 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace caesar {
+namespace {
+
+TEST(LogHistogram, BinsByPowersOfBase) {
+  LogHistogram h(2.0);
+  h.add(1, 10.0);   // bin 0: [1,2)
+  h.add(2, 20.0);   // bin 1: [2,4)
+  h.add(3, 40.0);   // bin 1
+  h.add(8, 5.0);    // bin 3: [8,16)
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].lo, 1u);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_DOUBLE_EQ(bins[0].mean, 10.0);
+  EXPECT_EQ(bins[1].lo, 2u);
+  EXPECT_EQ(bins[1].count, 2u);
+  EXPECT_DOUBLE_EQ(bins[1].mean, 30.0);
+  EXPECT_EQ(bins[2].lo, 8u);
+  EXPECT_DOUBLE_EQ(bins[2].mean, 5.0);
+  EXPECT_EQ(h.total_count(), 4u);
+}
+
+TEST(LogHistogram, EmptyHasNoBins) {
+  LogHistogram h;
+  EXPECT_TRUE(h.bins().empty());
+  EXPECT_EQ(h.total_count(), 0u);
+}
+
+TEST(LogHistogram, KeyZeroGoesToFirstBin) {
+  LogHistogram h;
+  h.add(0, 1.0);
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].lo, 1u);
+}
+
+TEST(FrequencyHistogram, CountsAndClampsValues) {
+  FrequencyHistogram h(10);
+  h.add(0);
+  h.add(5, 3);
+  h.add(100);  // clamps to 10
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[5], 3u);
+  EXPECT_EQ(h.counts()[10], 1u);
+}
+
+TEST(FrequencyHistogram, CdfAndMean) {
+  FrequencyHistogram h(4);
+  h.add(1);
+  h.add(2);
+  h.add(2);
+  h.add(4);
+  EXPECT_DOUBLE_EQ(h.cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.cdf(2), 0.75);
+  EXPECT_DOUBLE_EQ(h.cdf(100), 1.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 9.0 / 4.0);
+}
+
+TEST(FrequencyHistogram, EmptyIsSafe) {
+  FrequencyHistogram h(3);
+  EXPECT_DOUBLE_EQ(h.cdf(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace caesar

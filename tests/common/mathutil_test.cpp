@@ -1,0 +1,66 @@
+#include "common/mathutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace caesar {
+namespace {
+
+TEST(InverseNormalCdf, MatchesKnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.84134474606854), 1.0, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.99865010196837), 3.0, 1e-5);
+}
+
+TEST(InverseNormalCdf, IsInverseOfCdf) {
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST(InverseNormalCdf, ExtremeTails) {
+  EXPECT_TRUE(std::isinf(inverse_normal_cdf(0.0)));
+  EXPECT_TRUE(std::isinf(inverse_normal_cdf(1.0)));
+  EXPECT_LT(inverse_normal_cdf(1e-10), -6.0);
+  EXPECT_GT(inverse_normal_cdf(1.0 - 1e-10), 6.0);
+}
+
+TEST(ZValue, CommonConfidenceLevels) {
+  EXPECT_NEAR(z_value(0.95), 1.959963985, 1e-6);
+  EXPECT_NEAR(z_value(0.99), 2.575829304, 1e-6);
+  EXPECT_NEAR(z_value(0.90), 1.644853627, 1e-6);
+  EXPECT_NEAR(z_value(0.6827), 1.0, 1e-3);
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-4);
+}
+
+TEST(GoldenSectionMax, FindsParabolaVertex) {
+  const auto f = [](double x) { return -(x - 3.0) * (x - 3.0); };
+  EXPECT_NEAR(golden_section_max(f, 0.0, 10.0, 1e-6), 3.0, 1e-4);
+}
+
+TEST(GoldenSectionMax, FindsBoundaryMaximum) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(golden_section_max(f, 0.0, 5.0, 1e-6), 5.0, 1e-3);
+}
+
+TEST(GoldenSectionMax, HandlesLogLikelihoodShape) {
+  // Gaussian log-likelihood in the mean: max at the sample mean.
+  const double samples[] = {4.0, 6.0, 5.0};
+  const auto f = [&](double mu) {
+    double ll = 0.0;
+    for (double s : samples) ll -= (s - mu) * (s - mu);
+    return ll;
+  };
+  EXPECT_NEAR(golden_section_max(f, 0.0, 20.0, 1e-6), 5.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace caesar

@@ -1,0 +1,105 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace caesar {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVectors) {
+  // Reference outputs of the canonical SplitMix64 for seed 0.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256pp, IsDeterministic) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256pp, SeedsProduceDistinctStreams) {
+  Xoshiro256pp a(1);
+  Xoshiro256pp b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256pp, BelowStaysInRange) {
+  Xoshiro256pp rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256pp, BelowZeroBoundReturnsZero) {
+  Xoshiro256pp rng(5);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Xoshiro256pp, BelowIsApproximatelyUniform) {
+  Xoshiro256pp rng(99);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBound)];
+  // Each bucket expects 10000; allow 5% deviation (5 sigma ~ 1.6%).
+  for (int c : counts) {
+    EXPECT_GT(c, 9500);
+    EXPECT_LT(c, 10500);
+  }
+}
+
+TEST(Xoshiro256pp, UniformIsInUnitInterval) {
+  Xoshiro256pp rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Xoshiro256pp, BernoulliMatchesProbability) {
+  Xoshiro256pp rng(31);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i)
+      if (rng.bernoulli(p)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.01);
+  }
+}
+
+TEST(Xoshiro256pp, JumpDecorrelatesStreams) {
+  Xoshiro256pp a(5);
+  Xoshiro256pp b(5);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+}  // namespace
+}  // namespace caesar

@@ -1,0 +1,33 @@
+// Smoke coverage for the serialize helpers' guard rails (the full
+// round-trip behaviour is exercised by core/serialization_test.cpp).
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace caesar {
+namespace {
+
+TEST(SerializeGuards, ImplausibleVectorSizeRejected) {
+  std::stringstream buf;
+  put_u64(buf, std::uint64_t{1} << 40);  // claims 2^40 elements
+  EXPECT_THROW(get_u64_vector(buf), std::runtime_error);
+}
+
+TEST(SerializeGuards, EmptyVectorRoundTrip) {
+  std::stringstream buf;
+  put_u64_vector(buf, {});
+  EXPECT_TRUE(get_u64_vector(buf).empty());
+}
+
+TEST(SerializeGuards, DoubleSpecialValues) {
+  std::stringstream buf;
+  put_double(buf, -0.0);
+  put_double(buf, 1e308);
+  EXPECT_DOUBLE_EQ(get_double(buf), -0.0);
+  EXPECT_DOUBLE_EQ(get_double(buf), 1e308);
+}
+
+}  // namespace
+}  // namespace caesar

@@ -1,0 +1,115 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace caesar {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);       // population
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7, 1e-12);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Xoshiro256pp rng(3);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100.0;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Quantile, HandlesBasicCases) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Quantile, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.99), 42.0);
+}
+
+TEST(ChiSquareUniform, ZeroForPerfectlyUniform) {
+  const std::vector<std::uint64_t> obs(10, 100);
+  EXPECT_DOUBLE_EQ(chi_square_uniform(obs), 0.0);
+}
+
+TEST(ChiSquareUniform, DetectsSkew) {
+  std::vector<std::uint64_t> obs(10, 100);
+  obs[0] = 1000;
+  EXPECT_GT(chi_square_uniform(obs), 100.0);
+}
+
+TEST(Ecdf, StepsCorrectly) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ecdf(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 4.0), 1.0);
+}
+
+TEST(HistogramMean, WeightsByIndex) {
+  // counts[i] observations of value i: 1x0, 2x1, 1x2 -> mean 1.
+  const std::vector<std::uint64_t> counts = {1, 2, 1};
+  EXPECT_DOUBLE_EQ(histogram_mean(counts), 1.0);
+}
+
+}  // namespace
+}  // namespace caesar

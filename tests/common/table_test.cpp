@@ -1,0 +1,40 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace caesar {
+namespace {
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "2"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 4), "a,b\n");
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"v"});
+  t.add_numeric_row({3.14159}, 2);
+  EXPECT_NE(t.to_csv().find("3.14"), std::string::npos);
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(1.5, 0), "2");  // std::fixed rounds
+  EXPECT_EQ(format_double(1.25, 1), "1.2");
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+}
+
+}  // namespace
+}  // namespace caesar

@@ -1,0 +1,91 @@
+#include "core/epoch_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace caesar::core {
+namespace {
+
+CaesarConfig cfg() {
+  CaesarConfig c;
+  c.cache_entries = 128;
+  c.entry_capacity = 20;
+  c.num_counters = 5000;
+  c.counter_bits = 20;
+  c.seed = 3;
+  return c;
+}
+
+TEST(EpochManager, RotateSnapshotsAndResets) {
+  EpochManager mgr(cfg());
+  for (int i = 0; i < 1000; ++i) mgr.add(7);
+  EXPECT_EQ(mgr.current_packets(), 1000u);
+  const auto idx = mgr.rotate();
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(mgr.current_packets(), 0u);
+  ASSERT_EQ(mgr.epochs().size(), 1u);
+  EXPECT_EQ(mgr.epochs()[0].packets(), 1000u);
+  EXPECT_NEAR(mgr.epochs()[0].estimate_csm(7), 1000.0, 5.0);
+}
+
+TEST(EpochManager, EpochsAreIndependent) {
+  EpochManager mgr(cfg());
+  for (int i = 0; i < 300; ++i) mgr.add(1);
+  mgr.rotate();
+  for (int i = 0; i < 700; ++i) mgr.add(1);
+  mgr.rotate();
+  ASSERT_EQ(mgr.epochs().size(), 2u);
+  EXPECT_NEAR(mgr.epochs()[0].estimate_csm(1), 300.0, 3.0);
+  EXPECT_NEAR(mgr.epochs()[1].estimate_csm(1), 700.0, 3.0);
+  // A flow absent from an epoch estimates ~0 there.
+  EXPECT_LT(mgr.epochs()[0].estimate_csm(999), 2.0);
+}
+
+TEST(EpochManager, TotalSumsAcrossEpochs) {
+  EpochManager mgr(cfg());
+  for (int e = 0; e < 5; ++e) {
+    for (int i = 0; i < 100; ++i) mgr.add(42);
+    mgr.rotate();
+  }
+  EXPECT_NEAR(mgr.estimate_csm_total(42), 500.0, 5.0);
+}
+
+TEST(EpochManager, BoundedHistoryEvictsOldest) {
+  EpochManager mgr(cfg(), 2);
+  for (int e = 0; e < 4; ++e) {
+    for (int i = 0; i < (e + 1) * 10; ++i) mgr.add(5);
+    mgr.rotate();
+  }
+  ASSERT_EQ(mgr.epochs().size(), 2u);
+  // Only the two most recent epochs (30 and 40 packets) remain.
+  EXPECT_NEAR(mgr.epochs()[0].estimate_csm(5), 30.0, 1.0);
+  EXPECT_NEAR(mgr.epochs()[1].estimate_csm(5), 40.0, 1.0);
+}
+
+TEST(EpochManager, MappingStableAcrossEpochs) {
+  // The same seed is reused per epoch, so a flow's counters (and thus
+  // cross-epoch comparability) are stable.
+  EpochManager mgr(cfg());
+  Xoshiro256pp rng(1);
+  for (int e = 0; e < 2; ++e) {
+    for (int i = 0; i < 5000; ++i) mgr.add(rng.below(100));
+    mgr.rotate();
+  }
+  // Both epochs saw ~50 packets per flow; their per-flow estimates agree
+  // to within noise.
+  for (FlowId f = 0; f < 100; ++f) {
+    EXPECT_NEAR(mgr.epochs()[0].estimate_csm(f),
+                mgr.epochs()[1].estimate_csm(f), 40.0);
+  }
+}
+
+TEST(EpochManager, MlmAvailablePerEpoch) {
+  EpochManager mgr(cfg());
+  for (int i = 0; i < 200; ++i) mgr.add(9);
+  mgr.rotate();
+  EXPECT_NEAR(mgr.epochs()[0].estimate_mlm(9), 200.0, 6.0);
+}
+
+}  // namespace
+}  // namespace caesar::core

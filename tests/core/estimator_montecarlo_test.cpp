@@ -1,0 +1,111 @@
+// Monte Carlo property sweep of the CAESAR estimators across geometry:
+// for every (k, y, L) combination, a low-noise measurement must recover a
+// planted flow within tight relative error, stay (approximately)
+// unbiased, and keep CSM/MLM consistent — the grid version of the
+// single-point unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "core/caesar_sketch.hpp"
+
+namespace caesar::core {
+namespace {
+
+struct Geometry {
+  std::size_t k;
+  Count y;
+  std::uint64_t counters;
+};
+
+class EstimatorGrid : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(EstimatorGrid, PlantedFlowRecoveredAcrossSeeds) {
+  const auto [k, y, counters] = GetParam();
+  constexpr Count kPlanted = 500;
+  constexpr Count kBackgroundFlows = 200;
+  constexpr Count kBackgroundSize = 20;
+
+  RunningStats csm_est, mlm_est;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    CaesarConfig cfg;
+    cfg.cache_entries = 64;  // heavy churn: all eviction paths exercised
+    cfg.entry_capacity = y;
+    cfg.num_counters = counters;
+    cfg.counter_bits = 24;
+    cfg.k = k;
+    cfg.seed = seed * 1013;
+    CaesarSketch sketch(cfg);
+
+    // Interleave the planted flow with background traffic.
+    Xoshiro256pp rng(seed);
+    Count planted_left = kPlanted;
+    Count background_left = kBackgroundFlows * kBackgroundSize;
+    while (planted_left + background_left > 0) {
+      const bool pick_planted =
+          planted_left > 0 &&
+          (background_left == 0 ||
+           rng.below(planted_left + background_left) < planted_left);
+      if (pick_planted) {
+        sketch.add(0xFFFF);
+        --planted_left;
+      } else {
+        sketch.add(1 + rng.below(kBackgroundFlows));
+        --background_left;
+      }
+    }
+    sketch.flush();
+    csm_est.add(sketch.estimate_csm(0xFFFF));
+    mlm_est.add(sketch.estimate_mlm(0xFFFF));
+  }
+
+  // Mean over seeds within 5% of truth (unbiasedness at grid scale).
+  EXPECT_NEAR(csm_est.mean(), static_cast<double>(kPlanted),
+              0.05 * kPlanted)
+      << "k=" << k << " y=" << y << " L=" << counters;
+  EXPECT_NEAR(mlm_est.mean(), static_cast<double>(kPlanted),
+              0.08 * kPlanted);
+  // And per-seed spread bounded (no wild geometry-dependent blowups).
+  EXPECT_LT(csm_est.stddev(), 0.2 * kPlanted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, EstimatorGrid,
+    ::testing::Values(Geometry{1, 54, 4096}, Geometry{2, 54, 4096},
+                      Geometry{3, 54, 4096}, Geometry{4, 54, 4096},
+                      Geometry{8, 54, 4096}, Geometry{3, 1, 4096},
+                      Geometry{3, 2, 4096}, Geometry{3, 500, 4096},
+                      Geometry{3, 54, 64}, Geometry{3, 54, 65536}),
+    [](const ::testing::TestParamInfo<Geometry>& param_info) {
+      return "k" + std::to_string(param_info.param.k) + "_y" +
+             std::to_string(param_info.param.y) + "_L" +
+             std::to_string(param_info.param.counters);
+    });
+
+TEST(EstimatorGrid, ConservationHoldsOnEveryGeometry) {
+  // Sum-of-counters == packets for a grid of geometries (the invariant
+  // behind the noise-mass correction).
+  for (std::size_t k : {1u, 2u, 3u, 5u}) {
+    for (Count y : {1u, 7u, 54u}) {
+      CaesarConfig cfg;
+      cfg.cache_entries = 32;
+      cfg.entry_capacity = y;
+      cfg.num_counters = 512;
+      cfg.counter_bits = 30;
+      cfg.k = k;
+      cfg.seed = k * 100 + y;
+      CaesarSketch sketch(cfg);
+      Xoshiro256pp rng(k * 7 + y);
+      constexpr Count kPackets = 20000;
+      for (Count i = 0; i < kPackets; ++i) sketch.add(rng.below(100));
+      sketch.flush();
+      ASSERT_EQ(sketch.sram().total(), kPackets)
+          << "k=" << k << " y=" << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace caesar::core

@@ -1,0 +1,167 @@
+#include "core/estimators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace caesar::core {
+namespace {
+
+EstimatorParams params(std::size_t k = 3, Count y = 54,
+                       std::uint64_t counters = 1000, double n = 0.0) {
+  EstimatorParams p;
+  p.k = k;
+  p.entry_capacity = y;
+  p.num_counters = counters;
+  p.total_packets = n;
+  return p;
+}
+
+TEST(CsmEstimate, SumMinusNoise) {
+  // Corrected Eq. 20: x_hat = sum(w) - k*n/L (n/L of noise per counter).
+  const std::vector<Count> w = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(csm_estimate(w, params(3, 54, 1000, 2000.0)),
+                   15.0 - 3.0 * 2.0);
+}
+
+TEST(CsmEstimate, NoNoiseWhenEmptySram) {
+  const std::vector<Count> w = {7, 7, 7};
+  EXPECT_DOUBLE_EQ(csm_estimate(w, params(3, 54, 1000, 0.0)), 21.0);
+}
+
+TEST(CsmEstimate, CanGoNegativeForTinyFlows) {
+  const std::vector<Count> w = {0, 0, 1};
+  EXPECT_LT(csm_estimate(w, params(3, 54, 100, 1000.0)), 0.0);
+}
+
+TEST(CsmVariance, MatchesEq22) {
+  // D(x_hat) = x*k*(k-1)^2/y + n*k^2*(k-1)^2/(y*L) (corrected noise mass).
+  const auto p = params(3, 54, 1000, 27000.0);
+  const double x = 100.0;
+  const double expected =
+      100.0 * 3 * 4 / 54.0 + 27000.0 * 9 * 4 / (54.0 * 1000.0);
+  EXPECT_NEAR(csm_variance(x, p), expected, 1e-9);
+}
+
+TEST(CsmVariance, ZeroWhenKIsOne) {
+  // k = 1: the flow's value is stored exactly; only noise de-noising is
+  // approximate, and Eq. 22's (k-1)^2 factor vanishes.
+  EXPECT_DOUBLE_EQ(csm_variance(100.0, params(1, 54, 1000, 5000.0)), 0.0);
+}
+
+TEST(CsmVariance, GrowsWithFlowSizeAndTraffic) {
+  const auto p1 = params(3, 54, 1000, 1000.0);
+  EXPECT_LT(csm_variance(10.0, p1), csm_variance(100.0, p1));
+  const auto p2 = params(3, 54, 1000, 100000.0);
+  EXPECT_LT(csm_variance(10.0, p1), csm_variance(10.0, p2));
+}
+
+TEST(CsmInterval, CenteredAndMonotoneInAlpha) {
+  const std::vector<Count> w = {40, 38, 45};
+  const auto p = params(3, 54, 1000, 30000.0);
+  const double xh = csm_estimate(w, p);
+  const auto ci95 = csm_interval(w, p, 0.95);
+  const auto ci99 = csm_interval(w, p, 0.99);
+  EXPECT_NEAR((ci95.lo + ci95.hi) / 2.0, xh, 1e-9);
+  EXPECT_GT(ci99.hi - ci99.lo, ci95.hi - ci95.lo);
+  EXPECT_LT(ci95.lo, xh);
+  EXPECT_GT(ci95.hi, xh);
+}
+
+TEST(MlmEstimate, SolvesThePaperQuadratic) {
+  // The closed form must satisfy
+  // x^2 + (2Qmu/L + (k-1)^2/y) x + (Q^2mu^2/L^2 + Qmu(k-1)^2/(yL)
+  //   - k*sum(w^2)) = 0  (the first-order condition below Eq. 28).
+  const std::vector<Count> w = {12, 9, 14};
+  const auto p = params(3, 54, 1000, 27000.0);
+  const double x = mlm_estimate(w, p);
+  // Total noise mass A = k*n/L (corrected; the paper's derivation uses
+  // A = Q*mu/L with its Eq. 15 noise).
+  const double a = 3.0 * p.total_packets /
+                   static_cast<double>(p.num_counters);
+  const double km1sq = 4.0;
+  const double y = 54.0;
+  double sumsq = 0.0;
+  for (Count v : w) sumsq += static_cast<double>(v) * static_cast<double>(v);
+  const double b = 2.0 * a + km1sq / y;
+  const double c = a * a + a * km1sq / y - 3.0 * sumsq;
+  EXPECT_NEAR(x * x + b * x + c, 0.0, 1e-6 * sumsq);
+}
+
+TEST(MlmEstimate, CloseToCsmForBalancedCounters) {
+  // With equal counters and mild noise the two estimators nearly agree
+  // (paper Fig. 4: "CSM and MLM estimation results have little
+  // difference").
+  const std::vector<Count> w = {50, 50, 50};
+  const auto p = params(3, 54, 1000, 30000.0);
+  EXPECT_NEAR(mlm_estimate(w, p), csm_estimate(w, p), 1.0);
+}
+
+TEST(MlmVariance, MatchesEq31) {
+  const auto p = params(3, 54, 1000, 27000.0);
+  const double x = 100.0;
+  const double delta = counter_distribution(x, p).variance;
+  const double expected =
+      2.0 * 9.0 * delta * delta / (2.0 * delta + 16.0 / (54.0 * 54.0));
+  EXPECT_NEAR(mlm_variance(x, p), expected, 1e-9);
+}
+
+TEST(MlmVariance, SmallerThanCsmForSmallFlows) {
+  // Paper Fig. 4(c/d): MLM is slightly more accurate, especially for
+  // smaller flows. With Delta_X large the MLM variance ~ k^2*Delta_X
+  // < k^2*Delta_X*... — verify the theoretical ordering at small x.
+  const auto p = params(3, 54, 50000, 2770000.0);
+  for (double x : {1.0, 5.0, 20.0}) {
+    EXPECT_LT(mlm_variance(x, p), csm_variance(x, p)) << "x=" << x;
+  }
+}
+
+TEST(MlmVariance, KOneFallsBackToCsm) {
+  const auto p = params(1, 54, 1000, 5000.0);
+  EXPECT_DOUBLE_EQ(mlm_variance(10.0, p), csm_variance(10.0, p));
+}
+
+TEST(MlmInterval, CenteredOnEstimate) {
+  const std::vector<Count> w = {30, 28, 33};
+  const auto p = params(3, 54, 1000, 20000.0);
+  const auto ci = mlm_interval(w, p, 0.95);
+  EXPECT_NEAR((ci.lo + ci.hi) / 2.0, mlm_estimate(w, p), 1e-9);
+}
+
+TEST(CounterDistribution, MatchesEq24) {
+  const auto p = params(3, 54, 1000, 27000.0);
+  const auto d = counter_distribution(90.0, p);
+  EXPECT_NEAR(d.mean, 90.0 / 3 + 27000.0 / 1000.0, 1e-12);
+  EXPECT_NEAR(d.variance,
+              90.0 * 4 / (54.0 * 3) + 27000.0 * 4 / (54.0 * 1000.0),
+              1e-12);
+}
+
+struct KCase {
+  std::size_t k;
+};
+
+class EstimatorKSweep : public ::testing::TestWithParam<KCase> {};
+
+TEST_P(EstimatorKSweep, MlmAndCsmAgreeWithoutNoise) {
+  // Zero traffic from other flows and exactly divisible counters: both
+  // estimators must return ~x for any k.
+  const std::size_t k = GetParam().k;
+  const Count share = 20;
+  std::vector<Count> w(k, share);
+  const auto p = params(k, 54, 100000, 0.0);
+  const double x = static_cast<double>(share * k);
+  EXPECT_NEAR(csm_estimate(w, p), x, 1e-9);
+  EXPECT_NEAR(mlm_estimate(w, p), x, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, EstimatorKSweep,
+                         ::testing::Values(KCase{1}, KCase{2}, KCase{3},
+                                           KCase{4}, KCase{6}, KCase{8}),
+                         [](const ::testing::TestParamInfo<KCase>& param_info) {
+                           return "k" + std::to_string(param_info.param.k);
+                         });
+
+}  // namespace
+}  // namespace caesar::core

@@ -1,0 +1,87 @@
+// CAESAR's accuracy must be insensitive to packet interleaving: the
+// counter mapping is fixed per flow and evictions are lossless, so only
+// the *granularity* of evictions changes with arrival order (paper §4.2's
+// i.i.d. eviction argument). Conservation is exact under every
+// interleaving; estimation error varies only within noise.
+#include <gtest/gtest.h>
+
+#include "analysis/evaluation.hpp"
+#include "core/caesar_sketch.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::core {
+namespace {
+
+class InterleavingInvariance
+    : public ::testing::TestWithParam<trace::Interleaving> {};
+
+TEST_P(InterleavingInvariance, ConservationExact) {
+  trace::TraceConfig tc;
+  tc.num_flows = 3000;
+  tc.mean_flow_size = 15.0;
+  tc.max_flow_size = 5000;
+  tc.interleaving = GetParam();
+  tc.seed = 77;
+  const auto t = trace::generate_trace(tc);
+
+  CaesarConfig cfg;
+  cfg.cache_entries = 300;  // heavy pressure: replacement path exercised
+  cfg.entry_capacity = 30;
+  cfg.num_counters = 5000;
+  cfg.counter_bits = 24;
+  cfg.seed = 7;
+  CaesarSketch sketch(cfg);
+  for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+  sketch.flush();
+  EXPECT_EQ(sketch.sram().total(), t.num_packets());
+}
+
+TEST_P(InterleavingInvariance, AccuracyWithinNoiseOfShuffled) {
+  trace::TraceConfig tc;
+  tc.num_flows = 3000;
+  tc.mean_flow_size = 15.0;
+  tc.max_flow_size = 5000;
+  tc.seed = 78;
+
+  auto run = [&](trace::Interleaving mode) {
+    auto c = tc;
+    c.interleaving = mode;
+    const auto t = trace::generate_trace(c);
+    CaesarConfig cfg;
+    cfg.cache_entries = 300;
+    cfg.entry_capacity = 30;
+    cfg.num_counters = 800'000;  // low-noise so errors are O(1)
+    cfg.counter_bits = 24;
+    cfg.seed = 8;
+    CaesarSketch sketch(cfg);
+    for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+    sketch.flush();
+    return analysis::evaluate(
+               t, [&](FlowId f) { return sketch.estimate_csm(f); })
+        .avg_relative_error;
+  };
+
+  const double shuffled = run(trace::Interleaving::kUniformShuffle);
+  const double this_mode = run(GetParam());
+  EXPECT_LT(std::abs(this_mode - shuffled), 0.1)
+      << "shuffled=" << shuffled << " mode=" << this_mode;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, InterleavingInvariance,
+    ::testing::Values(trace::Interleaving::kUniformShuffle,
+                      trace::Interleaving::kBursty,
+                      trace::Interleaving::kSequential,
+                      trace::Interleaving::kRoundRobin),
+    [](const ::testing::TestParamInfo<trace::Interleaving>& param_info) {
+      switch (param_info.param) {
+        case trace::Interleaving::kUniformShuffle: return "shuffle";
+        case trace::Interleaving::kBursty: return "bursty";
+        case trace::Interleaving::kSequential: return "sequential";
+        case trace::Interleaving::kRoundRobin: return "roundrobin";
+      }
+      return "unknown";
+    });
+
+}  // namespace
+}  // namespace caesar::core

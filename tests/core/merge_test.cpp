@@ -1,0 +1,98 @@
+// Merging sketches from multiple monitoring points.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "core/caesar_sketch.hpp"
+#include "counters/counter_array.hpp"
+
+namespace caesar {
+namespace {
+
+core::CaesarConfig merge_config() {
+  core::CaesarConfig c;
+  c.cache_entries = 128;
+  c.entry_capacity = 20;
+  c.num_counters = 200'000;  // low-noise: union estimate checkable
+  c.counter_bits = 20;
+  c.seed = 99;
+  return c;
+}
+
+TEST(CounterArrayMerge, AddsCounterwise) {
+  counters::CounterArray a(8, 8), b(8, 8);
+  a.add(1, 10);
+  b.add(1, 5);
+  b.add(7, 3);
+  a.merge(b);
+  EXPECT_EQ(a.peek(1), 15u);
+  EXPECT_EQ(a.peek(7), 3u);
+  EXPECT_EQ(a.total(), 18u);
+}
+
+TEST(CounterArrayMerge, SaturatesAndCounts) {
+  counters::CounterArray a(2, 4), b(2, 4);  // capacity 15
+  a.add(0, 10);
+  b.add(0, 10);
+  a.merge(b);
+  EXPECT_EQ(a.peek(0), 15u);
+  EXPECT_EQ(a.saturations(), 1u);
+}
+
+TEST(CounterArrayMerge, RejectsGeometryMismatch) {
+  counters::CounterArray a(8, 8), b(9, 8), c(8, 9);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(CaesarMerge, UnionTrafficIsQueryable) {
+  // Two monitoring points see disjoint halves of a flow's packets; the
+  // merged sketch must estimate the union size.
+  core::CaesarSketch a(merge_config());
+  core::CaesarSketch b(merge_config());
+  Xoshiro256pp rng(5);
+  Count truth_17 = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const FlowId f = rng.below(300);
+    if (f == 17) ++truth_17;
+    (i % 2 == 0 ? a : b).add(f);
+  }
+  a.flush();
+  b.flush();
+  a.merge(b);
+  EXPECT_EQ(a.packets(), 40000u);
+  EXPECT_EQ(a.sram().total(), 40000u);
+  EXPECT_NEAR(a.estimate_csm(17), static_cast<double>(truth_17),
+              0.15 * static_cast<double>(truth_17) + 20.0);
+}
+
+TEST(CaesarMerge, RequiresFlushedCaches) {
+  core::CaesarSketch a(merge_config());
+  core::CaesarSketch b(merge_config());
+  b.add(1);
+  a.flush();
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(CaesarMerge, RequiresMatchingSeeds) {
+  core::CaesarSketch a(merge_config());
+  auto cfg = merge_config();
+  cfg.seed = 100;  // different counter mapping: merging would be garbage
+  core::CaesarSketch b(cfg);
+  a.flush();
+  b.flush();
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(CaesarMerge, MergeOfEmptyIsIdentity) {
+  core::CaesarSketch a(merge_config());
+  core::CaesarSketch b(merge_config());
+  for (int i = 0; i < 500; ++i) a.add(4);
+  a.flush();
+  b.flush();
+  const double before = a.estimate_csm(4);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.estimate_csm(4), before);
+}
+
+}  // namespace
+}  // namespace caesar

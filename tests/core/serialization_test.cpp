@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hpp"
+#include "common/serialize.hpp"
+#include "core/caesar_sketch.hpp"
+#include "counters/counter_array.hpp"
+
+namespace caesar {
+namespace {
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  std::stringstream buf;
+  put_u64(buf, 0x0123456789ABCDEFULL);
+  put_u32(buf, 0xDEADBEEFu);
+  put_double(buf, 3.14159);
+  put_u64_vector(buf, {1, 2, 3});
+  EXPECT_EQ(get_u64(buf), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(get_u32(buf), 0xDEADBEEFu);
+  EXPECT_DOUBLE_EQ(get_double(buf), 3.14159);
+  EXPECT_EQ(get_u64_vector(buf), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  std::stringstream buf;
+  buf.write("abc", 3);
+  EXPECT_THROW((void)get_u64(buf), std::runtime_error);
+}
+
+TEST(CounterArraySerialization, RoundTripPreservesValues) {
+  counters::CounterArray a(100, 15);
+  Xoshiro256pp rng(1);
+  for (int i = 0; i < 500; ++i) a.add(rng.below(100), 1 + rng.below(10));
+  std::stringstream buf;
+  a.save(buf);
+  const auto b = counters::CounterArray::load(buf);
+  ASSERT_EQ(b.size(), a.size());
+  EXPECT_EQ(b.bits(), a.bits());
+  for (std::uint64_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(b.peek(i), a.peek(i)) << i;
+  EXPECT_EQ(b.total(), a.total());
+}
+
+TEST(CounterArraySerialization, RejectsGarbage) {
+  std::stringstream buf;
+  put_u64(buf, 0x1234);  // wrong magic
+  EXPECT_THROW(counters::CounterArray::load(buf), std::runtime_error);
+}
+
+TEST(CaesarSerialization, LoadedSketchAnswersIdentically) {
+  core::CaesarConfig cfg;
+  cfg.cache_entries = 128;
+  cfg.entry_capacity = 20;
+  cfg.num_counters = 2000;
+  cfg.counter_bits = 18;
+  cfg.seed = 42;
+  core::CaesarSketch original(cfg);
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 50000; ++i) original.add(rng.below(400));
+  original.flush();
+
+  std::stringstream buf;
+  original.save(buf);
+  const auto loaded = core::CaesarSketch::load(buf);
+
+  EXPECT_EQ(loaded.packets(), original.packets());
+  EXPECT_EQ(loaded.sram().total(), original.sram().total());
+  for (FlowId f = 0; f < 400; ++f) {
+    EXPECT_DOUBLE_EQ(loaded.estimate_csm(f), original.estimate_csm(f));
+    EXPECT_DOUBLE_EQ(loaded.estimate_mlm(f), original.estimate_mlm(f));
+  }
+  const auto ci_a = original.interval_csm(17, 0.95);
+  const auto ci_b = loaded.interval_csm(17, 0.95);
+  EXPECT_DOUBLE_EQ(ci_a.lo, ci_b.lo);
+  EXPECT_DOUBLE_EQ(ci_a.hi, ci_b.hi);
+}
+
+TEST(CaesarSerialization, SaveRequiresFlushedCache) {
+  core::CaesarConfig cfg;
+  cfg.cache_entries = 16;
+  core::CaesarSketch sketch(cfg);
+  sketch.add(1);  // still cached
+  std::stringstream buf;
+  EXPECT_THROW(sketch.save(buf), std::logic_error);
+  sketch.flush();
+  EXPECT_NO_THROW(sketch.save(buf));
+}
+
+TEST(CaesarSerialization, LoadedSketchContinuesMeasuring) {
+  core::CaesarConfig cfg;
+  cfg.cache_entries = 64;
+  cfg.num_counters = 1000;
+  cfg.counter_bits = 20;
+  core::CaesarSketch original(cfg);
+  for (int i = 0; i < 100; ++i) original.add(5);
+  original.flush();
+  std::stringstream buf;
+  original.save(buf);
+  auto loaded = core::CaesarSketch::load(buf);
+  for (int i = 0; i < 100; ++i) loaded.add(5);
+  loaded.flush();
+  EXPECT_NEAR(loaded.estimate_csm(5), 200.0, 2.0);
+  EXPECT_EQ(loaded.packets(), 200u);
+}
+
+TEST(CaesarSerialization, RejectsCorruptStream) {
+  std::stringstream buf;
+  put_u64(buf, 0xBAD);
+  EXPECT_THROW(core::CaesarSketch::load(buf), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace caesar

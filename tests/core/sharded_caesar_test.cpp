@@ -1,0 +1,133 @@
+#include "core/sharded_caesar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::core {
+namespace {
+
+CaesarConfig shard_config() {
+  CaesarConfig c;
+  c.cache_entries = 128;
+  c.entry_capacity = 20;
+  c.num_counters = 1000;
+  c.counter_bits = 20;
+  c.seed = 11;
+  return c;
+}
+
+std::vector<FlowId> random_batch(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<FlowId> flows(n);
+  for (auto& f : flows) f = rng.below(500) + 1;
+  return flows;
+}
+
+TEST(ShardedCaesar, RoutesEachFlowToOneShard) {
+  ShardedCaesar sharded(shard_config(), 4);
+  for (FlowId f = 0; f < 1000; ++f) {
+    const auto s = sharded.shard_of(f);
+    EXPECT_LT(s, 4u);
+    EXPECT_EQ(s, sharded.shard_of(f));  // stable
+  }
+}
+
+TEST(ShardedCaesar, ShardLoadIsBalanced) {
+  ShardedCaesar sharded(shard_config(), 8);
+  std::vector<int> counts(8, 0);
+  for (FlowId f = 0; f < 80000; ++f)
+    ++counts[sharded.shard_of(f * 0x9E3779B97F4A7C15ULL + 1)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(ShardedCaesar, ParallelEqualsSequential) {
+  // The owner-computes ingest must be bit-identical to sequential adds.
+  const auto batch = random_batch(60000, 3);
+
+  ShardedCaesar seq(shard_config(), 4);
+  for (FlowId f : batch) seq.add(f);
+  seq.flush();
+
+  ShardedCaesar par(shard_config(), 4);
+  par.add_parallel(batch, 4);
+  par.flush();
+
+  EXPECT_EQ(seq.packets(), par.packets());
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto& a = seq.shard(s).sram();
+    const auto& b = par.shard(s).sram();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::uint64_t i = 0; i < a.size(); ++i)
+      ASSERT_EQ(a.peek(i), b.peek(i)) << "shard " << s << " counter " << i;
+  }
+  for (FlowId f = 1; f <= 500; ++f)
+    EXPECT_DOUBLE_EQ(seq.estimate_csm(f), par.estimate_csm(f));
+}
+
+TEST(ShardedCaesar, FewerThreadsThanShardsStillExact) {
+  const auto batch = random_batch(20000, 5);
+  ShardedCaesar seq(shard_config(), 8);
+  for (FlowId f : batch) seq.add(f);
+  seq.flush();
+  ShardedCaesar par(shard_config(), 8);
+  par.add_parallel(batch, 3);
+  par.flush();
+  for (FlowId f = 1; f <= 500; ++f)
+    EXPECT_DOUBLE_EQ(seq.estimate_csm(f), par.estimate_csm(f));
+}
+
+TEST(ShardedCaesar, EstimatesTrackGroundTruth) {
+  trace::TraceConfig tc;
+  tc.num_flows = 2000;
+  tc.mean_flow_size = 12.0;
+  tc.max_flow_size = 3000;
+  tc.seed = 9;
+  const auto t = trace::generate_trace(tc);
+  auto cfg = shard_config();
+  cfg.num_counters = 200'000;  // low-noise regime per shard
+  ShardedCaesar sharded(cfg, 4);
+  std::vector<FlowId> batch;
+  batch.reserve(t.num_packets());
+  for (auto idx : t.arrivals()) batch.push_back(t.id_of(idx));
+  sharded.add_parallel(batch, 4);
+  sharded.flush();
+  // Largest flow should be recovered well.
+  std::uint32_t big = 0;
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+    if (t.size_of(i) > t.size_of(big)) big = i;
+  EXPECT_NEAR(sharded.estimate_csm(t.id_of(big)),
+              static_cast<double>(t.size_of(big)),
+              0.05 * static_cast<double>(t.size_of(big)));
+}
+
+TEST(ShardedCaesar, AggregateAccounting) {
+  ShardedCaesar sharded(shard_config(), 3);
+  for (FlowId f = 0; f < 3000; ++f) sharded.add(f);
+  sharded.flush();
+  EXPECT_EQ(sharded.packets(), 3000u);
+  EXPECT_NEAR(sharded.memory_kb(),
+              3.0 * CaesarSketch(shard_config()).memory_kb(), 1e-9);
+  EXPECT_GT(sharded.op_counts().cache_accesses, 0u);
+}
+
+TEST(ShardedCaesar, RejectsZeroShards) {
+  EXPECT_THROW(ShardedCaesar(shard_config(), 0), std::invalid_argument);
+}
+
+TEST(ShardedCaesar, SingleShardDegeneratesToPlainSketch) {
+  const auto batch = random_batch(5000, 1);
+  ShardedCaesar sharded(shard_config(), 1);
+  sharded.add_parallel(batch, 1);
+  sharded.flush();
+  EXPECT_EQ(sharded.packets(), 5000u);
+}
+
+}  // namespace
+}  // namespace caesar::core

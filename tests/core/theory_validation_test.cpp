@@ -1,0 +1,177 @@
+// Statistical validation of the paper's §4/§5 analysis on synthetic
+// workloads: unbiasedness (Eq. 21), the counter-value distribution
+// (Eq. 18/24), and confidence-interval behaviour (Eqs. 26/32).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/evaluation.hpp"
+#include "common/stats.hpp"
+#include "core/caesar_sketch.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::core {
+namespace {
+
+trace::TraceConfig test_trace(std::uint64_t seed) {
+  trace::TraceConfig c;
+  c.num_flows = 3000;
+  c.mean_flow_size = 15.0;
+  c.max_flow_size = 20000;
+  c.seed = seed;
+  return c;
+}
+
+CaesarConfig test_sketch(std::uint64_t seed) {
+  CaesarConfig c;
+  c.cache_entries = 300;     // Q/M = 10: heavy replacement pressure
+  c.entry_capacity = 30;     // ~ floor(2 * mean)
+  c.num_counters = 1500;     // Q/L = 2 sharing
+  c.counter_bits = 20;
+  c.k = 3;
+  c.seed = seed;
+  return c;
+}
+
+TEST(TheoryValidation, CsmIsUnbiasedAcrossSeeds) {
+  // Eq. 21: E(x_hat) = x. Average the signed error over many flows and
+  // several independent runs; it must sit near zero relative to the
+  // flow-size scale.
+  RunningStats bias;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto t = trace::generate_trace(test_trace(seed));
+    CaesarSketch sketch(test_sketch(seed * 101));
+    for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+    sketch.flush();
+    const auto eval = analysis::evaluate(
+        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+    bias.add(eval.bias);
+  }
+  // The discriminating scale is the noise-subtraction constant k*n/L
+  // (= 90 here): subtracting the paper's literal Q*mu/L instead would
+  // leave a bias of 2*n/L = 60. Heavy-tailed counter sharing makes the
+  // per-seed bias estimate itself noisy (per-flow noise std is O(100)
+  // and flows share counters), so assert |bias| << k*n/L rather than a
+  // sub-packet bound.
+  EXPECT_LT(std::abs(bias.mean()), 9.0);  // 10% of k*n/L
+}
+
+TEST(TheoryValidation, CounterMeanMatchesEq18) {
+  // E(X) = x/k + Q*mu/(L*k). Fix one large flow; average its counter
+  // values over independent seeds (counter identities change per seed).
+  RunningStats observed;
+  double expected = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto tc = test_trace(seed);
+    const auto t = trace::generate_trace(tc);
+    CaesarSketch sketch(test_sketch(seed * 7 + 1));
+    for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+    sketch.flush();
+    // Largest flow of this trace.
+    std::uint32_t big = 0;
+    for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+      if (t.size_of(i) > t.size_of(big)) big = i;
+    for (Count w : sketch.counter_values(t.id_of(big)))
+      observed.add(static_cast<double>(w));
+    const auto d = counter_distribution(
+        static_cast<double>(t.size_of(big)), sketch.estimator_params());
+    expected += d.mean / 8.0;
+  }
+  // 24 counter samples; the flow's own share dominates so the relative
+  // deviation is small.
+  EXPECT_NEAR(observed.mean(), expected, 0.15 * expected);
+}
+
+TEST(TheoryValidation, MlmTracksCsmOnRealWorkload) {
+  // Paper Fig. 4: the two estimators differ little. Compared in the
+  // low-noise regime where relative errors are O(1) (in the saturated-
+  // noise regime both are dominated by the same counter noise but the
+  // clamped relative errors diverge for mice flows).
+  const auto t = trace::generate_trace(test_trace(3));
+  auto cfg = test_sketch(33);
+  cfg.num_counters = 800'000;  // ~18 counters per packet
+  CaesarSketch sketch(cfg);
+  for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+  sketch.flush();
+  const auto csm = analysis::evaluate(
+      t, [&](FlowId f) { return sketch.estimate_csm(f); });
+  const auto mlm = analysis::evaluate(
+      t, [&](FlowId f) { return sketch.estimate_mlm(f); });
+  EXPECT_LT(std::abs(csm.avg_relative_error - mlm.avg_relative_error), 0.3);
+}
+
+TEST(TheoryValidation, CoverageIsMonotoneInAlpha) {
+  const auto t = trace::generate_trace(test_trace(4));
+  CaesarSketch sketch(test_sketch(44));
+  for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+  sketch.flush();
+  const auto cov50 = analysis::interval_coverage(
+      t, [&](FlowId f) { return sketch.interval_csm(f, 0.50); });
+  const auto cov95 = analysis::interval_coverage(
+      t, [&](FlowId f) { return sketch.interval_csm(f, 0.95); });
+  const auto cov999 = analysis::interval_coverage(
+      t, [&](FlowId f) { return sketch.interval_csm(f, 0.999); });
+  EXPECT_LT(cov50.coverage, cov95.coverage);
+  EXPECT_LT(cov95.coverage, cov999.coverage);
+  // No absolute floor for the Eq. 22/26 intervals: the model variance
+  // ignores the heavy-tail selection variance of the noise (DESIGN.md
+  // §5) so they undercover badly on heavy-tailed traffic — the next test
+  // shows the empirical-variance extension fixes this.
+}
+
+TEST(TheoryValidation, EmpiricalIntervalsCoverUnderHeavyTails) {
+  const auto t = trace::generate_trace(test_trace(4));
+  CaesarSketch sketch(test_sketch(44));
+  for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+  sketch.flush();
+  const auto model95 = analysis::interval_coverage(
+      t, [&](FlowId f) { return sketch.interval_csm(f, 0.95); });
+  const auto emp95 = analysis::interval_coverage(
+      t, [&](FlowId f) { return sketch.interval_csm_empirical(f, 0.95); });
+  // The empirical interval dominates the model interval and achieves
+  // usable coverage (the skew of the noise keeps it below the Gaussian
+  // nominal level, but far above Eq. 26's).
+  EXPECT_GT(emp95.coverage, model95.coverage);
+  EXPECT_GT(emp95.coverage, 0.7);
+}
+
+TEST(TheoryValidation, ErrorShrinksWithMoreCounters) {
+  // CAESAR's flexibility in L (paper §1.4 third challenge): more SRAM
+  // counters -> less sharing noise -> lower average relative error.
+  const auto t = trace::generate_trace(test_trace(5));
+  auto run = [&](std::uint64_t counters) {
+    auto cfg = test_sketch(55);
+    cfg.num_counters = counters;
+    CaesarSketch sketch(cfg);
+    for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+    sketch.flush();
+    return analysis::evaluate(
+               t, [&](FlowId f) { return sketch.estimate_csm(f); })
+        .avg_relative_error;
+  };
+  const double err_small = run(400);
+  const double err_large = run(6400);
+  EXPECT_LT(err_large, err_small * 0.7);
+}
+
+TEST(TheoryValidation, LruAndRandomReplacementBothWork) {
+  // Paper §3.1 tries both policies; estimation quality should be similar
+  // since eviction values, not victim identity, drive the analysis.
+  const auto t = trace::generate_trace(test_trace(6));
+  auto run = [&](cache::ReplacementPolicy policy) {
+    auto cfg = test_sketch(66);
+    cfg.policy = policy;
+    CaesarSketch sketch(cfg);
+    for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+    sketch.flush();
+    return analysis::evaluate(
+               t, [&](FlowId f) { return sketch.estimate_csm(f); })
+        .avg_relative_error;
+  };
+  const double lru = run(cache::ReplacementPolicy::kLru);
+  const double rnd = run(cache::ReplacementPolicy::kRandom);
+  EXPECT_LT(std::abs(lru - rnd), 0.15);
+}
+
+}  // namespace
+}  // namespace caesar::core

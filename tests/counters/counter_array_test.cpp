@@ -1,0 +1,80 @@
+#include "counters/counter_array.hpp"
+
+#include <gtest/gtest.h>
+
+namespace caesar::counters {
+namespace {
+
+TEST(CounterArray, StartsZeroed) {
+  CounterArray a(10, 8);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(a.peek(i), 0u);
+  EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(CounterArray, AddAndRead) {
+  CounterArray a(4, 16);
+  a.add(2, 5);
+  a.add(2, 3);
+  EXPECT_EQ(a.read(2), 8u);
+  EXPECT_EQ(a.read(0), 0u);
+  EXPECT_EQ(a.total(), 8u);
+}
+
+TEST(CounterArray, CapacityMatchesBits) {
+  EXPECT_EQ(CounterArray(1, 1).capacity(), 1u);
+  EXPECT_EQ(CounterArray(1, 8).capacity(), 255u);
+  EXPECT_EQ(CounterArray(1, 15).capacity(), 32767u);
+  EXPECT_EQ(CounterArray(1, 64).capacity(), ~Count{0});
+}
+
+TEST(CounterArray, SaturatesInsteadOfWrapping) {
+  CounterArray a(2, 4);  // capacity 15
+  a.add(0, 10);
+  a.add(0, 10);
+  EXPECT_EQ(a.peek(0), 15u);
+  EXPECT_EQ(a.saturations(), 1u);
+  a.add(0, 1);  // already saturated
+  EXPECT_EQ(a.peek(0), 15u);
+  EXPECT_EQ(a.saturations(), 2u);
+}
+
+TEST(CounterArray, MemoryKbMatchesPaperFormula) {
+  // Paper §6.2: SRAM size = L * log2(l) / (1024*8) KB.
+  CounterArray a(50'000, 15);
+  EXPECT_NEAR(a.memory_kb(), 91.55, 0.01);  // the Fig. 4 budget
+  CounterArray b(1'014'601, 10);
+  EXPECT_NEAR(b.memory_kb(), 1238.5, 0.5);  // the Fig. 5(b) budget
+}
+
+TEST(CounterArray, AccessAccounting) {
+  CounterArray a(4, 8);
+  a.add(1, 1);       // 1 read + 1 write
+  (void)a.read(1);   // 1 read
+  (void)a.peek(1);   // not counted
+  EXPECT_EQ(a.reads(), 2u);
+  EXPECT_EQ(a.writes(), 1u);
+}
+
+TEST(CounterArray, ResetClearsValuesAndStats) {
+  CounterArray a(4, 8);
+  a.add(0, 200);
+  a.add(0, 200);  // saturate
+  a.reset();
+  EXPECT_EQ(a.total(), 0u);
+  EXPECT_EQ(a.reads(), 0u);
+  EXPECT_EQ(a.writes(), 0u);
+  EXPECT_EQ(a.saturations(), 0u);
+}
+
+TEST(CounterArray, TotalSumsEverything) {
+  CounterArray a(100, 20);
+  Count expected = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    a.add(i, i);
+    expected += i;
+  }
+  EXPECT_EQ(a.total(), expected);
+}
+
+}  // namespace
+}  // namespace caesar::counters

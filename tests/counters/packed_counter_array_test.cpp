@@ -1,0 +1,96 @@
+#include "counters/packed_counter_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "counters/counter_array.hpp"
+
+namespace caesar::counters {
+namespace {
+
+TEST(PackedCounterArray, GetSetRoundTrip) {
+  PackedCounterArray a(100, 15);
+  a.set(0, 123);
+  a.set(99, 32767);
+  a.set(50, 1);
+  EXPECT_EQ(a.get(0), 123u);
+  EXPECT_EQ(a.get(99), 32767u);
+  EXPECT_EQ(a.get(50), 1u);
+  EXPECT_EQ(a.get(1), 0u);
+}
+
+TEST(PackedCounterArray, ValuesStraddlingWordBoundaries) {
+  // 15-bit counters: counter 4 occupies bits 60..74 — split across two
+  // words. Write neighbours too and verify no bleed.
+  PackedCounterArray a(16, 15);
+  a.set(3, 0x7FFF);
+  a.set(4, 0x2AAA);
+  a.set(5, 0x5555);
+  EXPECT_EQ(a.get(3), 0x7FFFu);
+  EXPECT_EQ(a.get(4), 0x2AAAu);
+  EXPECT_EQ(a.get(5), 0x5555u);
+  a.set(4, 0);
+  EXPECT_EQ(a.get(3), 0x7FFFu);
+  EXPECT_EQ(a.get(4), 0u);
+  EXPECT_EQ(a.get(5), 0x5555u);
+}
+
+TEST(PackedCounterArray, SaturatingAdd) {
+  PackedCounterArray a(4, 4);  // capacity 15
+  a.add(1, 10);
+  a.add(1, 10);
+  EXPECT_EQ(a.get(1), 15u);
+  a.add(1, 1);
+  EXPECT_EQ(a.get(1), 15u);
+}
+
+TEST(PackedCounterArray, BackingStoreIsActuallyPacked) {
+  // 50,000 x 15-bit = 91.55 KB nominal; packed storage must be within
+  // one word of that (vs 390 KB for unpacked 64-bit storage).
+  PackedCounterArray a(50'000, 15);
+  EXPECT_NEAR(a.memory_kb(), 91.55, 0.01);
+  EXPECT_LE(a.backing_bytes(), (50'000 * 15 / 64 + 1) * 8u);
+  EXPECT_LT(static_cast<double>(a.backing_bytes()) / 1024.0, 92.0);
+}
+
+struct PackedCase {
+  unsigned bits;
+};
+class PackedSweep : public ::testing::TestWithParam<PackedCase> {};
+
+TEST_P(PackedSweep, MatchesUnpackedReferenceUnderRandomOps) {
+  const unsigned bits = GetParam().bits;
+  constexpr std::uint64_t kSize = 257;  // prime: all straddle phases
+  PackedCounterArray packed(kSize, bits);
+  CounterArray reference(kSize, bits);
+  Xoshiro256pp rng(bits * 1000003ULL);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t idx = rng.below(kSize);
+    const Count delta = rng.below(1 + (Count{1} << std::min(bits, 16u)));
+    packed.add(idx, delta);
+    reference.add(idx, delta);
+    if (op % 500 == 0) {
+      for (std::uint64_t i = 0; i < kSize; ++i)
+        ASSERT_EQ(packed.get(i), reference.peek(i))
+            << "bits=" << bits << " i=" << i << " op=" << op;
+    }
+  }
+  EXPECT_EQ(packed.total(), reference.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, PackedSweep,
+                         ::testing::Values(PackedCase{1}, PackedCase{2},
+                                           PackedCase{5}, PackedCase{8},
+                                           PackedCase{15}, PackedCase{31},
+                                           PackedCase{57}),
+                         [](const ::testing::TestParamInfo<PackedCase>& i) {
+                           return "b" + std::to_string(i.param.bits);
+                         });
+
+TEST(PackedCounterArray, RejectsBadWidths) {
+  EXPECT_THROW(PackedCounterArray(8, 0), std::invalid_argument);
+  EXPECT_THROW(PackedCounterArray(8, 58), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caesar::counters

@@ -1,0 +1,64 @@
+#include "hash/hash_family.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace caesar::hash {
+namespace {
+
+TEST(HashFamily, SameSeedSameFunctions) {
+  HashFamily a(4, 99);
+  HashFamily b(4, 99);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::uint64_t key : {0ULL, 1ULL, 0xdeadbeefULL})
+      EXPECT_EQ(a(i, key), b(i, key));
+}
+
+TEST(HashFamily, FunctionsAreIndependentlySeeded) {
+  HashFamily fam(8, 7);
+  std::set<std::uint64_t> values;
+  for (std::size_t i = 0; i < 8; ++i) values.insert(fam(i, 12345));
+  EXPECT_EQ(values.size(), 8u);
+}
+
+TEST(HashFamily, DifferentSeedsDiffer) {
+  HashFamily a(1, 1);
+  HashFamily b(1, 2);
+  EXPECT_NE(a(0, 42), b(0, 42));
+}
+
+TEST(HashFamily, BoundedStaysInRange) {
+  HashFamily fam(3, 11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (std::uint64_t key = 0; key < 1000; ++key)
+      for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_LT(fam.bounded(i, key, bound), bound);
+  }
+}
+
+TEST(HashFamily, BoundedIsUniformEnough) {
+  HashFamily fam(1, 3);
+  constexpr std::uint64_t kBuckets = 50;
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  constexpr std::uint64_t kKeys = 100000;
+  for (std::uint64_t key = 0; key < kKeys; ++key)
+    ++counts[fam.bounded(0, key, kBuckets)];
+  // chi-square with 49 dof: 5-sigma-ish critical value ~ 100.
+  EXPECT_LT(chi_square_uniform(counts), 100.0);
+}
+
+TEST(HashFamily, SameFlowAlwaysSameCounters) {
+  // The paper requires the k mapping hashes depend only on the flow ID.
+  HashFamily fam(3, 2020);
+  const std::uint64_t flow = 0xabcdef123456ULL;
+  const auto first = fam.bounded(1, flow, 50000);
+  for (int repeat = 0; repeat < 10; ++repeat)
+    EXPECT_EQ(fam.bounded(1, flow, 50000), first);
+}
+
+}  // namespace
+}  // namespace caesar::hash

@@ -1,0 +1,121 @@
+#include "hash/index_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace caesar::hash {
+namespace {
+
+struct SelectorCase {
+  std::size_t k;
+  std::uint64_t counters;
+};
+
+class SelectorSweep : public ::testing::TestWithParam<SelectorCase> {};
+
+TEST_P(SelectorSweep, IndicesAreDistinctAndInRange) {
+  const auto [k, counters] = GetParam();
+  KIndexSelector sel(k, counters, 31337);
+  std::vector<std::uint64_t> idx(k);
+  for (std::uint64_t flow = 0; flow < 5000; ++flow) {
+    sel.select(flow * 0x9e3779b97f4a7c15ULL + 1, idx);
+    std::set<std::uint64_t> unique(idx.begin(), idx.end());
+    ASSERT_EQ(unique.size(), k) << "duplicate index for flow " << flow;
+    for (auto v : idx) ASSERT_LT(v, counters);
+  }
+}
+
+TEST_P(SelectorSweep, SelectionIsDeterministic) {
+  const auto [k, counters] = GetParam();
+  KIndexSelector sel(k, counters, 55);
+  std::vector<std::uint64_t> a(k), b(k);
+  sel.select(0xfeedbeef, a);
+  sel.select(0xfeedbeef, b);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SelectorSweep,
+    ::testing::Values(SelectorCase{1, 10}, SelectorCase{2, 2},
+                      SelectorCase{3, 3}, SelectorCase{3, 50},
+                      SelectorCase{3, 50000}, SelectorCase{4, 5},
+                      SelectorCase{8, 64}, SelectorCase{16, 16},
+                      SelectorCase{16, 100000}),
+    [](const ::testing::TestParamInfo<SelectorCase>& param_info) {
+      return "k" + std::to_string(param_info.param.k) + "_L" +
+             std::to_string(param_info.param.counters);
+    });
+
+TEST(KIndexSelector, TinyDomainUsesAllSlots) {
+  // k == L: every flow must map to all L counters (in some order).
+  KIndexSelector sel(3, 3, 9);
+  std::array<std::uint64_t, 3> idx{};
+  sel.select(424242, idx);
+  std::sort(idx.begin(), idx.end());
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+  EXPECT_EQ(idx[2], 2u);
+}
+
+TEST(KIndexSelector, LoadSpreadsUniformly) {
+  // Aggregate counter usage over many flows should be near uniform —
+  // the "randomly and evenly" hashing assumption of paper §1.4.
+  constexpr std::uint64_t kCounters = 64;
+  constexpr std::size_t kK = 3;
+  KIndexSelector sel(kK, kCounters, 77);
+  std::vector<std::uint64_t> counts(kCounters, 0);
+  std::array<std::uint64_t, kK> idx{};
+  constexpr std::uint64_t kFlows = 50000;
+  for (std::uint64_t flow = 1; flow <= kFlows; ++flow) {
+    sel.select(flow, idx);
+    for (auto v : idx) ++counts[v];
+  }
+  // chi-square, 63 dof; generous threshold.
+  EXPECT_LT(chi_square_uniform(counts), 130.0);
+}
+
+TEST(KIndexSelector, DifferentSeedsGiveDifferentMappings) {
+  KIndexSelector a(3, 1000, 1);
+  KIndexSelector b(3, 1000, 2);
+  std::array<std::uint64_t, 3> ia{}, ib{};
+  int same = 0;
+  for (std::uint64_t flow = 0; flow < 100; ++flow) {
+    a.select(flow, ia);
+    b.select(flow, ib);
+    if (ia == ib) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(KIndexSelector, PairSharingProbabilityMatchesTheory) {
+  // Paper §4.3: a random other flow lands on a *specific* one of my k
+  // counters with probability 1/L; i.e. it shares >=1 counter with
+  // probability ~ k^2/L for k << L.
+  constexpr std::uint64_t kCounters = 1000;
+  KIndexSelector sel(3, kCounters, 123);
+  std::array<std::uint64_t, 3> mine{}, theirs{};
+  sel.select(0xABCD, mine);
+  std::uint64_t sharing = 0;
+  constexpr std::uint64_t kOthers = 200000;
+  for (std::uint64_t flow = 1; flow <= kOthers; ++flow) {
+    sel.select(flow ^ 0x5555555555ULL, theirs);
+    for (auto t : theirs)
+      if (t == mine[0] || t == mine[1] || t == mine[2]) {
+        ++sharing;
+        break;
+      }
+  }
+  const double expected = 9.0 / static_cast<double>(kCounters);
+  const double measured =
+      static_cast<double>(sharing) / static_cast<double>(kOthers);
+  EXPECT_NEAR(measured, expected, expected * 0.15);
+}
+
+}  // namespace
+}  // namespace caesar::hash

@@ -1,0 +1,85 @@
+#include "hash/murmur3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace caesar::hash {
+namespace {
+
+std::span<const std::uint8_t> bytes(const char* s, std::size_t n) {
+  return {reinterpret_cast<const std::uint8_t*>(s), n};
+}
+
+TEST(Murmur3x86_32, KnownVectors) {
+  // Widely published MurmurHash3_x86_32 verification vectors.
+  EXPECT_EQ(murmur3_x86_32(bytes("", 0), 0), 0u);
+  EXPECT_EQ(murmur3_x86_32(bytes("", 0), 1), 0x514E28B7u);
+  EXPECT_EQ(murmur3_x86_32(bytes("", 0), 0xFFFFFFFFu), 0x81F16F39u);
+  EXPECT_EQ(murmur3_x86_32(bytes("\x00\x00\x00\x00", 4), 0), 0x2362F9DEu);
+  EXPECT_EQ(murmur3_x86_32(bytes("\x00\x00\x00", 3), 0), 0x85F0B427u);
+  EXPECT_EQ(murmur3_x86_32(bytes("\x00\x00", 2), 0), 0x30F4C306u);
+  EXPECT_EQ(murmur3_x86_32(bytes("\x00", 1), 0), 0x514E28B7u);
+  EXPECT_EQ(murmur3_x86_32(bytes("\xFF\xFF\xFF\xFF", 4), 0), 0x76293B50u);
+  EXPECT_EQ(murmur3_x86_32(bytes("\x21\x43\x65\x87", 4), 0), 0xF55B516Bu);
+  EXPECT_EQ(murmur3_x86_32(bytes("\x21\x43\x65\x87", 4), 0x5082EDEEu),
+            0x2362F9DEu);
+  EXPECT_EQ(murmur3_x86_32(bytes("\x21\x43\x65", 3), 0), 0x7E4A8634u);
+  EXPECT_EQ(murmur3_x86_32(bytes("\x21\x43", 2), 0), 0xA0F7B07Au);
+  EXPECT_EQ(murmur3_x86_32(bytes("\x21", 1), 0), 0x72661CF4u);
+}
+
+TEST(Murmur3x64_128, EmptySeedZeroIsZero) {
+  const auto h = murmur3_x64_128(bytes("", 0), 0);
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[1], 0u);
+}
+
+TEST(Murmur3x64_128, DeterministicAndSeedSensitive) {
+  const std::string key = "five-tuple-bytes";
+  const auto a = murmur3_x64_128(bytes(key.data(), key.size()), 7);
+  const auto b = murmur3_x64_128(bytes(key.data(), key.size()), 7);
+  const auto c = murmur3_x64_128(bytes(key.data(), key.size()), 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Murmur3x64_128, AllTailLengthsDiffer) {
+  // 1..16-byte inputs exercise every switch arm of the tail handler.
+  std::set<std::uint64_t> seen;
+  std::string base = "0123456789abcdef";
+  for (std::size_t len = 1; len <= 16; ++len)
+    seen.insert(murmur3_x64_128(bytes(base.data(), len), 0)[0]);
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Fmix64, IsABijectionOnSamples) {
+  // fmix64 must be invertible: no two distinct inputs may collide. Spot
+  // check a dense range plus structured patterns.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(fmix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+  EXPECT_EQ(fmix64(0), 0u);  // known fixed point of the finalizer
+}
+
+TEST(Fmix64, Avalanche) {
+  // Flipping one input bit should flip ~32 of 64 output bits on average.
+  double total_flips = 0;
+  constexpr int kTrials = 64;
+  for (int b = 0; b < kTrials; ++b) {
+    const std::uint64_t x = 0x123456789abcdefULL;
+    const std::uint64_t flips =
+        static_cast<std::uint64_t>(__builtin_popcountll(
+            fmix64(x) ^ fmix64(x ^ (1ULL << b))));
+    total_flips += static_cast<double>(flips);
+  }
+  const double avg = total_flips / kTrials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+}  // namespace
+}  // namespace caesar::hash

@@ -1,0 +1,83 @@
+#include "hash/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace caesar::hash {
+namespace {
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(to_hex(Sha1::digest("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(to_hex(Sha1::digest("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, QuickBrownFox) {
+  EXPECT_EQ(to_hex(Sha1::digest(
+                "The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  // FIPS 180-1 test vector #2.
+  EXPECT_EQ(to_hex(Sha1::digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  // FIPS 180-1 test vector #3.
+  Sha1 s;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) s.update(chunk);
+  EXPECT_EQ(to_hex(s.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalEqualsOneShot) {
+  Sha1 s;
+  s.update("The quick brown fox ");
+  s.update("jumps over ");
+  s.update("the lazy dog");
+  EXPECT_EQ(to_hex(s.finalize()),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 s;
+  s.update("garbage");
+  (void)s.finalize();
+  s.reset();
+  s.update("abc");
+  EXPECT_EQ(to_hex(s.finalize()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, BoundaryLengths) {
+  // Exercise padding across the 55/56/63/64-byte block boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    const std::string a(len, 'x');
+    const auto d1 = Sha1::digest(a);
+    Sha1 s;  // byte-at-a-time must agree with one-shot
+    for (char c : a) s.update(std::string_view(&c, 1));
+    EXPECT_EQ(to_hex(d1), to_hex(s.finalize())) << "len=" << len;
+  }
+}
+
+TEST(Sha1, DigestToU64TakesLeadingBytes) {
+  const auto d = Sha1::digest("abc");
+  // a9993e364706816a is the first 8 bytes of the abc digest.
+  EXPECT_EQ(digest_to_u64(d), 0xa9993e364706816aULL);
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests) {
+  EXPECT_NE(to_hex(Sha1::digest("abc")), to_hex(Sha1::digest("abd")));
+}
+
+}  // namespace
+}  // namespace caesar::hash

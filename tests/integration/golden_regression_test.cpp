@@ -1,0 +1,65 @@
+// Golden regression pins — exact values of a fixed-seed scenario.
+//
+// The library promises bit-for-bit reproducibility for a given seed
+// (trace generation, counter selection, remainder allocation). These
+// pins freeze one end-to-end run; any change to a hash function, the
+// PRNG, the eviction policy, or the estimator constants will trip them.
+// If a change is *intentional*, re-harvest the constants and update this
+// file together with a CHANGELOG note — these values are part of the
+// de-facto serialization compatibility surface.
+#include <gtest/gtest.h>
+
+#include "analysis/evaluation.hpp"
+#include "core/caesar_sketch.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar {
+namespace {
+
+TEST(GoldenRegression, FixedSeedScenarioIsBitStable) {
+  trace::TraceConfig tc;
+  tc.num_flows = 5000;
+  tc.mean_flow_size = 20.0;
+  tc.max_flow_size = 10000;
+  tc.seed = 424242;
+  const auto t = trace::generate_trace(tc);
+
+  ASSERT_EQ(t.num_packets(), 100395u);
+  EXPECT_EQ(t.arrivals()[0], 3679u);
+  EXPECT_EQ(t.arrivals()[1], 3459u);
+  EXPECT_EQ(t.arrivals()[2], 4658u);
+  EXPECT_EQ(t.arrivals()[3], 168u);
+  EXPECT_EQ(t.id_of(0), 16005700058843736750ULL);
+  EXPECT_EQ(t.size_of(0), 1u);
+
+  core::CaesarConfig cfg;
+  cfg.cache_entries = 500;
+  cfg.entry_capacity = 40;
+  cfg.num_counters = 2'000'000;
+  cfg.counter_bits = 18;
+  cfg.k = 3;
+  cfg.seed = 777;
+  core::CaesarSketch sketch(cfg);
+  for (auto idx : t.arrivals()) sketch.add(t.id_of(idx));
+  sketch.flush();
+
+  EXPECT_EQ(sketch.sram().total(), 100395u);
+
+  // FNV-1a fold over every counter value: pins the entire SRAM state.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint64_t i = 0; i < sketch.sram().size(); ++i) {
+    h ^= sketch.sram().peek(i);
+    h *= 1099511628211ULL;
+  }
+  EXPECT_EQ(h, 14207685532476469884ULL);
+
+  EXPECT_NEAR(sketch.estimate_csm(t.id_of(0)), 0.849407, 1e-6);
+
+  const auto e = analysis::evaluate(
+      t, [&](FlowId f) { return sketch.estimate_csm(f); });
+  EXPECT_NEAR(e.avg_relative_error, 0.136943, 1e-6);
+  EXPECT_NEAR(e.bias, -0.079592, 1e-6);
+}
+
+}  // namespace
+}  // namespace caesar

@@ -1,0 +1,109 @@
+#include "memsim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace caesar::memsim {
+namespace {
+
+TEST(CostModel, Virtex7ClockPeriod) {
+  const auto m = virtex7_model();
+  // 18.912 MHz -> ~52.88 ns per cycle.
+  EXPECT_NEAR(m.ns_per_cycle(), 52.876, 0.01);
+}
+
+TEST(CostModel, CyclesWeightedByOperationKind) {
+  CostModel m;
+  m.cache_access_cycles = 1;
+  m.sram_access_cycles = 10;
+  m.hash_cycles = 2;
+  m.power_op_cycles = 20;
+  OpCounts ops;
+  ops.cache_accesses = 5;
+  ops.sram_accesses = 3;
+  ops.hashes = 4;
+  ops.power_ops = 1;
+  EXPECT_DOUBLE_EQ(m.cycles(ops), 5 + 30 + 8 + 20);
+}
+
+TEST(CostModel, SetupCyclesAreFixedCost) {
+  CostModel m;
+  m.setup_cycles = 100;
+  EXPECT_DOUBLE_EQ(m.cycles(OpCounts{}), 100.0);
+}
+
+TEST(CostModel, TimeConversions) {
+  CostModel m;
+  m.clock_mhz = 1000.0;  // 1 ns per cycle
+  OpCounts ops;
+  ops.cache_accesses = 1'000'000;
+  EXPECT_DOUBLE_EQ(m.time_ns(ops), 1e6);
+  EXPECT_DOUBLE_EQ(m.time_ms(ops), 1.0);
+}
+
+TEST(OpCounts, AccumulateWithPlusEquals) {
+  OpCounts a;
+  a.cache_accesses = 1;
+  a.hashes = 2;
+  OpCounts b;
+  b.cache_accesses = 10;
+  b.sram_accesses = 5;
+  b.power_ops = 7;
+  a += b;
+  EXPECT_EQ(a.cache_accesses, 11u);
+  EXPECT_EQ(a.sram_accesses, 5u);
+  EXPECT_EQ(a.hashes, 2u);
+  EXPECT_EQ(a.power_ops, 7u);
+}
+
+TEST(LineRateBuffer, LineRateWhileBuffered) {
+  LineRateBuffer fifo;
+  fifo.buffer_packets = 100;
+  fifo.line_cycles_per_packet = 4.0;
+  fifo.service_cycles_per_packet = 22.0;
+  EXPECT_DOUBLE_EQ(fifo.completion_cycles(50), 200.0);
+  EXPECT_DOUBLE_EQ(fifo.completion_cycles(100), 400.0);
+}
+
+TEST(LineRateBuffer, ServicePacedBeyondBuffer) {
+  LineRateBuffer fifo;
+  fifo.buffer_packets = 100;
+  fifo.line_cycles_per_packet = 4.0;
+  fifo.service_cycles_per_packet = 22.0;
+  // Continuous at the knee, then slope = service cycles.
+  EXPECT_DOUBLE_EQ(fifo.completion_cycles(101),
+                   fifo.completion_cycles(100) + 22.0);
+  EXPECT_DOUBLE_EQ(fifo.completion_cycles(1000),
+                   22.0 * 1000 - (22.0 - 4.0) * 100);
+}
+
+TEST(LineRateBuffer, FastServiceNeverQueues) {
+  LineRateBuffer fifo;
+  fifo.buffer_packets = 10;
+  fifo.line_cycles_per_packet = 4.0;
+  fifo.service_cycles_per_packet = 3.0;  // faster than line rate
+  EXPECT_DOUBLE_EQ(fifo.completion_cycles(1000), 4000.0);
+}
+
+TEST(LineRateBuffer, CompletionMsUsesModelClock) {
+  LineRateBuffer fifo;
+  fifo.buffer_packets = 0;
+  fifo.line_cycles_per_packet = 1.0;
+  fifo.service_cycles_per_packet = 10.0;
+  CostModel m;
+  m.clock_mhz = 1000.0;  // 1 ns per cycle
+  EXPECT_DOUBLE_EQ(fifo.completion_ms(1'000'000, m), 10.0);
+}
+
+TEST(CostModel, SramDominatesForCacheFreeSchemes) {
+  // Sanity of the Fig. 8 mechanism: the same packet count costs ~10x more
+  // when every access goes off-chip.
+  const auto m = virtex7_model();
+  OpCounts cached;
+  cached.cache_accesses = 1000;
+  OpCounts uncached;
+  uncached.sram_accesses = 1000;
+  EXPECT_GT(m.time_ns(uncached), 9.0 * m.time_ns(cached));
+}
+
+}  // namespace
+}  // namespace caesar::memsim

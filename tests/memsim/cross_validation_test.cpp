@@ -1,0 +1,108 @@
+// Cross-validation of the three hardware-model fidelity layers:
+// closed-form LineRateBuffer, event-level QueueSimulator, cycle-level
+// DatapathSimulator. Where their modeling domains overlap they must
+// agree — disagreement means one of the models is wrong.
+#include <gtest/gtest.h>
+
+#include "memsim/cost_model.hpp"
+#include "memsim/datapath.hpp"
+#include "memsim/loss_model.hpp"
+#include "memsim/pipeline.hpp"
+
+namespace caesar::memsim {
+namespace {
+
+TEST(CrossValidation, QueueMatchesClosedFormBelowBuffer) {
+  // n <= B: both models complete at line rate.
+  LineRateBuffer lrb;
+  lrb.buffer_packets = 500;
+  lrb.line_cycles_per_packet = 1.0;
+  lrb.service_cycles_per_packet = 7.0;
+
+  QueueConfig qc;
+  qc.arrival_cycles = 1.0;
+  qc.fifo_depth = 500;
+  QueueSimulator q(qc);
+  for (int i = 0; i < 400; ++i) q.offer(7.0);
+  // The event model tracks actual completion (service-paced while work
+  // remains); the closed form models perceived line-rate ingest. Both
+  // agree that nothing is lost below the buffer.
+  EXPECT_EQ(q.stats().dropped, 0u);
+  EXPECT_DOUBLE_EQ(lrb.completion_cycles(400), 400.0);
+}
+
+TEST(CrossValidation, QueueMatchesClosedFormSlopeBeyondBuffer) {
+  // Far beyond the buffer both are service-paced: completion per packet
+  // approaches the service time.
+  LineRateBuffer lrb;
+  lrb.buffer_packets = 100;
+  lrb.line_cycles_per_packet = 1.0;
+  lrb.service_cycles_per_packet = 5.0;
+
+  QueueConfig qc;
+  qc.arrival_cycles = 1.0;
+  qc.fifo_depth = 100;
+  QueueSimulator q(qc);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) q.offer(5.0);
+
+  const double lrb_per_packet = lrb.completion_cycles(kN) / kN;
+  const double q_per_admitted =
+      q.stats().completion_cycles /
+      static_cast<double>(q.stats().admitted);
+  EXPECT_NEAR(q_per_admitted, 5.0, 0.01);
+  EXPECT_NEAR(lrb_per_packet, 5.0, 0.01);
+}
+
+TEST(CrossValidation, QueueAndFluidLossAgree) {
+  for (double service : {2.0, 3.0, 10.0}) {
+    QueueConfig qc;
+    qc.arrival_cycles = 1.0;
+    qc.fifo_depth = 64;
+    QueueSimulator q(qc);
+    for (int i = 0; i < 200000; ++i) q.offer(service);
+    EXPECT_NEAR(q.stats().loss_rate(), fluid_loss_rate(1.0, service),
+                0.005)
+        << "service=" << service;
+  }
+}
+
+TEST(CrossValidation, DatapathAndQueueAgreeOnPerPacketLoss) {
+  // Every packet needs one off-chip RMW of `sram` cycles. The datapath
+  // routes it through the eviction FIFO while the front end free-runs,
+  // so its drop rate must match the single-queue model's.
+  for (std::uint32_t sram : {3u, 10u}) {
+    DatapathConfig dc;
+    dc.sram_cycles = sram;
+    dc.eviction_fifo_depth = 64;
+    dc.input_buffer_depth = 64;
+    DatapathSimulator dp(dc);
+    for (int i = 0; i < 200000; ++i) dp.step(1);
+    dp.finish();
+    EXPECT_NEAR(dp.stats().drop_rate(), fluid_loss_rate(1.0, sram), 0.01)
+        << "sram=" << sram;
+  }
+}
+
+TEST(CrossValidation, DatapathSustainableMatchesQueueSustainable) {
+  // Eviction pattern sustainable in one model must be sustainable in the
+  // other: 3 writes x 3 cycles every 14th packet.
+  DatapathConfig dc;
+  dc.sram_cycles = 3;
+  DatapathSimulator dp(dc);
+  QueueConfig qc;
+  qc.arrival_cycles = 14.0;  // one eviction event per 14 packets
+  qc.fifo_depth = 64;
+  QueueSimulator q(qc);
+  for (int i = 0; i < 140000; ++i) {
+    const bool evict = (i % 14 == 0);
+    dp.step(evict ? 3u : 0u);
+    if (evict) q.offer(9.0);
+  }
+  dp.finish();
+  EXPECT_EQ(dp.stats().packets_dropped, 0u);
+  EXPECT_EQ(q.stats().dropped, 0u);
+}
+
+}  // namespace
+}  // namespace caesar::memsim

@@ -1,0 +1,89 @@
+#include "memsim/datapath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "memsim/loss_model.hpp"
+
+namespace caesar::memsim {
+namespace {
+
+DatapathConfig cfg(std::uint32_t sram = 3, std::uint32_t fifo = 64,
+                   std::uint32_t input = 1024) {
+  DatapathConfig c;
+  c.hash_latency = 2;
+  c.sram_cycles = sram;
+  c.eviction_fifo_depth = fifo;
+  c.input_buffer_depth = input;
+  return c;
+}
+
+TEST(Datapath, PureCacheHitsRunAtLineRate) {
+  DatapathSimulator dp(cfg());
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(dp.step(0));
+  dp.finish();
+  const auto& s = dp.stats();
+  EXPECT_EQ(s.packets_processed, 10000u);
+  EXPECT_EQ(s.packets_dropped, 0u);
+  EXPECT_EQ(s.stall_cycles, 0u);
+  // One cycle per packet + hash pipeline fill.
+  EXPECT_NEAR(s.cycles_per_packet(), 1.0, 0.01);
+}
+
+TEST(Datapath, SustainableEvictionRateAbsorbed) {
+  // 3 counter writes (3 cycles each) every 14th packet: demand 9/14 < 1.
+  DatapathSimulator dp(cfg());
+  for (int i = 0; i < 50000; ++i) dp.step(i % 14 == 0 ? 3u : 0u);
+  dp.finish();
+  const auto& s = dp.stats();
+  EXPECT_EQ(s.packets_dropped, 0u);
+  EXPECT_EQ(s.packets_processed, 50000u);
+  EXPECT_LT(s.fifo_high_water, 16u);
+  EXPECT_NEAR(s.cycles_per_packet(), 1.0, 0.01);
+  EXPECT_EQ(s.counter_writes, (50000u / 14 + 1) * 3);
+}
+
+TEST(Datapath, OverloadMatchesFluidLossModel) {
+  // Every packet triggers 3 writes of 3 cycles: the SRAM path needs 9
+  // cycles per 1-cycle arrival. Long-run drop rate must approach the
+  // fluid-limit 1 - 1/9 (cross-validation against loss_model).
+  DatapathSimulator dp(cfg(3, 64, 256));
+  for (int i = 0; i < 200000; ++i) dp.step(3);
+  dp.finish();
+  EXPECT_NEAR(dp.stats().drop_rate(), fluid_loss_rate(1.0, 9.0), 0.01);
+}
+
+TEST(Datapath, BackPressureStallsBeforeDropping) {
+  // A single mega-burst: FIFO fills, front end stalls, the input buffer
+  // absorbs what it can, only the excess drops.
+  DatapathSimulator dp(cfg(10, 8, 32));
+  for (int i = 0; i < 64; ++i) dp.step(8);
+  dp.finish();
+  const auto& s = dp.stats();
+  EXPECT_GT(s.stall_cycles, 0u);
+  EXPECT_GT(s.packets_dropped, 0u);
+  EXPECT_EQ(s.packets_processed + s.packets_dropped, 64u);
+  // Everything processed had its writes retired.
+  EXPECT_EQ(s.counter_writes, s.packets_processed * 8);
+}
+
+TEST(Datapath, FinishDrainsEverything) {
+  DatapathSimulator dp(cfg());
+  for (int i = 0; i < 100; ++i) dp.step(3);
+  dp.finish();
+  EXPECT_EQ(dp.stats().counter_writes, 100u * 3);
+  // Total time >= the SRAM-bound lower bound of 9 cycles per packet.
+  EXPECT_GE(dp.stats().total_cycles, 100u * 9);
+}
+
+TEST(Datapath, StatsConsistency) {
+  DatapathSimulator dp(cfg(5, 4, 8));
+  for (int i = 0; i < 5000; ++i) dp.step(i % 3 == 0 ? 2u : 0u);
+  dp.finish();
+  const auto& s = dp.stats();
+  EXPECT_EQ(s.packets_offered, 5000u);
+  EXPECT_EQ(s.packets_processed + s.packets_dropped, s.packets_offered);
+  EXPECT_LE(s.fifo_high_water, 4u);
+}
+
+}  // namespace
+}  // namespace caesar::memsim

@@ -1,0 +1,52 @@
+#include "memsim/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace caesar::memsim {
+namespace {
+
+TEST(FluidLossRate, NoLossWhenServiceKeepsUp) {
+  EXPECT_DOUBLE_EQ(fluid_loss_rate(10.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(fluid_loss_rate(10.0, 10.0), 0.0);
+}
+
+TEST(FluidLossRate, PaperEmpiricalRates) {
+  // Paper Fig. 7: losses of 2/3 and 9/10 follow from SRAM being 3x and
+  // 10x slower than the line-rate cache (§1.1: 1 ns vs 3-10 ns).
+  EXPECT_NEAR(fluid_loss_rate(1.0, 3.0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fluid_loss_rate(1.0, 10.0), 9.0 / 10.0, 1e-12);
+}
+
+TEST(FluidLossRate, DegenerateService) {
+  EXPECT_DOUBLE_EQ(fluid_loss_rate(1.0, 0.0), 0.0);
+}
+
+TEST(PacketDropper, ZeroRateDropsNothing) {
+  PacketDropper d(0.0, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(d.drop());
+  EXPECT_EQ(d.offered(), 1000u);
+  EXPECT_EQ(d.dropped(), 0u);
+}
+
+TEST(PacketDropper, EmpiricalRateMatches) {
+  PacketDropper d(2.0 / 3.0, 42);
+  constexpr int kPackets = 300000;
+  for (int i = 0; i < kPackets; ++i) (void)d.drop();
+  const double rate =
+      static_cast<double>(d.dropped()) / static_cast<double>(d.offered());
+  EXPECT_NEAR(rate, 2.0 / 3.0, 0.005);
+}
+
+TEST(PacketDropper, DeterministicInSeed) {
+  PacketDropper a(0.5, 7);
+  PacketDropper b(0.5, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.drop(), b.drop());
+}
+
+TEST(PacketDropper, RejectsInvalidRates) {
+  EXPECT_THROW(PacketDropper(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(PacketDropper(1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caesar::memsim

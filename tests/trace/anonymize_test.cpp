@@ -1,0 +1,100 @@
+#include "trace/anonymize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "common/random.hpp"
+#include "trace/flow_id.hpp"
+
+namespace caesar::trace {
+namespace {
+
+/// Length of the common prefix of two 32-bit addresses.
+int common_prefix(std::uint32_t a, std::uint32_t b) {
+  return a == b ? 32 : std::countl_zero(a ^ b);
+}
+
+TEST(Anonymizer, Deterministic) {
+  PrefixPreservingAnonymizer anon(42);
+  EXPECT_EQ(anon.anonymize(0x0A000001u), anon.anonymize(0x0A000001u));
+}
+
+TEST(Anonymizer, KeysProduceDifferentMappings) {
+  PrefixPreservingAnonymizer a(1), b(2);
+  int same = 0;
+  for (std::uint32_t ip = 0; ip < 100; ++ip)
+    if (a.anonymize(ip) == b.anonymize(ip)) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Anonymizer, PrefixPreservationExact) {
+  // The defining property: common_prefix(anon(a), anon(b)) ==
+  // common_prefix(a, b) for every pair.
+  PrefixPreservingAnonymizer anon(7);
+  Xoshiro256pp rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<std::uint32_t>(rng());
+    // b shares a random-length prefix with a.
+    const int keep = static_cast<int>(rng.below(33));
+    std::uint32_t b = static_cast<std::uint32_t>(rng());
+    if (keep > 0) {
+      const std::uint32_t mask =
+          keep == 32 ? 0xFFFFFFFFu : ~(0xFFFFFFFFu >> keep);
+      b = (a & mask) | (b & ~mask);
+    }
+    ASSERT_EQ(common_prefix(anon.anonymize(a), anon.anonymize(b)),
+              common_prefix(a, b))
+        << std::hex << a << " " << b;
+  }
+}
+
+TEST(Anonymizer, IsInjectiveOnSamples) {
+  // Prefix preservation implies injectivity; spot-check a dense subnet.
+  PrefixPreservingAnonymizer anon(9);
+  std::set<std::uint32_t> out;
+  for (std::uint32_t ip = 0x0A000000u; ip < 0x0A000000u + 5000; ++ip)
+    out.insert(anon.anonymize(ip));
+  EXPECT_EQ(out.size(), 5000u);
+}
+
+TEST(Anonymizer, SubnetStructureSurvives) {
+  // All hosts of a /24 map into one anonymized /24.
+  PrefixPreservingAnonymizer anon(11);
+  const std::uint32_t base = anon.anonymize(0xC0A80100u) & 0xFFFFFF00u;
+  for (std::uint32_t host = 0; host < 256; ++host)
+    EXPECT_EQ(anon.anonymize(0xC0A80100u + host) & 0xFFFFFF00u, base);
+}
+
+TEST(Anonymizer, TupleKeepsPortsAndProtocol) {
+  PrefixPreservingAnonymizer anon(13);
+  FiveTuple t;
+  t.src_ip = 0x01020304;
+  t.dst_ip = 0x05060708;
+  t.src_port = 1234;
+  t.dst_port = 443;
+  t.protocol = Protocol::kUdp;
+  const auto a = anon.anonymize(t);
+  EXPECT_NE(a.src_ip, t.src_ip);
+  EXPECT_NE(a.dst_ip, t.dst_ip);
+  EXPECT_EQ(a.src_port, t.src_port);
+  EXPECT_EQ(a.dst_port, t.dst_port);
+  EXPECT_EQ(a.protocol, t.protocol);
+}
+
+TEST(Anonymizer, FlowIdentityPreserved) {
+  // Anonymization is a bijection on tuples, so per-flow measurement on
+  // anonymized traces counts exactly the same flows.
+  PrefixPreservingAnonymizer anon(17);
+  FiveTuple t1, t2;
+  t1.src_ip = 0x0A000001;
+  t1.dst_ip = 0x0B000001;
+  t2 = t1;
+  t2.src_ip = 0x0A000002;
+  EXPECT_EQ(flow_id_of(anon.anonymize(t1)), flow_id_of(anon.anonymize(t1)));
+  EXPECT_NE(flow_id_of(anon.anonymize(t1)), flow_id_of(anon.anonymize(t2)));
+}
+
+}  // namespace
+}  // namespace caesar::trace

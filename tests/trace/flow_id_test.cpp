@@ -1,0 +1,104 @@
+#include "trace/flow_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace caesar::trace {
+namespace {
+
+FiveTuple sample_tuple() {
+  FiveTuple t;
+  t.src_ip = 0x0A000001;  // 10.0.0.1
+  t.dst_ip = 0xC0A80102;  // 192.168.1.2
+  t.src_port = 443;
+  t.dst_port = 51234;
+  t.protocol = Protocol::kTcp;
+  return t;
+}
+
+TEST(Serialize, LayoutIsBigEndianCanonical) {
+  const auto bytes = serialize(sample_tuple());
+  EXPECT_EQ(bytes[0], 0x0A);
+  EXPECT_EQ(bytes[3], 0x01);
+  EXPECT_EQ(bytes[4], 0xC0);
+  EXPECT_EQ(bytes[8], 443 >> 8);
+  EXPECT_EQ(bytes[9], 443 & 0xFF);
+  EXPECT_EQ(bytes[12], 6);  // TCP
+}
+
+TEST(FlowIdOf, DeterministicPerTuple) {
+  EXPECT_EQ(flow_id_of(sample_tuple()), flow_id_of(sample_tuple()));
+}
+
+TEST(FlowIdOf, FieldSensitivity) {
+  const auto base = flow_id_of(sample_tuple());
+  auto t = sample_tuple();
+  t.src_ip ^= 1;
+  EXPECT_NE(flow_id_of(t), base);
+  t = sample_tuple();
+  t.dst_ip ^= 1;
+  EXPECT_NE(flow_id_of(t), base);
+  t = sample_tuple();
+  t.src_port ^= 1;
+  EXPECT_NE(flow_id_of(t), base);
+  t = sample_tuple();
+  t.dst_port ^= 1;
+  EXPECT_NE(flow_id_of(t), base);
+  t = sample_tuple();
+  t.protocol = Protocol::kUdp;
+  EXPECT_NE(flow_id_of(t), base);
+}
+
+TEST(FlowIdOf, DirectionMatters) {
+  // Per-flow (not per-connection) semantics: reversed tuples are
+  // different flows.
+  auto fwd = sample_tuple();
+  FiveTuple rev;
+  rev.src_ip = fwd.dst_ip;
+  rev.dst_ip = fwd.src_ip;
+  rev.src_port = fwd.dst_port;
+  rev.dst_port = fwd.src_port;
+  rev.protocol = fwd.protocol;
+  EXPECT_NE(flow_id_of(fwd), flow_id_of(rev));
+}
+
+TEST(FlowIdOf, GoldenValuesArePinned) {
+  // The flow-ID pipeline is part of the serialization-compatibility
+  // surface (saved sketches are queried by recomputed IDs); pin one v4
+  // and one v6 value. Update together with the golden regression test
+  // if the pipeline intentionally changes.
+  EXPECT_EQ(flow_id_of(sample_tuple()), 6457265943080863492ULL);
+
+  FiveTupleV6 t6;
+  for (std::size_t i = 0; i < 16; ++i) {
+    t6.src_ip[i] = static_cast<std::uint8_t>(i);
+    t6.dst_ip[i] = static_cast<std::uint8_t>(255 - i);
+  }
+  t6.src_port = 80;
+  t6.dst_port = 8080;
+  t6.next_header = 17;
+  EXPECT_EQ(flow_id_of(t6), 11016747082928593833ULL);
+}
+
+TEST(FlowIdOf, NoCollisionsOnStructuredTupleGrid) {
+  // Sequential IPs/ports are the adversarial case for weak mixers.
+  std::set<FlowId> ids;
+  int count = 0;
+  for (std::uint32_t ip = 0; ip < 64; ++ip) {
+    for (std::uint16_t port = 0; port < 64; ++port) {
+      FiveTuple t;
+      t.src_ip = 0x0A000000 + ip;
+      t.dst_ip = 0xC0A80001;
+      t.src_port = static_cast<std::uint16_t>(1024 + port);
+      t.dst_port = 80;
+      t.protocol = Protocol::kTcp;
+      ids.insert(flow_id_of(t));
+      ++count;
+    }
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(count));
+}
+
+}  // namespace
+}  // namespace caesar::trace

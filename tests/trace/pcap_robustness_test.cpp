@@ -1,0 +1,141 @@
+// Robustness of the PCAP reader against malformed and adversarial input:
+// it must either parse, skip, or throw std::runtime_error — never crash,
+// hang, or allocate absurdly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/random.hpp"
+#include "trace/pcap.hpp"
+
+namespace caesar::trace {
+namespace {
+
+std::string valid_header() {
+  std::string h;
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) h.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  put32(0xa1b2c3d4u);
+  h.push_back(2);
+  h.push_back(0);  // version major
+  h.push_back(4);
+  h.push_back(0);  // version minor
+  put32(0);        // thiszone
+  put32(0);        // sigfigs
+  put32(65535);    // snaplen
+  put32(1);        // Ethernet
+  return h;
+}
+
+TEST(PcapRobustness, RandomGarbageAfterHeader) {
+  Xoshiro256pp rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string data = valid_header();
+    const std::size_t len = rng.below(200);
+    for (std::size_t i = 0; i < len; ++i)
+      data.push_back(static_cast<char>(rng.below(256)));
+    std::stringstream buf(data);
+    PcapReader reader(buf);
+    try {
+      while (reader.next()) {
+      }
+    } catch (const std::runtime_error&) {
+      // acceptable: malformed record detected
+    }
+  }
+}
+
+TEST(PcapRobustness, TotallyRandomStream) {
+  Xoshiro256pp rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string data;
+    const std::size_t len = 24 + rng.below(100);
+    for (std::size_t i = 0; i < len; ++i)
+      data.push_back(static_cast<char>(rng.below(256)));
+    std::stringstream buf(data);
+    try {
+      PcapReader reader(buf);
+      while (reader.next()) {
+      }
+    } catch (const std::runtime_error&) {
+      // acceptable
+    }
+  }
+}
+
+TEST(PcapRobustness, HugeDeclaredLengthRejected) {
+  std::string data = valid_header();
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      data.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  put32(0);
+  put32(0);
+  put32(0x7FFFFFFFu);  // incl_len: 2 GB — must not be allocated
+  put32(0x7FFFFFFFu);
+  std::stringstream buf(data);
+  PcapReader reader(buf);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST(PcapRobustness, TruncatedRecordBodyThrows) {
+  std::string data = valid_header();
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      data.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  put32(0);
+  put32(0);
+  put32(100);  // promises 100 bytes
+  put32(100);
+  data += "short";  // delivers 5
+  std::stringstream buf(data);
+  PcapReader reader(buf);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST(PcapRobustness, ZeroLengthRecordIsSkippedNotLooped) {
+  // An incl_len of 0 must not spin forever.
+  std::string data = valid_header();
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      data.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  for (int i = 0; i < 3; ++i) {
+    put32(0);
+    put32(0);
+    put32(0);
+    put32(0);
+  }
+  std::stringstream buf(data);
+  PcapReader reader(buf);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.skipped(), 3u);
+}
+
+TEST(PcapRobustness, IhlSmallerThanMinimumSkipped) {
+  // IPv4 header claiming IHL < 5 words is invalid and must be skipped.
+  std::string data = valid_header();
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      data.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  std::string frame(60, '\0');
+  frame[12] = 0x08;
+  frame[13] = 0x00;       // IPv4 EtherType
+  frame[14] = 0x41;       // version 4, IHL = 1 (invalid)
+  put32(0);
+  put32(0);
+  put32(static_cast<std::uint32_t>(frame.size()));
+  put32(static_cast<std::uint32_t>(frame.size()));
+  data += frame;
+  std::stringstream buf(data);
+  PcapReader reader(buf);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.skipped(), 1u);
+}
+
+}  // namespace
+}  // namespace caesar::trace

@@ -1,0 +1,128 @@
+#include "trace/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/flow_id.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::trace {
+namespace {
+
+Packet make_packet(std::uint32_t salt, Protocol proto = Protocol::kTcp) {
+  Packet p;
+  p.tuple.src_ip = 0x0A000000 + salt;
+  p.tuple.dst_ip = 0xC0A80001;
+  p.tuple.src_port = proto == Protocol::kIcmp
+                         ? std::uint16_t{0}
+                         : static_cast<std::uint16_t>(1000 + salt);
+  p.tuple.dst_port = proto == Protocol::kIcmp ? std::uint16_t{0}
+                                              : std::uint16_t{443};
+  p.tuple.protocol = proto;
+  p.length = static_cast<std::uint16_t>(64 + salt);
+  return p;
+}
+
+TEST(Pcap, RoundTripPreservesTuples) {
+  std::stringstream buf;
+  PcapWriter writer(buf);
+  std::vector<Packet> sent;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    const auto proto = i % 3 == 0   ? Protocol::kUdp
+                       : i % 7 == 0 ? Protocol::kIcmp
+                                    : Protocol::kTcp;
+    sent.push_back(make_packet(i, proto));
+    writer.write(sent.back());
+  }
+  EXPECT_EQ(writer.written(), 50u);
+
+  PcapReader reader(buf);
+  std::vector<Packet> got;
+  while (auto p = reader.next()) got.push_back(*p);
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i].tuple, sent[i].tuple) << "packet " << i;
+  }
+  EXPECT_EQ(reader.skipped(), 0u);
+}
+
+TEST(Pcap, RoundTripPreservesFlowIds) {
+  std::stringstream buf;
+  PcapWriter writer(buf);
+  const auto tuple = synth_tuple(11, 42);
+  Packet p;
+  p.tuple = tuple;
+  p.length = 1500;
+  writer.write(p);
+  PcapReader reader(buf);
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(flow_id_of(got->tuple), flow_id_of(tuple));
+}
+
+TEST(Pcap, EmptyFileYieldsNoPackets) {
+  std::stringstream buf;
+  PcapWriter writer(buf);
+  PcapReader reader(buf);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::stringstream buf;
+  buf.write("not a pcap file at all....", 24);
+  EXPECT_THROW(PcapReader reader(buf), std::runtime_error);
+}
+
+TEST(Pcap, RejectsTruncatedHeader) {
+  std::stringstream buf;
+  buf.write("\xd4\xc3\xb2\xa1", 4);
+  EXPECT_THROW(PcapReader reader(buf), std::runtime_error);
+}
+
+TEST(Pcap, SkipsNonIpv4Frames) {
+  std::stringstream buf;
+  PcapWriter writer(buf);
+  writer.write(make_packet(1));
+  // Forge an ARP frame record by hand (EtherType 0x0806).
+  const std::uint32_t len = 60;
+  auto put32 = [&](std::uint32_t v) {
+    char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    buf.write(b, 4);
+  };
+  put32(0);
+  put32(0);
+  put32(len);
+  put32(len);
+  std::string frame(len, '\0');
+  frame[12] = 0x08;
+  frame[13] = 0x06;  // ARP
+  buf.write(frame.data(), len);
+  writer.write(make_packet(2));
+
+  PcapReader reader(buf);
+  int parsed = 0;
+  while (reader.next()) ++parsed;
+  EXPECT_EQ(parsed, 2);
+  EXPECT_EQ(reader.skipped(), 1u);
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/caesar_test.pcap";
+  std::vector<Packet> sent;
+  for (std::uint32_t i = 0; i < 10; ++i) sent.push_back(make_packet(i));
+  write_pcap_file(path, sent);
+  const auto got = read_pcap_file(path);
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i)
+    EXPECT_EQ(got[i].tuple, sent[i].tuple);
+}
+
+TEST(Pcap, MissingFileThrows) {
+  EXPECT_THROW(read_pcap_file("/nonexistent/definitely/missing.pcap"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace caesar::trace

@@ -1,0 +1,155 @@
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace caesar::trace {
+namespace {
+
+TraceConfig small_config(Interleaving mode = Interleaving::kUniformShuffle) {
+  TraceConfig c;
+  c.num_flows = 2000;
+  c.mean_flow_size = 10.0;
+  c.max_flow_size = 5000;
+  c.interleaving = mode;
+  c.seed = 77;
+  return c;
+}
+
+TEST(GenerateTrace, GroundTruthIsConsistent) {
+  const Trace t = generate_trace(small_config());
+  EXPECT_EQ(t.num_flows(), 2000u);
+  // Arrivals must contain exactly size_of(i) packets of each flow.
+  std::vector<Count> counted(t.num_flows(), 0);
+  for (auto idx : t.arrivals()) ++counted[idx];
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+    ASSERT_EQ(counted[i], t.size_of(i)) << "flow " << i;
+}
+
+TEST(GenerateTrace, MeanSizeNearTarget) {
+  // The analytic mean is calibrated exactly (CalibrateAlpha.HitsTarget);
+  // the sample mean of a heavy-tailed draw over only 2000 flows wanders,
+  // so assert a band rather than a tight tolerance.
+  const Trace t = generate_trace(small_config());
+  EXPECT_GT(t.mean_flow_size(), 6.0);
+  EXPECT_LT(t.mean_flow_size(), 25.0);
+}
+
+TEST(GenerateTrace, FlowIdsAreUnique) {
+  const Trace t = generate_trace(small_config());
+  std::set<FlowId> ids(t.flow_ids().begin(), t.flow_ids().end());
+  EXPECT_EQ(ids.size(), t.num_flows());
+}
+
+TEST(GenerateTrace, DeterministicInSeed) {
+  const Trace a = generate_trace(small_config());
+  const Trace b = generate_trace(small_config());
+  EXPECT_EQ(a.flow_sizes(), b.flow_sizes());
+  EXPECT_EQ(a.flow_ids(), b.flow_ids());
+  EXPECT_EQ(a.arrivals(), b.arrivals());
+}
+
+TEST(GenerateTrace, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const Trace a = generate_trace(cfg);
+  cfg.seed = 78;
+  const Trace b = generate_trace(cfg);
+  EXPECT_NE(a.flow_sizes(), b.flow_sizes());
+}
+
+TEST(GenerateTrace, SequentialInterleavingIsContiguous) {
+  const Trace t = generate_trace(small_config(Interleaving::kSequential));
+  // Flow indices must be non-decreasing.
+  EXPECT_TRUE(std::is_sorted(t.arrivals().begin(), t.arrivals().end()));
+}
+
+TEST(GenerateTrace, RoundRobinSpreadsFlows) {
+  auto cfg = small_config(Interleaving::kRoundRobin);
+  cfg.num_flows = 10;
+  const Trace t = generate_trace(cfg);
+  // First "round" contains each flow exactly once.
+  std::set<std::uint32_t> first_round(t.arrivals().begin(),
+                                      t.arrivals().begin() + 10);
+  EXPECT_EQ(first_round.size(), 10u);
+}
+
+TEST(GenerateTrace, ShuffleActuallyShuffles) {
+  const Trace seq = generate_trace(small_config(Interleaving::kSequential));
+  const Trace shuf =
+      generate_trace(small_config(Interleaving::kUniformShuffle));
+  ASSERT_EQ(seq.arrivals().size(), shuf.arrivals().size());
+  EXPECT_NE(seq.arrivals(), shuf.arrivals());
+  // Same multiset of packets.
+  auto a = seq.arrivals();
+  auto b = shuf.arrivals();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(GenerateTrace, BurstyPreservesGroundTruth) {
+  const Trace t = generate_trace(small_config(Interleaving::kBursty));
+  std::vector<Count> counted(t.num_flows(), 0);
+  for (auto idx : t.arrivals()) ++counted[idx];
+  for (std::uint32_t i = 0; i < t.num_flows(); ++i)
+    ASSERT_EQ(counted[i], t.size_of(i));
+}
+
+TEST(GenerateTrace, BurstyHasMoreLocalityThanShuffle) {
+  // Mean run length (consecutive same-flow packets) must sit between the
+  // shuffled and sequential extremes.
+  auto run_length = [](const Trace& t) {
+    std::uint64_t runs = 1;
+    for (std::size_t i = 1; i < t.arrivals().size(); ++i)
+      if (t.arrivals()[i] != t.arrivals()[i - 1]) ++runs;
+    return static_cast<double>(t.arrivals().size()) /
+           static_cast<double>(runs);
+  };
+  const double shuffled =
+      run_length(generate_trace(small_config(Interleaving::kUniformShuffle)));
+  const double bursty =
+      run_length(generate_trace(small_config(Interleaving::kBursty)));
+  EXPECT_GT(bursty, 3.0 * shuffled);
+  EXPECT_GT(bursty, 3.0);  // geometric bursts, mean ~8 capped by sizes
+}
+
+TEST(GenerateTrace, RejectsZeroFlows) {
+  TraceConfig c = small_config();
+  c.num_flows = 0;
+  EXPECT_THROW(generate_trace(c), std::invalid_argument);
+}
+
+TEST(SynthTuple, DeterministicAndDistinct) {
+  const auto a = synth_tuple(9, 0);
+  const auto b = synth_tuple(9, 0);
+  const auto c = synth_tuple(9, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SynthTuple, IcmpHasNoPorts) {
+  int icmp_seen = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto t = synth_tuple(4, i);
+    if (t.protocol == Protocol::kIcmp) {
+      ++icmp_seen;
+      EXPECT_EQ(t.src_port, 0);
+      EXPECT_EQ(t.dst_port, 0);
+    }
+  }
+  EXPECT_GT(icmp_seen, 0);  // ~3% of 1000
+}
+
+TEST(PaperConfig, MatchesPublishedScale) {
+  const auto full = paper_config(true);
+  EXPECT_EQ(full.num_flows, 1'014'601u);
+  EXPECT_NEAR(full.mean_flow_size, 27.32, 0.01);
+  const auto small = paper_config(false);
+  EXPECT_EQ(small.num_flows, 101'460u);
+}
+
+}  // namespace
+}  // namespace caesar::trace

@@ -1,0 +1,71 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/serialize.hpp"
+
+namespace caesar::trace {
+namespace {
+
+Trace sample_trace(bool lengths) {
+  TraceConfig c;
+  c.num_flows = 500;
+  c.mean_flow_size = 8.0;
+  c.max_flow_size = 1000;
+  c.generate_lengths = lengths;
+  c.seed = 55;
+  return generate_trace(c);
+}
+
+TEST(TraceIo, RoundTripWithoutLengths) {
+  const auto t = sample_trace(false);
+  std::stringstream buf;
+  save_trace(buf, t);
+  const auto loaded = load_trace(buf);
+  EXPECT_EQ(loaded.flow_sizes(), t.flow_sizes());
+  EXPECT_EQ(loaded.flow_ids(), t.flow_ids());
+  EXPECT_EQ(loaded.arrivals(), t.arrivals());
+  EXPECT_FALSE(loaded.has_lengths());
+}
+
+TEST(TraceIo, RoundTripWithLengths) {
+  const auto t = sample_trace(true);
+  std::stringstream buf;
+  save_trace(buf, t);
+  const auto loaded = load_trace(buf);
+  EXPECT_EQ(loaded.lengths(), t.lengths());
+  EXPECT_EQ(loaded.flow_volumes(), t.flow_volumes());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buf;
+  put_u64(buf, 0xDEAD);
+  EXPECT_THROW(load_trace(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsInconsistentGroundTruth) {
+  const auto t = sample_trace(false);
+  std::stringstream buf;
+  save_trace(buf, t);
+  std::string data = buf.str();
+  // Corrupt one arrival byte past the header+sizes region: either an
+  // out-of-range index or a sizes/arrivals mismatch must be detected.
+  data[data.size() - 3] = '\xFF';
+  std::stringstream corrupted(data);
+  EXPECT_THROW(load_trace(corrupted), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto t = sample_trace(true);
+  const std::string path = ::testing::TempDir() + "/caesar_trace.bin";
+  save_trace_file(path, t);
+  const auto loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.num_packets(), t.num_packets());
+  EXPECT_EQ(loaded.flow_ids(), t.flow_ids());
+  EXPECT_THROW(load_trace_file("/no/such/file.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace caesar::trace

@@ -1,0 +1,67 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hpp"
+
+namespace caesar::trace {
+namespace {
+
+TEST(Summarize, BasicQuantities) {
+  const std::vector<Count> sizes = {1, 1, 2, 4, 100};
+  const auto s = summarize(sizes);
+  EXPECT_EQ(s.num_flows, 5u);
+  EXPECT_EQ(s.num_packets, 108u);
+  EXPECT_DOUBLE_EQ(s.mean, 21.6);
+  EXPECT_EQ(s.max_size, 100u);
+  EXPECT_EQ(s.median, 2u);
+  // 4 of 5 flows below the mean of 21.6.
+  EXPECT_DOUBLE_EQ(s.fraction_below_mean, 0.8);
+}
+
+TEST(Summarize, EmptyIsSafe) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.num_flows, 0u);
+  EXPECT_EQ(s.num_packets, 0u);
+}
+
+TEST(Summarize, PaperTraceShape) {
+  // The calibrated synthetic trace must reproduce §6.1/§4.2: mean ~ 27.3
+  // and >92% of flows below the mean.
+  auto cfg = paper_config(false);
+  cfg.num_flows = 20000;  // enough for a stable estimate, fast to build
+  const Trace t = generate_trace(cfg);
+  const auto s = summarize(t.flow_sizes());
+  EXPECT_NEAR(s.mean, 27.32, 2.5);
+  EXPECT_GT(s.fraction_below_mean, 0.92);
+}
+
+TEST(SizeDistribution, BinsCoverAllFlows) {
+  const std::vector<Count> sizes = {1, 1, 2, 3, 4, 9, 100};
+  const auto bins = size_distribution(sizes);
+  std::uint64_t total = 0;
+  double fraction = 0.0;
+  for (const auto& b : bins) {
+    total += b.flows;
+    fraction += b.fraction;
+  }
+  EXPECT_EQ(total, sizes.size());
+  EXPECT_NEAR(fraction, 1.0, 1e-9);
+  // First bin [1,2) has the two singleton flows.
+  EXPECT_EQ(bins[0].lo, 1u);
+  EXPECT_EQ(bins[0].flows, 2u);
+}
+
+TEST(CcdfPoints, MonotoneNonIncreasing) {
+  auto cfg = paper_config(false);
+  cfg.num_flows = 5000;
+  const Trace t = generate_trace(cfg);
+  const auto pts = ccdf_points(t.flow_sizes());
+  ASSERT_FALSE(pts.empty());
+  EXPECT_DOUBLE_EQ(pts[0].ccdf, 1.0);  // every size >= 1
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_LE(pts[i].ccdf, pts[i - 1].ccdf);
+}
+
+}  // namespace
+}  // namespace caesar::trace

@@ -1,0 +1,82 @@
+#include "trace/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "common/stats.hpp"
+
+namespace caesar::trace {
+namespace {
+
+TEST(ZipfSampler, SamplesStayInSupport) {
+  ZipfSampler z(1.2, 100);
+  Xoshiro256pp rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = z.sample(rng);
+    ASSERT_GE(s, 1u);
+    ASSERT_LE(s, 100u);
+  }
+}
+
+TEST(ZipfSampler, EmpiricalMeanMatchesAnalytic) {
+  ZipfSampler z(1.5, 1000);
+  Xoshiro256pp rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i)
+    stats.add(static_cast<double>(z.sample(rng)));
+  EXPECT_NEAR(stats.mean(), z.mean(), 0.15);
+}
+
+TEST(ZipfSampler, CdfIsMonotone) {
+  ZipfSampler z(1.0, 50);
+  double prev = 0.0;
+  for (std::uint64_t s = 1; s <= 50; ++s) {
+    const double c = z.cdf(s);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(z.cdf(50), 1.0);
+  EXPECT_DOUBLE_EQ(z.cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(z.cdf(500), 1.0);
+}
+
+TEST(ZipfSampler, HigherAlphaConcentratesAtOne) {
+  ZipfSampler flat(0.5, 100);
+  ZipfSampler steep(3.0, 100);
+  EXPECT_GT(steep.cdf(1), flat.cdf(1));
+  EXPECT_GT(steep.cdf(1), 0.8);
+}
+
+TEST(ZipfSampler, DegenerateSupportOfOne) {
+  ZipfSampler z(1.0, 1);
+  Xoshiro256pp rng(3);
+  EXPECT_EQ(z.sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(z.mean(), 1.0);
+}
+
+TEST(BoundedZetaMean, DecreasesInAlpha) {
+  const double m1 = bounded_zeta_mean(0.8, 1000);
+  const double m2 = bounded_zeta_mean(1.2, 1000);
+  const double m3 = bounded_zeta_mean(2.0, 1000);
+  EXPECT_GT(m1, m2);
+  EXPECT_GT(m2, m3);
+}
+
+TEST(CalibrateAlpha, HitsTargetMean) {
+  for (double target : {5.0, 27.32, 80.0}) {
+    const double alpha = calibrate_alpha(target, 200000);
+    EXPECT_NEAR(bounded_zeta_mean(alpha, 200000), target, target * 1e-6);
+  }
+}
+
+TEST(CalibrateAlpha, PaperMeanGivesHeavyTail) {
+  // At the paper's mean (~27.3 packets/flow) the calibrated distribution
+  // must place >92% of flows below the mean (paper §4.2 / Fig. 3), at
+  // the default tail cap used by paper_config.
+  const double alpha = calibrate_alpha(27.32, 20000);
+  ZipfSampler z(alpha, 20000);
+  EXPECT_GT(z.cdf(27), 0.92);
+}
+
+}  // namespace
+}  // namespace caesar::trace
