@@ -98,6 +98,29 @@ void BM_CaesarAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_CaesarAdd);
 
+void BM_CaesarAddBatch(benchmark::State& state) {
+  // The batched fast path (prefetch + spill queue + coalesced SRAM
+  // writes); compare directly against BM_CaesarAdd per item.
+  core::CaesarConfig cfg;
+  cfg.cache_entries = 10'000;
+  cfg.entry_capacity = 54;
+  cfg.num_counters = 5'000;
+  cfg.counter_bits = 15;
+  core::CaesarSketch sketch(cfg);
+  Xoshiro256pp rng(2);
+  std::vector<FlowId> batch(8192);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& f : batch) f = rng.below(100'000);
+    state.ResumeTiming();
+    sketch.add_batch(batch);
+  }
+  sketch.drain_spill();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_CaesarAddBatch);
+
 void BM_RcsAdd(benchmark::State& state) {
   baselines::RcsConfig cfg;
   cfg.num_counters = 5'000;

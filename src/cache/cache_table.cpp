@@ -56,14 +56,9 @@ std::uint32_t CacheTable::choose_victim() noexcept {
   return static_cast<std::uint32_t>(rng_.below(entries_.size()));
 }
 
-CacheTable::ProcessResult CacheTable::process(FlowId flow) {
-  return process_weighted(flow, 1);
-}
-
-CacheTable::ProcessResult CacheTable::process_weighted(FlowId flow,
-                                                       Count weight) {
-  assert(weight >= 1 && weight <= capacity_);
-  ProcessResult result;
+template <typename Sink>
+void CacheTable::process_one(FlowId flow, Count weight, Sink& sink) {
+  assert(weight >= 1);
   ++stats_.packets;
   stats_.accesses += 2;  // one lookup, one update
 
@@ -71,8 +66,13 @@ CacheTable::ProcessResult CacheTable::process_weighted(FlowId flow,
   if (const auto found = index_.find(flow)) {
     ++stats_.hits;
     slot = *found;
-    lru_unlink(slot);
-    lru_push_front(slot);
+    if (slot != lru_head_) {
+      // Pointer surgery only when the entry is not already MRU — on
+      // skewed traffic the hottest flows usually are, and the no-op
+      // unlink/relink is the most expensive part of a hit.
+      lru_unlink(slot);
+      lru_push_front(slot);
+    }
   } else {
     ++stats_.misses;
     if (!free_slots_.empty()) {
@@ -84,8 +84,8 @@ CacheTable::ProcessResult CacheTable::process_weighted(FlowId flow,
       slot = choose_victim();
       Entry& victim = entries_[slot];
       if (victim.value > 0) {
-        result.evictions[result.count++] =
-            Eviction{victim.flow, victim.value, EvictionCause::kReplacement};
+        sink.push_back(
+            Eviction{victim.flow, victim.value, EvictionCause::kReplacement});
         ++stats_.replacement_evictions;
       }
       index_.erase(victim.flow);
@@ -104,14 +104,122 @@ CacheTable::ProcessResult CacheTable::process_weighted(FlowId flow,
   Entry& e = entries_[slot];
   e.value += weight;
   if (e.value >= capacity_) {
-    // Overflow eviction: the entry is fulfilled; evict the whole value and
-    // keep counting this flow from zero.
-    result.evictions[result.count++] =
-        Eviction{e.flow, e.value, EvictionCause::kOverflow};
+    // Overflow eviction: the entry is fulfilled; evict the whole value
+    // and keep counting this flow from zero. A bulk weight can fulfill
+    // the entry several times over; peel y-sized chunks until the
+    // remainder fits one record (value < 2y), matching the historical
+    // single-record behaviour whenever weight <= y.
+    while (e.value - capacity_ >= capacity_) {
+      sink.push_back(Eviction{e.flow, capacity_, EvictionCause::kOverflow});
+      ++stats_.overflow_evictions;
+      e.value -= capacity_;
+    }
+    sink.push_back(Eviction{e.flow, e.value, EvictionCause::kOverflow});
     ++stats_.overflow_evictions;
     e.value = 0;
   }
+}
+
+namespace {
+// Adapter writing into ProcessResult's fixed two-slot array; per-packet
+// adds trigger at most one replacement plus one overflow eviction.
+struct FixedSink {
+  CacheTable::ProcessResult& result;
+  void push_back(const Eviction& ev) {
+    result.evictions[result.count++] = ev;
+  }
+};
+}  // namespace
+
+CacheTable::ProcessResult CacheTable::process(FlowId flow) {
+  ProcessResult result;
+  FixedSink sink{result};
+  process_one(flow, 1, sink);
   return result;
+}
+
+void CacheTable::process_weighted(FlowId flow, Count weight,
+                                  EvictionSink& sink) {
+  process_one(flow, weight, sink);
+}
+
+void CacheTable::process_batch(std::span<const FlowId> flows,
+                               EvictionSink& sink) {
+  // Two-pass chunked kernel. The per-packet API pays an out-of-line
+  // lookup (optional boxing, call overhead), generic weighted overflow
+  // handling, and per-packet stats read-modify-writes for every add; a
+  // batch can restructure that work without changing one observable bit:
+  //
+  //   pass 1 probes a whole chunk through the inline FlowIndex::probe —
+  //   the probes are independent, so they schedule with full memory-level
+  //   parallelism instead of one dependent chain per packet — and
+  //   prefetches each hit's cache entry;
+  //
+  //   pass 2 applies packets in order. A probe result can be stale (an
+  //   earlier miss in the chunk may insert or erase flows), so a hit is
+  //   trusted only if the entry still holds the probed flow — a flow
+  //   lives in at most one slot, and replacement reuses the victim's slot
+  //   in the same step, so `entries_[slot].flow == flow` holds exactly
+  //   when the mapping is still current. Validated hits run a weight-1
+  //   specialized path (merged LRU splice, single overflow test — a +1
+  //   can never reach 2y); everything else falls back to process_one,
+  //   which re-probes authoritatively.
+  //
+  // Stats accumulate in locals and commit once per batch; totals match
+  // the per-packet path exactly.
+  constexpr std::size_t kChunk = 64;
+  std::uint32_t slots[kChunk];
+  std::uint64_t packets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t overflows = 0;
+  while (!flows.empty()) {
+    const std::size_t n = std::min(kChunk, flows.size());
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t s = index_.probe(flows[j]);
+      slots[j] = s;
+#if defined(__GNUC__) || defined(__clang__)
+      if (s != FlowIndex::kNoSlot) __builtin_prefetch(&entries_[s], 1, 1);
+#endif
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const FlowId flow = flows[j];
+      const std::uint32_t slot = slots[j];
+      if (slot != FlowIndex::kNoSlot && entries_[slot].flow == flow)
+          [[likely]] {
+        ++packets;
+        ++hits;
+        if (slot != lru_head_) {
+          // unlink + push_front fused: slot is in the list and is not
+          // the head, so lru_prev != kNil and lru_head_ != kNil.
+          Entry& e = entries_[slot];
+          const std::uint32_t prev = e.lru_prev;
+          const std::uint32_t next = e.lru_next;
+          entries_[prev].lru_next = next;
+          if (next != kNil)
+            entries_[next].lru_prev = prev;
+          else
+            lru_tail_ = prev;
+          e.lru_prev = kNil;
+          e.lru_next = lru_head_;
+          entries_[lru_head_].lru_prev = slot;
+          lru_head_ = slot;
+        }
+        Entry& e = entries_[slot];
+        if (++e.value >= capacity_) {
+          sink.push_back(Eviction{e.flow, e.value, EvictionCause::kOverflow});
+          ++overflows;
+          e.value = 0;
+        }
+      } else {
+        process_one(flow, 1, sink);
+      }
+    }
+    flows = flows.subspan(n);
+  }
+  stats_.packets += packets;
+  stats_.accesses += 2 * packets;
+  stats_.hits += hits;
+  stats_.overflow_evictions += overflows;
 }
 
 std::vector<Eviction> CacheTable::flush() {

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cache/flow_index.hpp"
@@ -35,6 +36,12 @@ struct Eviction {
   Count value = 0;
   EvictionCause cause = EvictionCause::kFlush;
 };
+
+/// Caller-owned eviction sink. The batched and weighted paths *append*
+/// evictions (they never clear), so one sink can accumulate across many
+/// calls — e.g. CaesarSketch's spill queue — without fixed-size limits
+/// or per-call struct copies.
+using EvictionSink = std::vector<Eviction>;
 
 struct CacheStats {
   std::uint64_t packets = 0;
@@ -66,10 +73,21 @@ class CacheTable {
   };
   ProcessResult process(FlowId flow);
 
-  /// Account `weight` packets of `flow` at once (weight <= y). Used by
-  /// byte counting and the weighted examples; may emit multiple overflow
-  /// evictions' worth of value folded into the returned records.
-  ProcessResult process_weighted(FlowId flow, Count weight);
+  /// Account `weight` (>= 1) packets of `flow` at once, appending any
+  /// evictions to `sink`. Unlike process(), the weight is unbounded: a
+  /// bulk add that fulfills the entry several times over emits one
+  /// kOverflow record per y-sized chunk (each record's value < 2y), so
+  /// no eviction ever exceeds what a y-capacity entry can legitimately
+  /// trigger. For weight <= y the emitted records are identical to the
+  /// historical single-record behaviour.
+  void process_weighted(FlowId flow, Count weight, EvictionSink& sink);
+
+  /// Batched fast path: account one packet for every flow in order,
+  /// appending evictions to `sink`. Equivalent to calling process() per
+  /// flow (same entries, same stats, same eviction sequence) but
+  /// software-prefetches the FlowIndex home buckets a few packets ahead
+  /// and skips the per-call ProcessResult copies.
+  void process_batch(std::span<const FlowId> flows, EvictionSink& sink);
 
   /// Dump every occupied entry (paper: executed before the query phase).
   /// The table is empty afterwards.
@@ -101,6 +119,11 @@ class CacheTable {
   void lru_unlink(std::uint32_t slot) noexcept;
   void lru_push_front(std::uint32_t slot) noexcept;
   [[nodiscard]] std::uint32_t choose_victim() noexcept;
+
+  // Shared hot path; Sink needs push_back(const Eviction&). Instantiated
+  // only in cache_table.cpp (for EvictionSink and the fixed-size shim).
+  template <typename Sink>
+  void process_one(FlowId flow, Count weight, Sink& sink);
 
   std::vector<Entry> entries_;
   FlowIndex index_;

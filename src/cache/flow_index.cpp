@@ -2,8 +2,6 @@
 
 #include <cassert>
 
-#include "hash/murmur3.hpp"
-
 namespace caesar::cache {
 
 namespace {
@@ -19,10 +17,6 @@ FlowIndex::FlowIndex(std::uint32_t max_entries) {
       static_cast<std::size_t>(max_entries) * 2 + 2);
   buckets_.resize(cap);
   mask_ = cap - 1;
-}
-
-std::size_t FlowIndex::home(FlowId flow) const noexcept {
-  return static_cast<std::size_t>(hash::fmix64(flow)) & mask_;
 }
 
 std::optional<std::uint32_t> FlowIndex::find(FlowId flow) const noexcept {

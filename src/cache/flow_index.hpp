@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "hash/murmur3.hpp"
 
 namespace caesar::cache {
 
@@ -31,6 +32,24 @@ class FlowIndex {
 
   [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
 
+  /// Sentinel returned by `probe` when the flow is not mapped.
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Inline sentinel-based lookup for hot loops: same probe sequence as
+  /// `find`, without the optional boxing or an out-of-line call. The
+  /// batched ingest kernel probes a whole chunk up front, so a result may
+  /// be stale by the time it is applied (the index can mutate in
+  /// between); such callers must re-validate the slot before trusting it.
+  [[nodiscard]] std::uint32_t probe(FlowId flow) const noexcept {
+    std::size_t b = home(flow);
+    while (true) {
+      const Bucket& bucket = buckets_[b];
+      if (bucket.slot == kEmpty) return kNoSlot;
+      if (bucket.flow == flow) return bucket.slot;
+      b = (b + 1) & mask_;
+    }
+  }
+
  private:
   struct Bucket {
     FlowId flow = 0;
@@ -38,7 +57,9 @@ class FlowIndex {
   };
   static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
 
-  [[nodiscard]] std::size_t home(FlowId flow) const noexcept;
+  [[nodiscard]] std::size_t home(FlowId flow) const noexcept {
+    return static_cast<std::size_t>(hash::fmix64(flow)) & mask_;
+  }
 
   std::vector<Bucket> buckets_;
   std::size_t mask_ = 0;

@@ -1,0 +1,121 @@
+// Lock-free single-producer / single-consumer ring buffer.
+//
+// The streaming shard pipeline (core/sharded_caesar.cpp) needs a queue
+// between the router thread and each shard worker that (a) preserves FIFO
+// order — the determinism guarantee hangs on it — and (b) costs a handful
+// of nanoseconds per element. A bounded power-of-two ring with cached
+// head/tail indices does both: the producer re-reads the consumer's index
+// only when the ring looks full, the consumer re-reads the producer's
+// only when it looks empty, so the steady-state fast path touches no
+// shared cache line. Correctness is the textbook release/acquire pairing:
+// the producer's tail store releases the element writes, the consumer's
+// head store releases the slot for reuse.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace caesar {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Ring able to hold at least `min_capacity` elements; the backing
+  /// buffer is rounded up to a power of two.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  // One producer thread, one consumer thread; neither set of methods may
+  // be called concurrently with itself from two threads.
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return buffer_.size();
+  }
+
+  /// Producer side: append one element. Returns false when full.
+  bool try_push(const T& value) noexcept {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - cached_head_ >= buffer_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (t - cached_head_ >= buffer_.size()) return false;
+    }
+    buffer_[t & mask_] = value;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: append up to items.size() elements in order; returns
+  /// how many fit (a prefix of `items`).
+  std::size_t try_push_bulk(std::span<const T> items) noexcept {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    std::uint64_t free = buffer_.size() - (t - cached_head_);
+    if (free < items.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = buffer_.size() - (t - cached_head_);
+    }
+    const std::size_t n =
+        items.size() < free ? items.size() : static_cast<std::size_t>(free);
+    for (std::size_t i = 0; i < n; ++i) buffer_[(t + i) & mask_] = items[i];
+    tail_.store(t + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer side: remove one element. Returns false when empty.
+  bool try_pop(T& out) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (h == cached_tail_) return false;
+    }
+    out = buffer_[h & mask_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: remove up to out.size() elements in order; returns
+  /// how many were popped.
+  std::size_t try_pop_bulk(std::span<T> out) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    std::uint64_t avail = cached_tail_ - h;
+    if (avail < out.size()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - h;
+    }
+    const std::size_t n =
+        out.size() < avail ? out.size() : static_cast<std::size_t>(avail);
+    for (std::size_t i = 0; i < n; ++i) out[i] = buffer_[(h + i) & mask_];
+    head_.store(h + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Snapshot occupancy. Exact only when the opposite side is quiescent
+  /// (e.g. the producer has finished); advisory otherwise.
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_approx() == 0; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  // Producer and consumer indices live on separate cache lines so the
+  // two threads never false-share; each side additionally caches the
+  // other's index to avoid re-reading it on the fast path.
+  alignas(64) std::atomic<std::uint64_t> head_{0};   // consumer position
+  alignas(64) std::atomic<std::uint64_t> tail_{0};   // producer position
+  alignas(64) std::uint64_t cached_head_ = 0;        // producer's view
+  alignas(64) std::uint64_t cached_tail_ = 0;        // consumer's view
+};
+
+}  // namespace caesar

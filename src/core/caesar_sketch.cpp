@@ -1,5 +1,6 @@
 #include "core/caesar_sketch.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cmath>
@@ -31,13 +32,68 @@ CaesarSketch::CaesarSketch(const CaesarConfig& config)
 void CaesarSketch::add(FlowId flow) { add_weighted(flow, 1); }
 
 void CaesarSketch::add_weighted(FlowId flow, Count weight) {
+  // Preserve the global eviction-spreading order when per-packet adds
+  // are mixed with a batch whose evictions are still queued.
+  if (!spill_.empty()) drain_spill();
   packets_ += weight;
-  const auto result = cache_.process_weighted(flow, weight);
-  for (unsigned i = 0; i < result.count; ++i)
-    spread_eviction(result.evictions[i]);
+  cache_.process_weighted(flow, weight, spill_);
+  for (const auto& ev : spill_) spread_eviction(ev);
+  spill_.clear();
+}
+
+void CaesarSketch::add_batch(std::span<const FlowId> flows) {
+  packets_ += flows.size();
+  // Chunked so the spill bound is respected mid-batch: evictions arrive
+  // at a rate <= 2 per packet, and we test the bound between chunks.
+  constexpr std::size_t kChunk = 1024;
+  while (!flows.empty()) {
+    const std::size_t n = std::min(kChunk, flows.size());
+    cache_.process_batch(flows.first(n), spill_);
+    flows = flows.subspan(n);
+    if (spill_.size() >= config_.spill_capacity) drain_spill();
+  }
+}
+
+void CaesarSketch::drain_spill() {
+  if (spill_.empty()) return;
+  const std::size_t k = config_.k;
+  std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
+  std::array<Count, hash::KIndexSelector::kMaxK> delta{};
+  scratch_.clear();
+  for (const auto& ev : spill_) {
+    selector_.select(ev.flow, std::span<std::uint64_t>(idx.data(), k));
+    hash_ops_ += k;
+    const Count p = ev.value / k;
+    const Count q = ev.value % k;
+    for (std::size_t r = 0; r < k; ++r) delta[r] = p;
+    for (Count u = 0; u < q; ++u) delta[rng_.below(k)] += 1;
+    for (std::size_t r = 0; r < k; ++r)
+      if (delta[r] > 0) scratch_.push_back({idx[r], delta[r]});
+    sram_packets_ += ev.value;
+  }
+  spill_.clear();
+  // Coalesce deltas destined for the same counter across the whole
+  // drain: sort by index (also turning the SRAM writes sequential) and
+  // merge runs in place. Saturating adds commute with the merge — the
+  // clamp only ever applies at capacity — so values stay bit-identical
+  // to per-eviction spreading.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const counters::IndexedDelta& a,
+               const counters::IndexedDelta& b) { return a.index < b.index; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < scratch_.size();) {
+    const std::uint64_t index = scratch_[i].index;
+    Count sum = 0;
+    for (; i < scratch_.size() && scratch_[i].index == index; ++i)
+      sum += scratch_[i].delta;
+    scratch_[out++] = {index, sum};
+  }
+  sram_.add_batch(
+      std::span<const counters::IndexedDelta>(scratch_.data(), out));
 }
 
 void CaesarSketch::flush() {
+  drain_spill();
   for (const auto& ev : cache_.flush()) spread_eviction(ev);
 }
 
@@ -111,9 +167,10 @@ ConfidenceInterval CaesarSketch::interval_csm_empirical(FlowId flow,
 
 double CaesarSketch::estimate_flow_count() const {
   const auto l = static_cast<double>(config_.num_counters);
-  std::uint64_t zeros = 0;
-  for (std::uint64_t i = 0; i < sram_.size(); ++i)
-    if (sram_.peek(i) == 0) ++zeros;
+  // zero_count() is maintained incrementally by the counter array
+  // (first-touch decrement), replacing the former O(L) scan; the tests
+  // keep a scan as a cross-check.
+  const std::uint64_t zeros = sram_.zero_count();
   if (zeros == 0) return std::numeric_limits<double>::infinity();
   const double p_untouched =
       1.0 - static_cast<double>(config_.k) / l;
@@ -129,7 +186,7 @@ constexpr std::uint64_t kSketchMagic = 0x4341455341523031ULL;  // CAESAR01
 }
 
 void CaesarSketch::save(std::ostream& out) const {
-  if (cache_.occupied() != 0)
+  if (cache_.occupied() != 0 || !spill_.empty())
     throw std::logic_error(
         "CaesarSketch::save: flush() the cache before saving");
   put_u64(out, kSketchMagic);
@@ -180,7 +237,8 @@ CaesarSketch CaesarSketch::load(std::istream& in) {
 }
 
 void CaesarSketch::merge(const CaesarSketch& other) {
-  if (cache_.occupied() != 0 || other.cache_.occupied() != 0)
+  if (cache_.occupied() != 0 || other.cache_.occupied() != 0 ||
+      !spill_.empty() || !other.spill_.empty())
     throw std::logic_error("CaesarSketch::merge: flush both sketches first");
   if (config_.num_counters != other.config_.num_counters ||
       config_.counter_bits != other.config_.counter_bits ||

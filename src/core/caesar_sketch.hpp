@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "cache/cache_table.hpp"
@@ -36,6 +37,13 @@ struct CaesarConfig {
 
   std::size_t k = 3;                      ///< mapped counters per flow
   std::uint64_t seed = 1;
+
+  /// Eviction spill-queue bound for the batched ingest path: add_batch()
+  /// defers eviction spreading into a buffer and drains it in bulk once
+  /// this many evictions have accumulated. Pure performance knob — the
+  /// drained result is bit-identical for any value; it is neither
+  /// serialized nor part of the merge-compatibility check.
+  std::uint32_t spill_capacity = 4096;
 };
 
 class CaesarSketch {
@@ -45,12 +53,35 @@ class CaesarSketch {
   /// Online phase: account one packet of `flow`.
   void add(FlowId flow);
 
-  /// Account `weight` units at once (byte counting / weighted streams).
-  /// weight must be in [1, y].
+  /// Account `weight` (>= 1) units at once (byte counting / weighted
+  /// streams). Weights above y are split into multiple overflow
+  /// evictions by the cache, so any weight is handled.
   void add_weighted(FlowId flow, Count weight);
 
+  /// Batched ingest fast path: account one packet per flow, in order.
+  /// Bit-identical to calling add() per flow — same cache state, same
+  /// RNG consumption, same final counter values — but prefetches the
+  /// cache index ahead and defers eviction spreading into the spill
+  /// queue, which is drained in bulk (coalesced SRAM writes) whenever it
+  /// reaches CaesarConfig::spill_capacity. Evictions may remain queued
+  /// when this returns; call flush() (or drain_spill()) before querying.
+  void add_batch(std::span<const FlowId> flows);
+
+  /// Drain the eviction spill queue: batch-compute the k-index
+  /// selections, coalesce deltas destined for the same SRAM counter and
+  /// apply them with one CounterArray::add_batch. Consumes the remainder
+  /// RNG in exactly the per-packet order, so counter values match the
+  /// per-packet path bit for bit. No-op when the queue is empty.
+  void drain_spill();
+
+  /// Evictions currently deferred in the spill queue.
+  [[nodiscard]] std::size_t spill_size() const noexcept {
+    return spill_.size();
+  }
+
   /// Dump all cache entries to SRAM (paper: run before the query phase).
-  /// Idempotent; add() may be called again afterwards.
+  /// Drains the spill queue first. Idempotent; add() may be called again
+  /// afterwards.
   void flush();
 
   // --- offline query phase ----------------------------------------------
@@ -137,6 +168,11 @@ class CaesarSketch {
   Count packets_ = 0;
   Count sram_packets_ = 0;
   std::uint64_t hash_ops_ = 0;
+  /// Deferred evictions (batched path) awaiting drain_spill(); also the
+  /// per-call scratch sink of the per-packet path (always left empty).
+  cache::EvictionSink spill_;
+  /// Drain scratch: per-counter deltas before and after coalescing.
+  std::vector<counters::IndexedDelta> scratch_;
 };
 
 }  // namespace caesar::core

@@ -1,9 +1,12 @@
 #include "core/sharded_caesar.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
+#include "common/spsc_ring.hpp"
 #include "hash/murmur3.hpp"
 
 namespace caesar::core {
@@ -36,46 +39,80 @@ void ShardedCaesar::add_parallel(std::span<const FlowId> flows,
                                  std::size_t threads) {
   if (threads == 0) threads = shards_.size();
   threads = std::min(threads, shards_.size());
-  if (threads <= 1) {
+  // Tiny batches don't amortize thread start-up; the result is identical
+  // either way.
+  if (threads <= 1 || flows.size() <= 4096) {
     for (FlowId f : flows) add(f);
     return;
   }
-  // Two parallel phases with a barrier between them (textbook radix
-  // partition):
-  //   1. each worker partitions its contiguous slice of the batch into
-  //      per-(worker, shard) buckets;
-  //   2. worker w drains the buckets of shards s with s % threads == w,
-  //      visiting the sub-buckets in slice order.
-  // Concatenating sub-buckets in slice order reproduces the original
-  // batch order within every shard, so the result — every counter
-  // value — is bit-identical to a sequential run.
-  const std::size_t n = flows.size();
-  std::vector<std::vector<std::vector<FlowId>>> buckets(
-      threads, std::vector<std::vector<FlowId>>(shards_.size()));
+  // Streaming pipeline: this thread routes packets into one SPSC ring
+  // per shard while `threads` workers consume them concurrently through
+  // the batched ingest fast path — routing and shard processing overlap
+  // instead of being separated by a radix-partition barrier. The single
+  // router preserves batch order within every shard, and add_batch() is
+  // bit-identical to per-packet adds, so the final counters match a
+  // sequential run exactly.
+  const std::size_t num_shards = shards_.size();
+  constexpr std::size_t kRingCapacity = 8192;
+  constexpr std::size_t kRouteChunk = 256;   // router-side staging per shard
+  constexpr std::size_t kWorkerChunk = 2048; // worker-side pop batch
+
+  std::vector<std::unique_ptr<SpscRing<FlowId>>> rings;
+  rings.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s)
+    rings.push_back(std::make_unique<SpscRing<FlowId>>(kRingCapacity));
+  std::atomic<bool> done{false};
 
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (std::size_t w = 0; w < threads; ++w) {
-    workers.emplace_back([this, flows, &buckets, w, threads, n] {
-      const std::size_t lo = w * n / threads;
-      const std::size_t hi = (w + 1) * n / threads;
-      auto& mine = buckets[w];
-      for (auto& b : mine)
-        b.reserve((hi - lo) / shards_.size() + 8);
-      for (std::size_t i = lo; i < hi; ++i)
-        mine[shard_of(flows[i])].push_back(flows[i]);
+    workers.emplace_back([this, &rings, &done, w, threads, num_shards] {
+      std::vector<FlowId> buf(kWorkerChunk);
+      auto drain_pass = [&] {
+        bool any = false;
+        for (std::size_t s = w; s < num_shards; s += threads) {
+          const std::size_t n = rings[s]->try_pop_bulk(std::span<FlowId>(buf));
+          if (n > 0) {
+            shards_[s].add_batch(std::span<const FlowId>(buf.data(), n));
+            any = true;
+          }
+        }
+        return any;
+      };
+      for (;;) {
+        if (drain_pass()) continue;
+        if (done.load(std::memory_order_acquire)) {
+          // The router has stopped, so an empty pass after observing
+          // `done` means the owned rings are drained for good.
+          if (!drain_pass()) break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      for (std::size_t s = w; s < num_shards; s += threads)
+        shards_[s].drain_spill();
     });
   }
-  for (auto& worker : workers) worker.join();
-  workers.clear();
 
-  for (std::size_t w = 0; w < threads; ++w) {
-    workers.emplace_back([this, &buckets, w, threads] {
-      for (std::size_t s = w; s < shards_.size(); s += threads)
-        for (std::size_t slice = 0; slice < buckets.size(); ++slice)
-          for (FlowId f : buckets[slice][s]) shards_[s].add(f);
-    });
+  // Route with small per-shard staging buffers so ring traffic is bulk
+  // pushes, not per-packet atomics.
+  std::vector<std::vector<FlowId>> staged(num_shards);
+  for (auto& b : staged) b.reserve(kRouteChunk);
+  const auto flush_staged = [&](std::size_t s) {
+    std::span<const FlowId> pending(staged[s]);
+    while (!pending.empty()) {
+      pending = pending.subspan(rings[s]->try_push_bulk(pending));
+      if (!pending.empty()) std::this_thread::yield();  // backpressure
+    }
+    staged[s].clear();
+  };
+  for (FlowId f : flows) {
+    const std::size_t s = shard_of(f);
+    staged[s].push_back(f);
+    if (staged[s].size() >= kRouteChunk) flush_staged(s);
   }
+  for (std::size_t s = 0; s < num_shards; ++s) flush_staged(s);
+  done.store(true, std::memory_order_release);
   for (auto& worker : workers) worker.join();
 }
 
@@ -94,6 +131,16 @@ double ShardedCaesar::estimate_mlm(FlowId flow) const {
 ConfidenceInterval ShardedCaesar::interval_csm(FlowId flow,
                                                double alpha) const {
   return shards_[shard_of(flow)].interval_csm(flow, alpha);
+}
+
+ConfidenceInterval ShardedCaesar::interval_mlm(FlowId flow,
+                                               double alpha) const {
+  return shards_[shard_of(flow)].interval_mlm(flow, alpha);
+}
+
+ConfidenceInterval ShardedCaesar::interval_csm_empirical(FlowId flow,
+                                                         double alpha) const {
+  return shards_[shard_of(flow)].interval_csm_empirical(flow, alpha);
 }
 
 Count ShardedCaesar::packets() const noexcept {

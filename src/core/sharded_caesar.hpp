@@ -4,10 +4,12 @@
 // CaesarSketch shards. Because every packet of a flow lands in exactly
 // one shard, per-flow queries route to a single shard and no cross-shard
 // merging is needed; each shard's de-noising uses its own packet count.
-// add_parallel() ingests a packet batch with the owner-computes pattern:
-// every worker scans the batch and processes only the flows it owns, so
-// per-shard processing order — and therefore every counter value — is
-// bit-identical to a sequential run (verified by the tests).
+// add_parallel() ingests a packet batch with a streaming pipeline: the
+// calling thread routes packets into per-shard SPSC rings while shard
+// workers consume them concurrently through the batched ingest fast
+// path. The single router preserves the batch order within every shard,
+// so every counter value is bit-identical to a sequential run (verified
+// by the tests).
 #pragma once
 
 #include <cstdint>
@@ -32,8 +34,9 @@ class ShardedCaesar {
   /// Sequential ingest of one packet.
   void add(FlowId flow);
 
-  /// Parallel ingest of a packet batch using `threads` workers
-  /// (owner-computes: deterministic, identical to sequential ingest).
+  /// Parallel ingest of a packet batch: this thread routes packets to
+  /// per-shard lock-free queues while up to `threads` workers consume
+  /// them concurrently (deterministic, identical to sequential ingest).
   /// threads == 0 picks the shard count.
   void add_parallel(std::span<const FlowId> flows, std::size_t threads = 0);
 
@@ -43,6 +46,10 @@ class ShardedCaesar {
   [[nodiscard]] double estimate_mlm(FlowId flow) const;
   [[nodiscard]] ConfidenceInterval interval_csm(FlowId flow,
                                                 double alpha) const;
+  [[nodiscard]] ConfidenceInterval interval_mlm(FlowId flow,
+                                                double alpha) const;
+  [[nodiscard]] ConfidenceInterval interval_csm_empirical(FlowId flow,
+                                                          double alpha) const;
 
   [[nodiscard]] Count packets() const noexcept;
   [[nodiscard]] double memory_kb() const noexcept;

@@ -10,7 +10,7 @@
 namespace caesar::counters {
 
 CounterArray::CounterArray(std::uint64_t size, unsigned bits)
-    : values_(size, 0), bits_(bits) {
+    : values_(size, 0), bits_(bits), zeros_(size) {
   assert(bits >= 1 && bits <= 64);
   capacity_ = bits >= 64 ? ~Count{0} : (Count{1} << bits) - 1;
 }
@@ -19,6 +19,7 @@ CounterArray::CounterArray(const CounterArray& other)
     : values_(other.values_),
       bits_(other.bits_),
       capacity_(other.capacity_),
+      zeros_(other.zeros_),
       reads_(other.reads()),
       writes_(other.writes_),
       saturations_(other.saturations_) {}
@@ -28,6 +29,7 @@ CounterArray& CounterArray::operator=(const CounterArray& other) {
     values_ = other.values_;
     bits_ = other.bits_;
     capacity_ = other.capacity_;
+    zeros_ = other.zeros_;
     reads_.store(other.reads(), std::memory_order_relaxed);
     writes_ = other.writes_;
     saturations_ = other.saturations_;
@@ -39,6 +41,7 @@ CounterArray::CounterArray(CounterArray&& other) noexcept
     : values_(std::move(other.values_)),
       bits_(other.bits_),
       capacity_(other.capacity_),
+      zeros_(other.zeros_),
       reads_(other.reads()),
       writes_(other.writes_),
       saturations_(other.saturations_) {}
@@ -48,6 +51,7 @@ CounterArray& CounterArray::operator=(CounterArray&& other) noexcept {
     values_ = std::move(other.values_);
     bits_ = other.bits_;
     capacity_ = other.capacity_;
+    zeros_ = other.zeros_;
     reads_.store(other.reads(), std::memory_order_relaxed);
     writes_ = other.writes_;
     saturations_ = other.saturations_;
@@ -59,16 +63,27 @@ double CounterArray::memory_kb() const noexcept {
   return static_cast<double>(values_.size()) * bits_ / (1024.0 * 8.0);
 }
 
-void CounterArray::add(std::uint64_t index, Count delta) noexcept {
-  reads_.fetch_add(1, std::memory_order_relaxed);
-  ++writes_;
+void CounterArray::apply_add(std::uint64_t index, Count delta) noexcept {
   Count& v = values_[index];
+  if (delta > 0 && v == 0) --zeros_;
   if (capacity_ - v < delta) {
     v = capacity_;
     ++saturations_;
   } else {
     v += delta;
   }
+}
+
+void CounterArray::add(std::uint64_t index, Count delta) noexcept {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  ++writes_;
+  apply_add(index, delta);
+}
+
+void CounterArray::add_batch(std::span<const IndexedDelta> updates) noexcept {
+  reads_.fetch_add(updates.size(), std::memory_order_relaxed);
+  writes_ += updates.size();
+  for (const auto& u : updates) apply_add(u.index, u.delta);
 }
 
 Count CounterArray::read(std::uint64_t index) const noexcept {
@@ -94,6 +109,7 @@ double CounterArray::sample_variance() const noexcept {
 
 void CounterArray::reset() noexcept {
   std::fill(values_.begin(), values_.end(), 0);
+  zeros_ = values_.size();
   reads_.store(0, std::memory_order_relaxed);
   writes_ = saturations_ = 0;
 }
@@ -101,16 +117,8 @@ void CounterArray::reset() noexcept {
 void CounterArray::merge(const CounterArray& other) {
   if (other.values_.size() != values_.size() || other.bits_ != bits_)
     throw std::invalid_argument("CounterArray::merge: geometry mismatch");
-  for (std::uint64_t i = 0; i < values_.size(); ++i) {
-    Count& v = values_[i];
-    const Count delta = other.values_[i];
-    if (capacity_ - v < delta) {
-      v = capacity_;
-      ++saturations_;
-    } else {
-      v += delta;
-    }
-  }
+  for (std::uint64_t i = 0; i < values_.size(); ++i)
+    apply_add(i, other.values_[i]);
 }
 
 namespace {
@@ -131,9 +139,12 @@ CounterArray CounterArray::load(std::istream& in) {
     throw std::runtime_error("CounterArray::load: bad bit width");
   auto values = get_u64_vector(in);
   CounterArray array(values.size(), bits);
-  for (Count v : values)
+  array.zeros_ = 0;
+  for (Count v : values) {
     if (v > array.capacity_)
       throw std::runtime_error("CounterArray::load: value exceeds capacity");
+    if (v == 0) ++array.zeros_;
+  }
   array.values_ = std::move(values);
   return array;
 }

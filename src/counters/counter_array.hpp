@@ -11,11 +11,19 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace caesar::counters {
+
+/// One coalesced update for add_batch(): `delta` units destined for
+/// counter `index`.
+struct IndexedDelta {
+  std::uint64_t index = 0;
+  Count delta = 0;
+};
 
 class CounterArray {
  public:
@@ -42,6 +50,13 @@ class CounterArray {
   /// Saturating add. Each call is one SRAM read-modify-write.
   void add(std::uint64_t index, Count delta) noexcept;
 
+  /// Bulk saturating add of pre-coalesced updates (the spill-queue drain
+  /// path). Each element is accounted as exactly one read-modify-write —
+  /// the caller is expected to have merged duplicate indices, which is
+  /// where the off-chip access saving comes from. Semantically identical
+  /// to calling add() per element.
+  void add_batch(std::span<const IndexedDelta> updates) noexcept;
+
   /// Read a counter (one SRAM read).
   [[nodiscard]] Count read(std::uint64_t index) const noexcept;
 
@@ -54,6 +69,12 @@ class CounterArray {
   /// Sum of all counters. In CAESAR the sum equals the number of packets
   /// recorded so far (each eviction value is split but fully stored).
   [[nodiscard]] Count total() const noexcept;
+
+  /// Number of counters that are still zero, maintained incrementally
+  /// (first-touch decrement in add/add_batch/merge) so linear-counting
+  /// cardinality estimates are O(1) instead of an O(L) scan. Counters
+  /// never decrease, so the count is exact.
+  [[nodiscard]] std::uint64_t zero_count() const noexcept { return zeros_; }
 
   /// Sample variance of the counter values. Estimates the per-counter
   /// noise variance directly from the structure — used by the empirical
@@ -84,9 +105,12 @@ class CounterArray {
   }
 
  private:
+  void apply_add(std::uint64_t index, Count delta) noexcept;
+
   std::vector<Count> values_;
   unsigned bits_;
   Count capacity_;
+  std::uint64_t zeros_ = 0;
   mutable std::atomic<std::uint64_t> reads_{0};
   std::uint64_t writes_ = 0;
   std::uint64_t saturations_ = 0;

@@ -157,12 +157,118 @@ TEST(CacheTable, EvictionValuesNeverExceedCapacity) {
 
 TEST(CacheTable, WeightedProcessAccumulates) {
   CacheTable cache(small(4, 100));
-  cache.process_weighted(1, 30);
-  cache.process_weighted(1, 30);
+  EvictionSink sink;
+  cache.process_weighted(1, 30, sink);
+  cache.process_weighted(1, 30, sink);
+  EXPECT_TRUE(sink.empty());
   EXPECT_EQ(cache.peek(1), 60u);
-  const auto evs = drain(cache.process_weighted(1, 50));  // 110 >= 100
-  ASSERT_EQ(evs.size(), 1u);
-  EXPECT_EQ(evs[0].value, 110u);
+  cache.process_weighted(1, 50, sink);  // 110 >= 100, below 2y: one record
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink[0].value, 110u);
+  EXPECT_EQ(sink[0].cause, EvictionCause::kOverflow);
+  EXPECT_EQ(cache.peek(1), 0u);
+}
+
+TEST(CacheTable, WeightedProcessSplitsHugeWeights) {
+  // weight >> y must be chunked into multiple overflow evictions that
+  // conserve the total and never exceed what a y-capacity entry can
+  // trigger (each record < 2y).
+  CacheTable cache(small(4, 100));
+  EvictionSink sink;
+  cache.process_weighted(1, 730, sink);
+  ASSERT_EQ(sink.size(), 7u);  // 6 chunks of y + the [y, 2y) remainder
+  Count total = 0;
+  for (const auto& ev : sink) {
+    EXPECT_EQ(ev.flow, 1u);
+    EXPECT_EQ(ev.cause, EvictionCause::kOverflow);
+    EXPECT_LT(ev.value, 200u);
+    total += ev.value;
+  }
+  EXPECT_EQ(total, 730u);
+  EXPECT_EQ(cache.peek(1), 0u);
+  EXPECT_EQ(cache.stats().overflow_evictions, 7u);
+}
+
+TEST(CacheTable, WeightedProcessFinalChunkAbsorbsRemainder) {
+  CacheTable cache(small(4, 100));
+  EvictionSink sink;
+  cache.process_weighted(2, 250, sink);  // 2 evictions (100 + 150), 0 stays
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink[0].value, 100u);
+  EXPECT_EQ(sink[1].value, 150u);
+  sink.clear();
+  cache.process_weighted(2, 99, sink);  // below y: stays cached
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(cache.peek(2), 99u);
+}
+
+TEST(CacheTable, WeightedEvictionOnReplacementStillSingle) {
+  // A replacement eviction plus a bulk overflow in one call: the sink
+  // collects all of them (no fixed-size limit).
+  CacheTable cache(small(2, 10));
+  EvictionSink sink;
+  cache.process_weighted(1, 5, sink);
+  cache.process_weighted(2, 5, sink);
+  EXPECT_TRUE(sink.empty());
+  cache.process_weighted(3, 35, sink);  // evicts LRU flow 1, then 3 overflows
+  ASSERT_EQ(sink.size(), 4u);           // replacement + chunks 10, 10, 15
+  EXPECT_EQ(sink[0].flow, 1u);
+  EXPECT_EQ(sink[0].cause, EvictionCause::kReplacement);
+  EXPECT_EQ(sink[0].value, 5u);
+  Count overflowed = 0;
+  for (std::size_t i = 1; i < sink.size(); ++i) {
+    EXPECT_EQ(sink[i].flow, 3u);
+    EXPECT_EQ(sink[i].cause, EvictionCause::kOverflow);
+    overflowed += sink[i].value;
+  }
+  EXPECT_EQ(overflowed, 35u);
+}
+
+TEST(CacheTable, BatchMatchesPerPacketProcessing) {
+  // process_batch must reproduce process() exactly: same evictions in
+  // the same order, same stats, same cache contents.
+  Xoshiro256pp rng(99);
+  std::vector<FlowId> flows(20000);
+  for (auto& f : flows) f = rng.below(300) + 1;
+
+  for (const auto policy :
+       {ReplacementPolicy::kLru, ReplacementPolicy::kRandom}) {
+    CacheTable per_packet(small(64, 7, policy));
+    std::vector<Eviction> expected;
+    for (FlowId f : flows)
+      for (const auto& ev : drain(per_packet.process(f)))
+        expected.push_back(ev);
+
+    CacheTable batched(small(64, 7, policy));
+    EvictionSink got;
+    batched.process_batch(flows, got);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].flow, expected[i].flow);
+      EXPECT_EQ(got[i].value, expected[i].value);
+      EXPECT_EQ(got[i].cause, expected[i].cause);
+    }
+    EXPECT_EQ(batched.stats().packets, per_packet.stats().packets);
+    EXPECT_EQ(batched.stats().hits, per_packet.stats().hits);
+    EXPECT_EQ(batched.stats().misses, per_packet.stats().misses);
+    EXPECT_EQ(batched.stats().overflow_evictions,
+              per_packet.stats().overflow_evictions);
+    EXPECT_EQ(batched.stats().replacement_evictions,
+              per_packet.stats().replacement_evictions);
+    for (FlowId f = 1; f <= 300; ++f)
+      EXPECT_EQ(batched.peek(f), per_packet.peek(f)) << "flow " << f;
+  }
+}
+
+TEST(CacheTable, BatchAppendsToSinkWithoutClearing) {
+  CacheTable cache(small(2, 2));
+  EvictionSink sink;
+  sink.push_back(Eviction{77, 1, EvictionCause::kFlush});  // pre-existing
+  const std::vector<FlowId> flows{1, 1, 2, 2};
+  cache.process_batch(flows, sink);
+  ASSERT_GE(sink.size(), 3u);
+  EXPECT_EQ(sink[0].flow, 77u);  // untouched
 }
 
 TEST(CacheTable, StatsAddUp) {

@@ -98,6 +98,41 @@ TEST(FlowIndex, RandomizedAgainstReferenceMap) {
   }
 }
 
+TEST(FlowIndex, ProbeAgreesWithFindUnderChurn) {
+  // The inline sentinel-based probe must walk the exact same sequence as
+  // find on every key, present or absent, across inserts and
+  // backward-shift deletions.
+  FlowIndex idx(64);
+  std::uint64_t state = 99;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (state >> 33) % 200;
+  };
+  std::vector<bool> present(200, false);
+  std::vector<std::uint32_t> slot_of(200, 0);
+  std::uint32_t tick = 0;
+  for (int op = 0; op < 20'000; ++op) {
+    const auto key = static_cast<FlowId>(next());
+    if (present[key]) {
+      idx.erase(key);
+      present[key] = false;
+    } else if (idx.size() < 64) {
+      idx.insert(key, tick++ % 64);
+      slot_of[key] = (tick - 1) % 64;
+      present[key] = true;
+    }
+    for (FlowId k = 0; k < 200; k += 13) {
+      const auto found = idx.find(k);
+      const auto probed = idx.probe(k);
+      if (found.has_value()) {
+        ASSERT_EQ(probed, *found);
+      } else {
+        ASSERT_EQ(probed, FlowIndex::kNoSlot);
+      }
+    }
+  }
+}
+
 TEST(FlowIndex, FlowIdZeroIsAValidKey) {
   FlowIndex idx(4);
   idx.insert(0, 9);

@@ -117,6 +117,49 @@ TEST(ShardedCaesar, AggregateAccounting) {
   EXPECT_GT(sharded.op_counts().cache_accesses, 0u);
 }
 
+TEST(ShardedCaesar, IntervalsDelegateToOwningShard) {
+  // interval_mlm / interval_csm_empirical must agree with the shard that
+  // owns the flow, exactly like the other query entry points.
+  const auto batch = random_batch(40000, 7);
+  ShardedCaesar sharded(shard_config(), 4);
+  sharded.add_parallel(batch, 4);
+  sharded.flush();
+  for (FlowId f = 1; f <= 100; ++f) {
+    const auto& owner = sharded.shard(sharded.shard_of(f));
+    const auto mlm = sharded.interval_mlm(f, 0.05);
+    const auto mlm_direct = owner.interval_mlm(f, 0.05);
+    EXPECT_DOUBLE_EQ(mlm.lo, mlm_direct.lo);
+    EXPECT_DOUBLE_EQ(mlm.hi, mlm_direct.hi);
+    const auto emp = sharded.interval_csm_empirical(f, 0.05);
+    const auto emp_direct = owner.interval_csm_empirical(f, 0.05);
+    EXPECT_DOUBLE_EQ(emp.lo, emp_direct.lo);
+    EXPECT_DOUBLE_EQ(emp.hi, emp_direct.hi);
+  }
+}
+
+TEST(ShardedCaesar, IntervalsBracketTheEstimate) {
+  const auto batch = random_batch(40000, 8);
+  ShardedCaesar sharded(shard_config(), 2);
+  sharded.add_parallel(batch, 2);
+  sharded.flush();
+  for (FlowId f = 1; f <= 50; ++f) {
+    const auto mlm = sharded.interval_mlm(f, 0.05);
+    EXPECT_LE(mlm.lo, mlm.hi);
+    const auto emp = sharded.interval_csm_empirical(f, 0.05);
+    EXPECT_LE(emp.lo, emp.hi);
+    EXPECT_LE(emp.lo, sharded.estimate_csm(f));
+    EXPECT_GE(emp.hi, sharded.estimate_csm(f));
+  }
+}
+
+TEST(ShardedCaesar, MemoryKbScalesWithShardCount) {
+  const double one = CaesarSketch(shard_config()).memory_kb();
+  for (const std::size_t s : {1u, 2u, 5u}) {
+    ShardedCaesar sharded(shard_config(), s);
+    EXPECT_NEAR(sharded.memory_kb(), static_cast<double>(s) * one, 1e-9);
+  }
+}
+
 TEST(ShardedCaesar, RejectsZeroShards) {
   EXPECT_THROW(ShardedCaesar(shard_config(), 0), std::invalid_argument);
 }

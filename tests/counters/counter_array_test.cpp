@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <vector>
+
 namespace caesar::counters {
 namespace {
 
@@ -74,6 +77,66 @@ TEST(CounterArray, TotalSumsEverything) {
     expected += i;
   }
   EXPECT_EQ(a.total(), expected);
+}
+
+TEST(CounterArray, ZeroCountTracksFirstTouches) {
+  CounterArray a(8, 8);
+  EXPECT_EQ(a.zero_count(), 8u);
+  a.add(3, 5);
+  EXPECT_EQ(a.zero_count(), 7u);
+  a.add(3, 5);  // second touch: no change
+  EXPECT_EQ(a.zero_count(), 7u);
+  a.add(0, 1);
+  EXPECT_EQ(a.zero_count(), 6u);
+  a.add(1, 0);  // zero delta is not a touch
+  EXPECT_EQ(a.zero_count(), 6u);
+  a.reset();
+  EXPECT_EQ(a.zero_count(), 8u);
+}
+
+TEST(CounterArray, ZeroCountSurvivesCopyMergeAndSaveLoad) {
+  CounterArray a(16, 8);
+  a.add(1, 3);
+  a.add(9, 7);
+  const CounterArray copy = a;
+  EXPECT_EQ(copy.zero_count(), 14u);
+
+  CounterArray b(16, 8);
+  b.add(1, 1);   // overlaps a's touched set
+  b.add(12, 1);  // fresh counter
+  a.merge(b);
+  EXPECT_EQ(a.zero_count(), 13u);
+
+  std::stringstream buffer;
+  a.save(buffer);
+  const CounterArray loaded = CounterArray::load(buffer);
+  EXPECT_EQ(loaded.zero_count(), 13u);
+}
+
+TEST(CounterArray, AddBatchMatchesSequentialAdds) {
+  const std::vector<IndexedDelta> updates{
+      {0, 5}, {3, 250}, {3, 250},  // second hit saturates (capacity 255)
+      {7, 1}};
+  CounterArray batched(8, 8);
+  batched.add_batch(updates);
+
+  CounterArray sequential(8, 8);
+  for (const auto& u : updates) sequential.add(u.index, u.delta);
+
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(batched.peek(i), sequential.peek(i)) << "counter " << i;
+  EXPECT_EQ(batched.zero_count(), sequential.zero_count());
+  EXPECT_EQ(batched.saturations(), sequential.saturations());
+  // One read-modify-write per element, same as the scalar path.
+  EXPECT_EQ(batched.reads(), 4u);
+  EXPECT_EQ(batched.writes(), 4u);
+}
+
+TEST(CounterArray, AddBatchEmptyIsNoOp) {
+  CounterArray a(4, 8);
+  a.add_batch({});
+  EXPECT_EQ(a.total(), 0u);
+  EXPECT_EQ(a.writes(), 0u);
 }
 
 }  // namespace
