@@ -23,7 +23,7 @@ int main() {
     bench::feed(t, sketch);
     sketch.flush();
     const auto eval = bench::evaluate_fn(
-        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+        t, [&](FlowId f) { return sketch.estimate_csm_raw(f); });
     const auto ops = sketch.op_counts();
     table.add_row({std::to_string(cfg.cache_entries),
                    format_double(sketch.cache_table().memory_kb(), 1),

@@ -23,7 +23,7 @@ int main() {
     bench::feed(t, sketch);
     sketch.flush();
     const auto eval = bench::evaluate_fn(
-        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+        t, [&](FlowId f) { return sketch.estimate_csm_raw(f); });
     table.add_row({std::to_string(y),
                    format_double(sketch.cache_table().memory_kb(), 1),
                    std::to_string(sketch.cache_stats().overflow_evictions),

@@ -22,9 +22,9 @@ int main() {
     bench::feed(t, sketch);
     sketch.flush();
     const auto csm = bench::evaluate_fn(
-        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+        t, [&](FlowId f) { return sketch.estimate_csm_raw(f); });
     const auto mlm = bench::evaluate_fn(
-        t, [&](FlowId f) { return sketch.estimate_mlm(f); });
+        t, [&](FlowId f) { return sketch.estimate_mlm_raw(f); });
     const double var = core::csm_variance(t.mean_flow_size(),
                                           sketch.estimator_params());
     table.add_row({std::to_string(k),

@@ -36,7 +36,7 @@ int main() {
       bench::feed(t, sketch);
       sketch.flush();
       const auto eval = bench::evaluate_fn(
-          t, [&](FlowId f) { return sketch.estimate_csm(f); });
+          t, [&](FlowId f) { return sketch.estimate_csm_raw(f); });
       table.add_row(
           {m.name,
            policy == cache::ReplacementPolicy::kLru ? "LRU" : "random",

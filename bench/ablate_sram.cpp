@@ -35,7 +35,7 @@ int main() {
     caesar_sketch.flush();
 
     const auto ec = bench::evaluate_fn(
-        t, [&](FlowId f) { return caesar_sketch.estimate_csm(f); });
+        t, [&](FlowId f) { return caesar_sketch.estimate_csm_raw(f); });
     const auto er = bench::evaluate_fn(
         t, [&](FlowId f) { return rcs_sketch.estimate_csm(f); });
     table.add_row(

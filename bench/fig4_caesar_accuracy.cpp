@@ -29,12 +29,12 @@ int main() {
     const char* pname =
         policy == cache::ReplacementPolicy::kLru ? "LRU" : "random";
     const auto csm = bench::evaluate_fn(
-        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+        t, [&](FlowId f) { return sketch.estimate_csm_raw(f); });
     bench::print_accuracy_panels(
         std::string("Fig 4(a)/(c) CAESAR-CSM, ") + pname + " replacement",
         csm);
     const auto mlm = bench::evaluate_fn(
-        t, [&](FlowId f) { return sketch.estimate_mlm(f); });
+        t, [&](FlowId f) { return sketch.estimate_mlm_raw(f); });
     bench::print_accuracy_panels(
         std::string("Fig 4(b)/(d) CAESAR-MLM, ") + pname + " replacement",
         mlm);
@@ -55,7 +55,7 @@ int main() {
     bench::feed(t, sketch);
     sketch.flush();
     const auto csm = bench::evaluate_fn(
-        t, [&](FlowId f) { return sketch.estimate_csm(f); });
+        t, [&](FlowId f) { return sketch.estimate_csm_raw(f); });
     const auto g = analysis::describe(cfg);
     std::printf("[stated-budget transparency] SRAM %.2f KB (L=%llu): "
                 "CSM avg rel err %.1f%% — noise-dominated as predicted\n",

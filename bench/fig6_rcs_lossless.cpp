@@ -51,7 +51,7 @@ int main() {
   bench::feed(t, caesar_sketch);
   caesar_sketch.flush();
   const auto caesar_eval = bench::evaluate_fn(
-      t, [&](FlowId f) { return caesar_sketch.estimate_csm(f); });
+      t, [&](FlowId f) { return caesar_sketch.estimate_csm_raw(f); });
   std::printf("reference: CAESAR-CSM avg rel err = %.2f%% vs lossless "
               "RCS-CSM %.2f%% (paper: similar, CAESAR slightly better)\n",
               100.0 * caesar_eval.avg_relative_error,

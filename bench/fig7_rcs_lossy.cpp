@@ -41,9 +41,9 @@ int main() {
   bench::feed(t, caesar_sketch);
   caesar_sketch.flush();
   const auto csm = bench::evaluate_fn(
-      t, [&](FlowId f) { return caesar_sketch.estimate_csm(f); });
+      t, [&](FlowId f) { return caesar_sketch.estimate_csm_raw(f); });
   const auto mlm = bench::evaluate_fn(
-      t, [&](FlowId f) { return caesar_sketch.estimate_mlm(f); });
+      t, [&](FlowId f) { return caesar_sketch.estimate_mlm_raw(f); });
 
   std::printf("headline (§1.5)  paper: RCS 67.68%% / 90.06%% vs CAESAR "
               "CSM 25.23%% / MLM 30.83%%\n");

@@ -61,9 +61,9 @@ int main() {
     const Count target = static_cast<Count>(t.mean_flow_size());
     for (std::uint32_t i = 0; i < t.num_flows(); ++i) {
       if (t.size_of(i) != target) continue;
-      est_err.add(sketch.estimate_csm(t.id_of(i)) -
+      est_err.add(sketch.estimate_csm_raw(t.id_of(i)) -
                   static_cast<double>(t.size_of(i)));
-      mlm_err.add(sketch.estimate_mlm(t.id_of(i)) -
+      mlm_err.add(sketch.estimate_mlm_raw(t.id_of(i)) -
                   static_cast<double>(t.size_of(i)));
     }
     model_var +=

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/metrics.hpp"
 #include "core/caesar_sketch.hpp"
 #include "core/sharded_caesar.hpp"
 #include "trace/synthetic.hpp"
@@ -105,8 +106,8 @@ int main(int argc, char** argv) {
         batched.drain_spill();
       }));
 
+  std::unique_ptr<core::ShardedCaesar> sharded;
   for (const std::size_t shards : {1u, 2u, 4u}) {
-    std::unique_ptr<core::ShardedCaesar> sharded;
     results.push_back(measure(
         "sharded_streaming", shards, n, repeats,
         [&] {
@@ -156,6 +157,26 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out_path.c_str());
+
+  // Datapath observability snapshot alongside the timing artifact: the
+  // batched sketch's full instrument tree plus the last (4-shard)
+  // streaming pipeline's — cache hit rates, eviction causes, spill
+  // coalescing, ring backpressure, per-shard batch sizes.
+  metrics::MetricsSnapshot snap;
+  batched.collect_metrics(snap, "batched.");
+  sharded->collect_metrics(snap, "sharded.");
+  const std::string metrics_path =
+      args.get_or("metrics-out", "BENCH_throughput_metrics.json");
+  std::ofstream metrics_out(metrics_path);
+  snap.write_json(metrics_out);
+  metrics_out << "\n";
+  metrics_out.close();
+  if (!metrics_out) {
+    std::fprintf(stderr, "error: could not write %s\n", metrics_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (metrics %s)\n", metrics_path.c_str(),
+              metrics::kEnabled ? "enabled" : "disabled");
 
   return ok ? 0 : 1;
 }

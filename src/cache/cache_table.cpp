@@ -250,4 +250,19 @@ Count CacheTable::peek(FlowId flow) const noexcept {
   return 0;
 }
 
+void CacheTable::collect_metrics(metrics::MetricsSnapshot& snapshot,
+                                 const std::string& prefix) const {
+  snapshot.add_counter(prefix + "packets", stats_.packets);
+  snapshot.add_counter(prefix + "hits", stats_.hits);
+  snapshot.add_counter(prefix + "misses", stats_.misses);
+  snapshot.add_counter(prefix + "evictions.overflow",
+                       stats_.overflow_evictions);
+  snapshot.add_counter(prefix + "evictions.replacement",
+                       stats_.replacement_evictions);
+  snapshot.add_counter(prefix + "evictions.flush", stats_.flush_evictions);
+  snapshot.add_counter(prefix + "accesses", stats_.accesses);
+  snapshot.add_gauge(prefix + "occupied", occupied_, occupied_);
+  snapshot.add_gauge(prefix + "entries", entries_.size(), entries_.size());
+}
+
 }  // namespace caesar::cache

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cache/flow_index.hpp"
+#include "common/metrics.hpp"
 #include "common/random.hpp"
 #include "common/types.hpp"
 
@@ -105,6 +106,13 @@ class CacheTable {
   /// Current cached value of a flow (0 when absent) — test/analysis hook,
   /// not a modeled access.
   [[nodiscard]] Count peek(FlowId flow) const noexcept;
+
+  /// Append this table's instruments to `snapshot` under `prefix`
+  /// (e.g. "cache."). Exports the always-on CacheStats — hits, misses,
+  /// and evictions by cause — plus an occupancy gauge; reading them here
+  /// adds nothing to the packet path.
+  void collect_metrics(metrics::MetricsSnapshot& snapshot,
+                       const std::string& prefix) const;
 
  private:
   struct Entry {

@@ -41,10 +41,17 @@ double inverse_normal_cdf(double p) {
         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
   }
 
-  // One step of Halley refinement keeps the tails tight.
-  const double e = normal_cdf(x) - p;
-  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
-  x = x - u / (1.0 + x * u / 2.0);
+  // One step of Halley refinement keeps the central region tight. Skip
+  // it in the extreme tails: exp(x*x/2) overflows to inf once |x|
+  // exceeds ~37.6 (x*x/2 > 709), turning the correction into NaN, and
+  // already at |x| > 6 the correction is below the double rounding error
+  // of the Acklam estimate (whose absolute error is < 1.15e-9 there), so
+  // the refinement buys nothing in exchange for the overflow risk.
+  if (std::abs(x) < 6.0) {
+    const double e = normal_cdf(x) - p;
+    const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+    x = x - u / (1.0 + x * u / 2.0);
+  }
   return x;
 }
 

@@ -1,0 +1,81 @@
+#include "common/metrics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace caesar::metrics {
+
+void MetricsSnapshot::add_counter(std::string name, std::uint64_t value) {
+  counters_.push_back(Sample{std::move(name), value});
+}
+
+void MetricsSnapshot::add_gauge(std::string name, std::uint64_t value,
+                                std::uint64_t high_water) {
+  gauges_.push_back(GaugeSample{std::move(name), value, high_water});
+}
+
+void MetricsSnapshot::add_histogram(std::string name,
+                                    const Histogram& histogram) {
+  HistogramSample s;
+  s.name = std::move(name);
+  s.count = histogram.count();
+  s.sum = histogram.sum();
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    const std::uint64_t n = histogram.bucket(b);
+    if (n > 0) s.buckets.emplace_back(Histogram::bucket_upper(b), n);
+  }
+  histograms_.push_back(std::move(s));
+}
+
+std::uint64_t MetricsSnapshot::value(std::string_view name) const noexcept {
+  for (const auto& c : counters_)
+    if (c.name == name) return c.value;
+  for (const auto& g : gauges_)
+    if (g.name == name) return g.value;
+  return 0;
+}
+
+bool MetricsSnapshot::has(std::string_view name) const noexcept {
+  for (const auto& c : counters_)
+    if (c.name == name) return true;
+  for (const auto& g : gauges_)
+    if (g.name == name) return true;
+  for (const auto& h : histograms_)
+    if (h.name == name) return true;
+  return false;
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << '"' << counters_[i].name
+        << "\": " << counters_[i].value;
+  }
+  out << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << '"' << gauges_[i].name
+        << "\": {\"value\": " << gauges_[i].value
+        << ", \"high_water\": " << gauges_[i].high_water << '}';
+  }
+  out << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const auto& h = histograms_[i];
+    out << (i ? ",\n    " : "\n    ") << '"' << h.name
+        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      out << (b ? ", " : "") << "{\"le\": " << h.buckets[b].first
+          << ", \"count\": " << h.buckets[b].second << '}';
+    }
+    out << "]}";
+  }
+  out << (histograms_.empty() ? "" : "\n  ") << "}\n}";
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace caesar::metrics

@@ -1,0 +1,264 @@
+// Datapath observability layer — counters-on-the-counters.
+//
+// Every stage of the ingest pipeline (cache front end, spill queue, SPSC
+// rings, shard workers, SRAM array) exposes what it is doing through this
+// registry: monotonic counters, gauges with high-water tracking, and
+// fixed-bucket (power-of-two) occupancy histograms. Design constraints,
+// in order:
+//
+//   1. Metrics must not perturb results. No instrument touches an RNG, a
+//      counter value, or an eviction decision; estimates are bit-identical
+//      with metrics enabled or disabled (pinned by
+//      tests/core/metrics_determinism_test.cpp).
+//   2. Enabled metrics cost one relaxed atomic RMW at the instrumentation
+//      point — no locks, no branches on shared state — and almost all
+//      instrumentation points sit on batch boundaries (once per drain /
+//      per pop-batch), not per packet.
+//   3. Disabled metrics (-DCAESAR_METRICS_DISABLED, CMake option
+//      -DCAESAR_METRICS=OFF) compile to no-ops: the mutation methods are
+//      `if constexpr`-gated on kEnabled, so the optimizer deletes them.
+//
+// There is deliberately no global registry-of-pointers. The datapath
+// components are value types (copyable, movable, many instances per
+// process — one sketch per shard, fresh sketches per bench repeat), so
+// registration handles would dangle on every move. Instead collection is
+// pull-based: each component appends its instruments to a MetricsSnapshot
+// under a caller-chosen prefix ("shard3.cache.hits"), and the snapshot
+// exports to JSON. Instruments are therefore copyable — copying snapshots
+// the current value, which is exactly what fresh-per-repeat benches want.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace caesar::metrics {
+
+#if defined(CAESAR_METRICS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotonic event counter. One relaxed fetch_add per add(); reads are
+/// advisory when a writer is concurrently active (exact after it joins).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter& other) noexcept { assign(other); }
+  Counter& operator=(const Counter& other) noexcept {
+    assign(other);
+    return *this;
+  }
+
+  void inc() noexcept { add(1); }
+  void add(std::uint64_t n) noexcept {
+    if constexpr (kEnabled)
+      value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void assign(const Counter& other) noexcept {
+    value_.store(other.value(), std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge with a built-in high-water mark. set() is one relaxed
+/// store plus (only while the value keeps growing) a relaxed CAS to raise
+/// the high-water mark; observe() updates the mark alone.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge& other) noexcept { assign(other); }
+  Gauge& operator=(const Gauge& other) noexcept {
+    assign(other);
+    return *this;
+  }
+
+  void set(std::uint64_t v) noexcept {
+    if constexpr (kEnabled) {
+      value_.store(v, std::memory_order_relaxed);
+      raise_high_water(v);
+    }
+  }
+
+  /// Update only the high-water mark (e.g. a transient queue depth).
+  void observe(std::uint64_t v) noexcept {
+    if constexpr (kEnabled) raise_high_water(v);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_high_water(std::uint64_t v) noexcept {
+    std::uint64_t cur = high_water_.load(std::memory_order_relaxed);
+    while (v > cur && !high_water_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void assign(const Gauge& other) noexcept {
+    value_.store(other.value(), std::memory_order_relaxed);
+    high_water_.store(other.high_water(), std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::uint64_t> high_water_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (batch
+/// sizes, queue depths, burst lengths). Buckets are powers of two —
+/// bucket b counts samples whose bit width is b, i.e. bucket 0 holds the
+/// value 0, bucket b>0 holds [2^(b-1), 2^b) — so record() is a bit-width
+/// plus one relaxed fetch_add, with no configuration to mismatch across
+/// shards.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit widths 0..64
+
+  Histogram() = default;
+  Histogram(const Histogram& other) noexcept { assign(other); }
+  Histogram& operator=(const Histogram& other) noexcept {
+    assign(other);
+    return *this;
+  }
+
+  void record(std::uint64_t sample) noexcept {
+    if constexpr (kEnabled) {
+      buckets_[bucket_of(sample)].fetch_add(1, std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      sum_.fetch_add(sample, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper edge of bucket b (0, 1, 3, 7, ...).
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(
+      std::size_t b) noexcept {
+    return b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+  }
+
+  [[nodiscard]] static constexpr std::size_t bucket_of(
+      std::uint64_t sample) noexcept {
+    std::size_t width = 0;
+    while (sample != 0) {
+      ++width;
+      sample >>= 1;
+    }
+    return width;
+  }
+
+  /// Merge another histogram's mass into this one (shard roll-up).
+  void merge(const Histogram& other) noexcept {
+    if constexpr (kEnabled) {
+      for (std::size_t b = 0; b < kBuckets; ++b)
+        buckets_[b].fetch_add(other.bucket(b), std::memory_order_relaxed);
+      count_.fetch_add(other.count(), std::memory_order_relaxed);
+      sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  void assign(const Histogram& other) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b)
+      buckets_[b].store(other.bucket(b), std::memory_order_relaxed);
+    count_.store(other.count(), std::memory_order_relaxed);
+    sum_.store(other.sum(), std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// A flattened, named view of every instrument a component tree exported
+/// — the unit of reporting. Components append under dotted prefixes
+/// ("cache.hits", "shard2.ring.push_backpressure"); the snapshot renders
+/// to JSON for bench artifacts and the metrics_dump example.
+class MetricsSnapshot {
+ public:
+  struct Sample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::uint64_t value = 0;
+    std::uint64_t high_water = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// (inclusive upper edge, count) for every non-empty bucket.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+
+  void add_counter(std::string name, std::uint64_t value);
+  void add_counter(std::string name, const Counter& counter) {
+    add_counter(std::move(name), counter.value());
+  }
+  void add_gauge(std::string name, std::uint64_t value,
+                 std::uint64_t high_water);
+  void add_gauge(std::string name, const Gauge& gauge) {
+    add_gauge(std::move(name), gauge.value(), gauge.high_water());
+  }
+  void add_histogram(std::string name, const Histogram& histogram);
+
+  [[nodiscard]] const std::vector<Sample>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::vector<GaugeSample>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::vector<HistogramSample>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  /// Value of a named counter or gauge; 0 when absent (see has()).
+  [[nodiscard]] std::uint64_t value(std::string_view name) const noexcept;
+  [[nodiscard]] bool has(std::string_view name) const noexcept;
+
+  /// Render as one JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}. Names are emitted as-is (the instrumentation
+  /// uses only [A-Za-z0-9_.] names, so no escaping is required).
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<Sample> counters_;
+  std::vector<GaugeSample> gauges_;
+  std::vector<HistogramSample> histograms_;
+};
+
+}  // namespace caesar::metrics

@@ -18,6 +18,8 @@
 #include <span>
 #include <vector>
 
+#include "common/metrics.hpp"
+
 namespace caesar {
 
 template <typename T>
@@ -46,7 +48,10 @@ class SpscRing {
     const std::uint64_t t = tail_.load(std::memory_order_relaxed);
     if (t - cached_head_ >= buffer_.size()) {
       cached_head_ = head_.load(std::memory_order_acquire);
-      if (t - cached_head_ >= buffer_.size()) return false;
+      if (t - cached_head_ >= buffer_.size()) {
+        push_backpressure_.inc();
+        return false;
+      }
     }
     buffer_[t & mask_] = value;
     tail_.store(t + 1, std::memory_order_release);
@@ -64,6 +69,7 @@ class SpscRing {
     }
     const std::size_t n =
         items.size() < free ? items.size() : static_cast<std::size_t>(free);
+    if (n < items.size()) push_backpressure_.inc();
     for (std::size_t i = 0; i < n; ++i) buffer_[(t + i) & mask_] = items[i];
     tail_.store(t + n, std::memory_order_release);
     return n;
@@ -99,12 +105,34 @@ class SpscRing {
 
   /// Snapshot occupancy. Exact only when the opposite side is quiescent
   /// (e.g. the producer has finished); advisory otherwise.
+  ///
+  /// The head must be loaded BEFORE the tail: head only grows toward
+  /// tail, so a stale head overstates the size by at most the pops that
+  /// raced the two loads. The reverse order loads a stale tail, and a
+  /// concurrent push+pop pair between the loads makes `tail - head`
+  /// underflow to ~2^64 — empty() then reports false on an empty ring
+  /// (regression-pinned in tests/common/spsc_ring_test.cpp).
   [[nodiscard]] std::size_t size_approx() const noexcept {
-    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
-                                    head_.load(std::memory_order_acquire));
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
   }
 
   [[nodiscard]] bool empty() const noexcept { return size_approx() == 0; }
+
+  /// Times a push found the ring full (try_push failed, or try_push_bulk
+  /// accepted only a prefix) — the producer-side backpressure signal.
+  [[nodiscard]] std::uint64_t push_backpressure() const noexcept {
+    return push_backpressure_.value();
+  }
+
+  void collect_metrics(metrics::MetricsSnapshot& snapshot,
+                       const std::string& prefix) const {
+    snapshot.add_counter(prefix + "push_backpressure", push_backpressure_);
+    snapshot.add_gauge(prefix + "occupancy",
+                       static_cast<std::uint64_t>(size_approx()),
+                       static_cast<std::uint64_t>(size_approx()));
+  }
 
  private:
   std::vector<T> buffer_;
@@ -116,6 +144,8 @@ class SpscRing {
   alignas(64) std::atomic<std::uint64_t> tail_{0};   // producer position
   alignas(64) std::uint64_t cached_head_ = 0;        // producer's view
   alignas(64) std::uint64_t cached_tail_ = 0;        // consumer's view
+  // Off the hot path: bumped only when a push observes a full ring.
+  metrics::Counter push_backpressure_;
 };
 
 }  // namespace caesar

@@ -50,12 +50,15 @@ void CaesarSketch::add_batch(std::span<const FlowId> flows) {
     const std::size_t n = std::min(kChunk, flows.size());
     cache_.process_batch(flows.first(n), spill_);
     flows = flows.subspan(n);
+    spill_metrics_.depth.observe(spill_.size());
     if (spill_.size() >= config_.spill_capacity) drain_spill();
   }
 }
 
 void CaesarSketch::drain_spill() {
   if (spill_.empty()) return;
+  spill_metrics_.drains.inc();
+  spill_metrics_.drain_size.record(spill_.size());
   const std::size_t k = config_.k;
   std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
   std::array<Count, hash::KIndexSelector::kMaxK> delta{};
@@ -88,6 +91,8 @@ void CaesarSketch::drain_spill() {
       sum += scratch_[i].delta;
     scratch_[out++] = {index, sum};
   }
+  spill_metrics_.raw_deltas.add(scratch_.size());
+  spill_metrics_.coalesced_writes.add(out);
   sram_.add_batch(
       std::span<const counters::IndexedDelta>(scratch_.data(), out));
 }
@@ -136,33 +141,52 @@ std::vector<Count> CaesarSketch::counter_values(FlowId flow) const {
   return w;
 }
 
-double CaesarSketch::estimate_csm(FlowId flow) const {
+namespace {
+// Query-facing clamp: sizes are non-negative, so negative de-noised
+// values (possible for tiny flows) report as zero. Evaluation code uses
+// the *_raw variants instead — see the header note.
+ConfidenceInterval clamp_interval(ConfidenceInterval ci) noexcept {
+  ci.lo = std::max(ci.lo, 0.0);
+  ci.hi = std::max(ci.hi, 0.0);
+  return ci;
+}
+}  // namespace
+
+double CaesarSketch::estimate_csm_raw(FlowId flow) const {
   const auto w = counter_values(flow);
   return csm_estimate(w, estimator_params());
 }
 
-double CaesarSketch::estimate_mlm(FlowId flow) const {
+double CaesarSketch::estimate_mlm_raw(FlowId flow) const {
   const auto w = counter_values(flow);
   return mlm_estimate(w, estimator_params());
+}
+
+double CaesarSketch::estimate_csm(FlowId flow) const {
+  return std::max(estimate_csm_raw(flow), 0.0);
+}
+
+double CaesarSketch::estimate_mlm(FlowId flow) const {
+  return std::max(estimate_mlm_raw(flow), 0.0);
 }
 
 ConfidenceInterval CaesarSketch::interval_csm(FlowId flow,
                                               double alpha) const {
   const auto w = counter_values(flow);
-  return csm_interval(w, estimator_params(), alpha);
+  return clamp_interval(csm_interval(w, estimator_params(), alpha));
 }
 
 ConfidenceInterval CaesarSketch::interval_mlm(FlowId flow,
                                               double alpha) const {
   const auto w = counter_values(flow);
-  return mlm_interval(w, estimator_params(), alpha);
+  return clamp_interval(mlm_interval(w, estimator_params(), alpha));
 }
 
 ConfidenceInterval CaesarSketch::interval_csm_empirical(FlowId flow,
                                                         double alpha) const {
   const auto w = counter_values(flow);
-  return csm_interval_empirical(w, estimator_params(),
-                                sram_.sample_variance(), alpha);
+  return clamp_interval(csm_interval_empirical(
+      w, estimator_params(), sram_.sample_variance(), alpha));
 }
 
 double CaesarSketch::estimate_flow_count() const {
@@ -250,6 +274,23 @@ void CaesarSketch::merge(const CaesarSketch& other) {
   packets_ += other.packets_;
   sram_packets_ += other.sram_packets_;
   hash_ops_ += other.hash_ops_;
+}
+
+void CaesarSketch::collect_metrics(metrics::MetricsSnapshot& snapshot,
+                                   const std::string& prefix) const {
+  cache_.collect_metrics(snapshot, prefix + "cache.");
+  sram_.collect_metrics(snapshot, prefix + "sram.");
+  snapshot.add_gauge(prefix + "spill.depth", spill_.size(),
+                     spill_metrics_.depth.high_water());
+  snapshot.add_counter(prefix + "spill.drains", spill_metrics_.drains);
+  snapshot.add_counter(prefix + "spill.raw_deltas",
+                       spill_metrics_.raw_deltas);
+  snapshot.add_counter(prefix + "spill.coalesced_writes",
+                       spill_metrics_.coalesced_writes);
+  snapshot.add_histogram(prefix + "spill.drain_size",
+                         spill_metrics_.drain_size);
+  snapshot.add_counter(prefix + "packets", packets_);
+  snapshot.add_counter(prefix + "packets_in_sram", sram_packets_);
 }
 
 memsim::OpCounts CaesarSketch::op_counts() const noexcept {

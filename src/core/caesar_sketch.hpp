@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cache/cache_table.hpp"
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 #include "core/estimators.hpp"
 #include "counters/counter_array.hpp"
@@ -85,11 +86,24 @@ class CaesarSketch {
   void flush();
 
   // --- offline query phase ----------------------------------------------
-  /// CSM estimate of the flow's size (Eq. 20). Negative estimates are
-  /// possible for tiny flows by construction; callers may clamp.
+  // Flow sizes are non-negative, so the query API clamps at zero: the
+  // de-noised CSM/MLM estimates (and interval bounds) can go slightly
+  // negative for tiny flows by construction, and reporting "-3 packets"
+  // to a consumer is never right. The *_raw variants keep the signed
+  // values — evaluation code must use them, because clamping introduces
+  // a positive bias that would corrupt bias/unbiasedness measurements
+  // (see DESIGN.md "Clamped queries, raw evaluation").
+  /// CSM estimate of the flow's size (Eq. 20), clamped at zero.
   [[nodiscard]] double estimate_csm(FlowId flow) const;
-  /// MLM estimate (closed form below Eq. 28).
+  /// MLM estimate (closed form below Eq. 28), clamped at zero.
   [[nodiscard]] double estimate_mlm(FlowId flow) const;
+  /// Unclamped CSM estimate — possibly negative; use for bias analysis.
+  [[nodiscard]] double estimate_csm_raw(FlowId flow) const;
+  /// Unclamped MLM estimate — possibly negative; use for bias analysis.
+  [[nodiscard]] double estimate_mlm_raw(FlowId flow) const;
+  /// Confidence intervals with both bounds clamped at zero (the raw
+  /// intervals remain available through core::csm_interval /
+  /// core::mlm_interval over counter_values()).
   [[nodiscard]] ConfidenceInterval interval_csm(FlowId flow,
                                                 double alpha) const;
   [[nodiscard]] ConfidenceInterval interval_mlm(FlowId flow,
@@ -140,6 +154,15 @@ class CaesarSketch {
   /// Operation counts for the timing model (construction phase only).
   [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
 
+  /// Append the whole sketch's instruments to `snapshot` under `prefix`:
+  /// "<prefix>cache.*" (hit/miss/eviction causes), "<prefix>sram.*"
+  /// (accesses, saturations, zero counters), and "<prefix>spill.*" —
+  /// queue-depth high-water mark, drains, and raw vs. coalesced SRAM
+  /// write counts from the batched path. Collection is read-only and may
+  /// be called at any time, including mid-measurement.
+  void collect_metrics(metrics::MetricsSnapshot& snapshot,
+                       const std::string& prefix = "") const;
+
   /// Persist the query-phase state (config + SRAM counters + totals) so
   /// an offline host can load and query it. The cache must be empty:
   /// call flush() first (throws std::logic_error otherwise).
@@ -173,6 +196,18 @@ class CaesarSketch {
   cache::EvictionSink spill_;
   /// Drain scratch: per-counter deltas before and after coalescing.
   std::vector<counters::IndexedDelta> scratch_;
+
+  // Observability — updated once per drain, never per packet, and never
+  // consulted by the datapath (results are bit-identical with metrics on
+  // or off).
+  struct SpillMetrics {
+    metrics::Gauge depth;            ///< spill depth; high-water = HWM
+    metrics::Counter drains;         ///< drain_spill() invocations
+    metrics::Counter raw_deltas;     ///< (index, delta) records pre-merge
+    metrics::Counter coalesced_writes;  ///< SRAM RMWs actually issued
+    metrics::Histogram drain_size;   ///< evictions consumed per drain
+  };
+  SpillMetrics spill_metrics_;
 };
 
 }  // namespace caesar::core

@@ -1,5 +1,6 @@
 #include "core/epoch_manager.hpp"
 
+#include <algorithm>
 #include <array>
 
 namespace caesar::core {
@@ -19,12 +20,20 @@ std::vector<Count> EpochSnapshot::counter_values(FlowId flow) const {
   return w;
 }
 
-double EpochSnapshot::estimate_csm(FlowId flow) const {
+double EpochSnapshot::estimate_csm_raw(FlowId flow) const {
   return csm_estimate(counter_values(flow), params_);
 }
 
-double EpochSnapshot::estimate_mlm(FlowId flow) const {
+double EpochSnapshot::estimate_mlm_raw(FlowId flow) const {
   return mlm_estimate(counter_values(flow), params_);
+}
+
+double EpochSnapshot::estimate_csm(FlowId flow) const {
+  return std::max(estimate_csm_raw(flow), 0.0);
+}
+
+double EpochSnapshot::estimate_mlm(FlowId flow) const {
+  return std::max(estimate_mlm_raw(flow), 0.0);
 }
 
 EpochManager::EpochManager(const CaesarConfig& config, std::size_t max_epochs)

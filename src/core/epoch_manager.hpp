@@ -20,8 +20,12 @@ class EpochSnapshot {
   EpochSnapshot(counters::CounterArray sram, EstimatorParams params,
                 const CaesarConfig& config);
 
+  /// Clamped-at-zero query API; the *_raw variants keep the signed
+  /// values for evaluation code (see CaesarSketch's header note).
   [[nodiscard]] double estimate_csm(FlowId flow) const;
   [[nodiscard]] double estimate_mlm(FlowId flow) const;
+  [[nodiscard]] double estimate_csm_raw(FlowId flow) const;
+  [[nodiscard]] double estimate_mlm_raw(FlowId flow) const;
   [[nodiscard]] Count packets() const noexcept {
     return static_cast<Count>(params_.total_packets);
   }
@@ -62,7 +66,10 @@ class EpochManager {
   }
 
   /// Sum of a flow's CSM estimates across all retained epochs — the
-  /// long-horizon size of a persistent flow.
+  /// long-horizon size of a persistent flow. Sums the clamped per-epoch
+  /// estimates: a flow absent from an epoch contributes ~0 instead of a
+  /// negative noise term, so the total cannot drift below zero as the
+  /// retained history grows.
   [[nodiscard]] double estimate_csm_total(FlowId flow) const;
 
  private:

@@ -21,6 +21,7 @@ ShardedCaesar::ShardedCaesar(const CaesarConfig& per_shard,
     cfg.seed = per_shard.seed ^ (0x9e3779b97f4a7c15ULL * (s + 1));
     shards_.emplace_back(cfg);
   }
+  ingest_metrics_ = std::vector<ShardIngestMetrics>(shards);
   // The routing hash must be independent of every in-shard hash; derive
   // it from the base seed with a distinct tweak.
   route_seed_ = per_shard.seed ^ 0x517cc1b727220a95ULL;
@@ -53,6 +54,7 @@ void ShardedCaesar::add_parallel(std::span<const FlowId> flows,
   // bit-identical to per-packet adds, so the final counters match a
   // sequential run exactly.
   const std::size_t num_shards = shards_.size();
+  parallel_batches_.inc();
   constexpr std::size_t kRingCapacity = 8192;
   constexpr std::size_t kRouteChunk = 256;   // router-side staging per shard
   constexpr std::size_t kWorkerChunk = 2048; // worker-side pop batch
@@ -74,6 +76,8 @@ void ShardedCaesar::add_parallel(std::span<const FlowId> flows,
           const std::size_t n = rings[s]->try_pop_bulk(std::span<FlowId>(buf));
           if (n > 0) {
             shards_[s].add_batch(std::span<const FlowId>(buf.data(), n));
+            ingest_metrics_[s].worker_batches.inc();
+            ingest_metrics_[s].batch_size.record(n);
             any = true;
           }
         }
@@ -99,6 +103,7 @@ void ShardedCaesar::add_parallel(std::span<const FlowId> flows,
   std::vector<std::vector<FlowId>> staged(num_shards);
   for (auto& b : staged) b.reserve(kRouteChunk);
   const auto flush_staged = [&](std::size_t s) {
+    ingest_metrics_[s].packets_routed.add(staged[s].size());
     std::span<const FlowId> pending(staged[s]);
     while (!pending.empty()) {
       pending = pending.subspan(rings[s]->try_push_bulk(pending));
@@ -114,6 +119,11 @@ void ShardedCaesar::add_parallel(std::span<const FlowId> flows,
   for (std::size_t s = 0; s < num_shards; ++s) flush_staged(s);
   done.store(true, std::memory_order_release);
   for (auto& worker : workers) worker.join();
+  // The rings die with this call; fold their backpressure counts into
+  // the per-shard aggregates first (workers have joined, so the reads
+  // are exact).
+  for (std::size_t s = 0; s < num_shards; ++s)
+    ingest_metrics_[s].ring_backpressure.add(rings[s]->push_backpressure());
 }
 
 void ShardedCaesar::flush() {
@@ -126,6 +136,14 @@ double ShardedCaesar::estimate_csm(FlowId flow) const {
 
 double ShardedCaesar::estimate_mlm(FlowId flow) const {
   return shards_[shard_of(flow)].estimate_mlm(flow);
+}
+
+double ShardedCaesar::estimate_csm_raw(FlowId flow) const {
+  return shards_[shard_of(flow)].estimate_csm_raw(flow);
+}
+
+double ShardedCaesar::estimate_mlm_raw(FlowId flow) const {
+  return shards_[shard_of(flow)].estimate_mlm_raw(flow);
 }
 
 ConfidenceInterval ShardedCaesar::interval_csm(FlowId flow,
@@ -153,6 +171,36 @@ double ShardedCaesar::memory_kb() const noexcept {
   double total = 0.0;
   for (const auto& shard : shards_) total += shard.memory_kb();
   return total;
+}
+
+void ShardedCaesar::collect_metrics(metrics::MetricsSnapshot& snapshot,
+                                    const std::string& prefix) const {
+  snapshot.add_counter(prefix + "pipeline.parallel_batches",
+                       parallel_batches_);
+  metrics::Counter routed_total, backpressure_total, batches_total;
+  metrics::Histogram batch_size_total;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& m = ingest_metrics_[s];
+    const std::string shard_prefix = prefix + "shard" + std::to_string(s) + ".";
+    snapshot.add_counter(shard_prefix + "pipeline.packets_routed",
+                         m.packets_routed);
+    snapshot.add_counter(shard_prefix + "pipeline.ring_backpressure",
+                         m.ring_backpressure);
+    snapshot.add_counter(shard_prefix + "pipeline.worker_batches",
+                         m.worker_batches);
+    snapshot.add_histogram(shard_prefix + "pipeline.batch_size",
+                           m.batch_size);
+    shards_[s].collect_metrics(snapshot, shard_prefix);
+    routed_total.add(m.packets_routed.value());
+    backpressure_total.add(m.ring_backpressure.value());
+    batches_total.add(m.worker_batches.value());
+    batch_size_total.merge(m.batch_size);
+  }
+  snapshot.add_counter(prefix + "pipeline.packets_routed", routed_total);
+  snapshot.add_counter(prefix + "pipeline.ring_backpressure",
+                       backpressure_total);
+  snapshot.add_counter(prefix + "pipeline.worker_batches", batches_total);
+  snapshot.add_histogram(prefix + "pipeline.batch_size", batch_size_total);
 }
 
 memsim::OpCounts ShardedCaesar::op_counts() const noexcept {

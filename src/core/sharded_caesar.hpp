@@ -42,8 +42,12 @@ class ShardedCaesar {
 
   void flush();
 
+  // Clamped-at-zero query API; *_raw forwards keep the signed values for
+  // evaluation code (see CaesarSketch's header note).
   [[nodiscard]] double estimate_csm(FlowId flow) const;
   [[nodiscard]] double estimate_mlm(FlowId flow) const;
+  [[nodiscard]] double estimate_csm_raw(FlowId flow) const;
+  [[nodiscard]] double estimate_mlm_raw(FlowId flow) const;
   [[nodiscard]] ConfidenceInterval interval_csm(FlowId flow,
                                                 double alpha) const;
   [[nodiscard]] ConfidenceInterval interval_mlm(FlowId flow,
@@ -59,8 +63,27 @@ class ShardedCaesar {
     return shards_[index];
   }
 
+  /// Append pipeline + per-shard instruments to `snapshot`:
+  /// "pipeline.*" (parallel batches, routed packets, ring backpressure,
+  /// worker pop-batch sizes) and "shard<i>.*" (each shard's full
+  /// CaesarSketch tree). Call between (not during) add_parallel() calls.
+  void collect_metrics(metrics::MetricsSnapshot& snapshot,
+                       const std::string& prefix = "") const;
+
  private:
+  // Streaming-pipeline observability, aggregated over add_parallel()
+  // calls. Worker-side instruments are sharded (each shard is owned by
+  // exactly one worker per call) and atomic, so the roll-up is race-free.
+  struct ShardIngestMetrics {
+    metrics::Counter packets_routed;     ///< packets staged to this shard
+    metrics::Counter ring_backpressure;  ///< full-ring push observations
+    metrics::Counter worker_batches;     ///< non-empty pops by the worker
+    metrics::Histogram batch_size;       ///< packets per non-empty pop
+  };
+
   std::vector<CaesarSketch> shards_;
+  std::vector<ShardIngestMetrics> ingest_metrics_;
+  metrics::Counter parallel_batches_;
   std::uint64_t route_seed_;
 };
 

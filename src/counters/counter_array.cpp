@@ -121,6 +121,15 @@ void CounterArray::merge(const CounterArray& other) {
     apply_add(i, other.values_[i]);
 }
 
+void CounterArray::collect_metrics(metrics::MetricsSnapshot& snapshot,
+                                   const std::string& prefix) const {
+  snapshot.add_counter(prefix + "reads", reads());
+  snapshot.add_counter(prefix + "writes", writes_);
+  snapshot.add_counter(prefix + "saturations", saturations_);
+  snapshot.add_gauge(prefix + "zero_counters", zeros_, zeros_);
+  snapshot.add_gauge(prefix + "counters", values_.size(), values_.size());
+}
+
 namespace {
 constexpr std::uint64_t kMagic = 0x4341455341524332ULL;  // "CAESARC2"
 }

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 
 namespace caesar::counters {
@@ -103,6 +104,13 @@ class CounterArray {
   [[nodiscard]] std::uint64_t saturations() const noexcept {
     return saturations_;
   }
+
+  /// Append this array's instruments to `snapshot` under `prefix`
+  /// (e.g. "sram."): modeled accesses, saturation events, and the
+  /// still-zero counter population — all maintained by the existing
+  /// accounting, so exporting costs nothing on the write path.
+  void collect_metrics(metrics::MetricsSnapshot& snapshot,
+                       const std::string& prefix) const;
 
  private:
   void apply_add(std::uint64_t index, Count delta) noexcept;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace caesar {
 namespace {
@@ -26,6 +27,41 @@ TEST(InverseNormalCdf, ExtremeTails) {
   EXPECT_TRUE(std::isinf(inverse_normal_cdf(1.0)));
   EXPECT_LT(inverse_normal_cdf(1e-10), -6.0);
   EXPECT_GT(inverse_normal_cdf(1.0 - 1e-10), 6.0);
+}
+
+TEST(InverseNormalCdf, DeepTailsStayFinite) {
+  // Regression: the Halley refinement evaluated exp(x*x/2), which
+  // overflows to +inf for |x| > ~37.6 and turned deep-tail quantiles
+  // into NaN. The refinement is now skipped for |x| >= 6 where the
+  // Acklam seed is already accurate to ~1e-9.
+  const double deep[] = {1e-20, 1e-50, 1e-100, 1e-200, 1e-300,
+                         5e-324 /* smallest denormal */};
+  for (double p : deep) {
+    const double lo = inverse_normal_cdf(p);
+    const double hi = inverse_normal_cdf(1.0 - p);
+    EXPECT_FALSE(std::isnan(lo)) << "p=" << p;
+    EXPECT_TRUE(std::isfinite(lo)) << "p=" << p;
+    EXPECT_LT(lo, -9.0) << "p=" << p;
+    // 1.0 - p rounds to 1.0 for p below ~1e-17; then +inf is correct.
+    EXPECT_FALSE(std::isnan(hi)) << "p=" << p;
+    if (1.0 - p < 1.0) {
+      EXPECT_GT(hi, 9.0) << "p=" << p;
+    }
+  }
+  // Known deep-tail quantile: Phi(-37.0) ~ 5.725e-300.
+  EXPECT_NEAR(inverse_normal_cdf(5.725571e-300), -37.0, 1e-2);
+}
+
+TEST(InverseNormalCdf, MonotoneThroughRefinementCutoff) {
+  // The refined (|x| < 6) and unrefined (|x| >= 6) branches must join
+  // without breaking monotonicity: ~|x|=6 corresponds to p ~ 1e-9.
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double p = 1e-12; p < 1e-6; p *= 1.07) {
+    const double x = inverse_normal_cdf(p);
+    EXPECT_FALSE(std::isnan(x)) << "p=" << p;
+    EXPECT_GE(x, prev) << "p=" << p;
+    prev = x;
+  }
 }
 
 TEST(ZValue, CommonConfidenceLevels) {

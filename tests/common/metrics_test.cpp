@@ -1,0 +1,199 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace caesar::metrics {
+namespace {
+
+// The mutation methods are compile-time no-ops under
+// -DCAESAR_METRICS=OFF; the value-reading assertions below only hold in
+// an enabled build, so they are gated on kEnabled. Structural behaviour
+// (copyability, snapshot bookkeeping, JSON shape) is asserted in both.
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  if (kEnabled)
+    EXPECT_EQ(c.value(), 42u);
+  else
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, CopyTakesASnapshotOfTheValue) {
+  Counter a;
+  a.add(7);
+  Counter b = a;  // must compile despite the atomic member
+  EXPECT_EQ(b.value(), a.value());
+  b.inc();
+  if (kEnabled) {
+    EXPECT_EQ(b.value(), 8u);
+    EXPECT_EQ(a.value(), 7u);  // independent after the copy
+  }
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossFree) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i)
+    workers.emplace_back([&c] {
+      for (std::uint64_t n = 0; n < kPerThread; ++n) c.inc();
+    });
+  for (auto& w : workers) w.join();
+  if (kEnabled) {
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+  }
+}
+
+TEST(Gauge, TracksValueAndHighWater) {
+  Gauge g;
+  g.set(10);
+  g.set(3);
+  if (kEnabled) {
+    EXPECT_EQ(g.value(), 3u);
+    EXPECT_EQ(g.high_water(), 10u);
+  }
+  g.observe(99);  // raises the mark without touching the value
+  if (kEnabled) {
+    EXPECT_EQ(g.value(), 3u);
+    EXPECT_EQ(g.high_water(), 99u);
+  }
+  g.observe(1);  // below the mark: no effect
+  if (kEnabled) {
+    EXPECT_EQ(g.high_water(), 99u);
+  }
+}
+
+TEST(Histogram, BucketOfIsBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(255), 8u);
+  EXPECT_EQ(Histogram::bucket_of(256), 9u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+}
+
+TEST(Histogram, BucketUpperEdgesAreInclusive) {
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(8), 255u);
+  EXPECT_EQ(Histogram::bucket_upper(64), ~std::uint64_t{0});
+  // Every sample lands in the bucket whose upper edge covers it.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 100ull, 65'536ull}) {
+    const std::size_t b = Histogram::bucket_of(v);
+    EXPECT_LE(v, Histogram::bucket_upper(b)) << "v=" << v;
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper(b - 1)) << "v=" << v;
+    }
+  }
+}
+
+TEST(Histogram, RecordAccumulatesCountSumAndBuckets) {
+  Histogram h;
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  h.record(1000);
+  if (kEnabled) {
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 1010u);
+    EXPECT_DOUBLE_EQ(h.mean(), 252.5);
+    EXPECT_EQ(h.bucket(Histogram::bucket_of(0)), 1u);
+    EXPECT_EQ(h.bucket(Histogram::bucket_of(5)), 2u);
+    EXPECT_EQ(h.bucket(Histogram::bucket_of(1000)), 1u);
+  } else {
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  }
+}
+
+TEST(Histogram, MergeFoldsShardMass) {
+  Histogram a, b;
+  a.record(3);
+  a.record(70);
+  b.record(3);
+  a.merge(b);
+  if (kEnabled) {
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.sum(), 76u);
+    EXPECT_EQ(a.bucket(Histogram::bucket_of(3)), 2u);
+  }
+}
+
+TEST(MetricsSnapshot, LooksUpByName) {
+  MetricsSnapshot snap;
+  snap.add_counter("cache.hits", 12);
+  snap.add_gauge("spill.depth", 3, 9);
+  EXPECT_TRUE(snap.has("cache.hits"));
+  EXPECT_TRUE(snap.has("spill.depth"));
+  EXPECT_FALSE(snap.has("cache.misses"));
+  EXPECT_EQ(snap.value("cache.hits"), 12u);
+  EXPECT_EQ(snap.value("spill.depth"), 3u);
+  EXPECT_EQ(snap.value("nope"), 0u);
+}
+
+TEST(MetricsSnapshot, CollectsLiveInstruments) {
+  Counter c;
+  c.add(5);
+  Gauge g;
+  g.set(2);
+  g.observe(17);
+  Histogram h;
+  h.record(4);
+  MetricsSnapshot snap;
+  snap.add_counter("c", c);
+  snap.add_gauge("g", g);
+  snap.add_histogram("h", h);
+  ASSERT_EQ(snap.counters().size(), 1u);
+  ASSERT_EQ(snap.gauges().size(), 1u);
+  ASSERT_EQ(snap.histograms().size(), 1u);
+  if (kEnabled) {
+    EXPECT_EQ(snap.value("c"), 5u);
+    EXPECT_EQ(snap.gauges()[0].high_water, 17u);
+    EXPECT_EQ(snap.histograms()[0].count, 1u);
+    EXPECT_EQ(snap.histograms()[0].sum, 4u);
+  }
+}
+
+TEST(MetricsSnapshot, JsonHasAllThreeSections) {
+  MetricsSnapshot snap;
+  snap.add_counter("pipe.packets", 100);
+  snap.add_gauge("ring.depth", 4, 64);
+  Histogram h;
+  h.record(10);
+  snap.add_histogram("batch_size", h);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"pipe.packets\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"high_water\": 64"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_size\""), std::string::npos);
+
+  std::ostringstream os;
+  snap.write_json(os);
+  EXPECT_EQ(os.str(), json);
+}
+
+TEST(MetricsSnapshot, EmptySnapshotIsStillValidJson) {
+  MetricsSnapshot snap;
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": {}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caesar::metrics

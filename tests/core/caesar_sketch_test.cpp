@@ -165,6 +165,50 @@ TEST(CaesarSketch, ConfidenceIntervalsContainEstimate) {
   EXPECT_GE(mlm.hi, est_mlm);
 }
 
+TEST(CaesarSketch, QueryApiClampsAtZeroRawKeepsSign) {
+  // Flow sizes are non-negative, so estimate_csm/mlm clamp at zero while
+  // the *_raw variants keep the signed de-noised value for evaluation
+  // code (DESIGN.md "Clamped queries, raw evaluation"). Query flows that
+  // were never inserted: their counters hold pure sharing noise, so the
+  // noise-subtracted raw estimate goes negative for many of them.
+  CaesarSketch sketch(small_config());
+  Xoshiro256pp rng(8);
+  for (int i = 0; i < 40000; ++i) sketch.add(rng.below(300));
+  sketch.flush();
+
+  int negative_raw = 0;
+  for (FlowId f = 1'000'000; f < 1'000'200; ++f) {  // absent flows
+    const double raw_csm = sketch.estimate_csm_raw(f);
+    const double raw_mlm = sketch.estimate_mlm_raw(f);
+    if (raw_csm < 0.0) ++negative_raw;
+    // The clamped query is exactly max(raw, 0) — no other change.
+    EXPECT_EQ(sketch.estimate_csm(f), std::max(raw_csm, 0.0));
+    EXPECT_EQ(sketch.estimate_mlm(f), std::max(raw_mlm, 0.0));
+    EXPECT_GE(sketch.estimate_csm(f), 0.0);
+    EXPECT_GE(sketch.estimate_mlm(f), 0.0);
+    const auto ci = sketch.interval_csm(f, 0.95);
+    EXPECT_GE(ci.lo, 0.0);
+    EXPECT_GE(ci.hi, 0.0);
+    EXPECT_LE(ci.lo, ci.hi);
+    const auto mi = sketch.interval_mlm(f, 0.95);
+    EXPECT_GE(mi.lo, 0.0);
+    EXPECT_GE(mi.hi, 0.0);
+  }
+  // The clamp must actually bind somewhere, or this test checks nothing.
+  EXPECT_GT(negative_raw, 0);
+  // Where the raw estimate is positive the clamp is a no-op: the two
+  // queries agree bit for bit.
+  int positive_raw = 0;
+  for (FlowId f = 0; f < 300; ++f) {
+    const double raw = sketch.estimate_csm_raw(f);
+    if (raw > 0.0) {
+      ++positive_raw;
+      EXPECT_EQ(sketch.estimate_csm(f), raw);
+    }
+  }
+  EXPECT_GT(positive_raw, 0);
+}
+
 TEST(CaesarSketch, MemoryFootprintSumsCacheAndSram) {
   const CaesarSketch sketch(small_config());
   EXPECT_NEAR(sketch.memory_kb(),

@@ -1,0 +1,194 @@
+// The observability layer's core guarantee: metrics never perturb
+// results. Collecting a snapshot — even repeatedly, mid-measurement —
+// must leave every counter value and every estimate bit-identical to a
+// run that never looks at the metrics. (Cross-build equivalence, metrics
+// compiled ON vs. OFF, is checked in CI by diffing the metrics_dump
+// example's "estimates" array between the two builds.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/caesar_sketch.hpp"
+#include "core/sharded_caesar.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::core {
+namespace {
+
+trace::TraceConfig test_trace() {
+  trace::TraceConfig c;
+  c.num_flows = 4000;
+  c.mean_flow_size = 18.0;
+  c.max_flow_size = 15000;
+  c.seed = 909;
+  return c;
+}
+
+CaesarConfig test_sketch() {
+  CaesarConfig c;
+  c.cache_entries = 400;  // heavy replacement pressure: many evictions
+  c.entry_capacity = 25;
+  c.num_counters = 2000;
+  c.counter_bits = 20;
+  c.k = 3;
+  c.seed = 7;
+  return c;
+}
+
+std::uint64_t fnv_fold_sram(const CaesarSketch& sketch) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint64_t i = 0; i < sketch.sram().size(); ++i) {
+    h ^= sketch.sram().peek(i);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(MetricsDeterminism, CollectionNeverPerturbsBatchedResults) {
+  const auto t = trace::generate_trace(test_trace());
+  std::vector<FlowId> packets;
+  packets.reserve(t.num_packets());
+  for (auto idx : t.arrivals()) packets.push_back(t.id_of(idx));
+
+  CaesarSketch quiet(test_sketch());    // never observed
+  CaesarSketch watched(test_sketch());  // snapshotted mid-measurement
+
+  const std::size_t kChunk = 4096;
+  for (std::size_t off = 0; off < packets.size(); off += kChunk) {
+    const std::size_t n = std::min(kChunk, packets.size() - off);
+    const std::span<const FlowId> chunk(packets.data() + off, n);
+    quiet.add_batch(chunk);
+    watched.add_batch(chunk);
+    metrics::MetricsSnapshot mid;  // collect between every chunk
+    watched.collect_metrics(mid);
+  }
+  quiet.flush();
+  watched.flush();
+  metrics::MetricsSnapshot final_snap;
+  watched.collect_metrics(final_snap);
+
+  ASSERT_EQ(fnv_fold_sram(quiet), fnv_fold_sram(watched));
+  for (std::uint32_t i = 0; i < t.num_flows(); i += 97) {
+    const FlowId f = t.id_of(i);
+    // EXPECT_EQ on doubles: bit-identical, not merely close.
+    ASSERT_EQ(quiet.estimate_csm(f), watched.estimate_csm(f));
+    ASSERT_EQ(quiet.estimate_mlm(f), watched.estimate_mlm(f));
+    ASSERT_EQ(quiet.estimate_csm_raw(f), watched.estimate_csm_raw(f));
+    const auto a = quiet.interval_csm(f, 0.95);
+    const auto b = watched.interval_csm(f, 0.95);
+    ASSERT_EQ(a.lo, b.lo);
+    ASSERT_EQ(a.hi, b.hi);
+  }
+}
+
+TEST(MetricsDeterminism, CollectionNeverPerturbsShardedResults) {
+  const auto t = trace::generate_trace(test_trace());
+  std::vector<FlowId> packets;
+  packets.reserve(t.num_packets());
+  for (auto idx : t.arrivals()) packets.push_back(t.id_of(idx));
+
+  ShardedCaesar quiet(test_sketch(), 4);
+  ShardedCaesar watched(test_sketch(), 4);
+  quiet.add_parallel(packets);
+  watched.add_parallel(packets);
+  metrics::MetricsSnapshot mid;  // pre-flush collection
+  watched.collect_metrics(mid);
+  quiet.flush();
+  watched.flush();
+  metrics::MetricsSnapshot final_snap;
+  watched.collect_metrics(final_snap);
+
+  for (std::uint32_t i = 0; i < t.num_flows(); i += 97) {
+    const FlowId f = t.id_of(i);
+    ASSERT_EQ(quiet.estimate_csm(f), watched.estimate_csm(f));
+    ASSERT_EQ(quiet.estimate_mlm(f), watched.estimate_mlm(f));
+  }
+}
+
+TEST(MetricsDeterminism, SketchMetricsSatisfyPipelineInvariants) {
+  const auto t = trace::generate_trace(test_trace());
+  std::vector<FlowId> packets;
+  packets.reserve(t.num_packets());
+  for (auto idx : t.arrivals()) packets.push_back(t.id_of(idx));
+
+  CaesarSketch sketch(test_sketch());
+  sketch.add_batch(packets);
+  sketch.flush();
+  metrics::MetricsSnapshot snap;
+  sketch.collect_metrics(snap);
+
+  // CacheStats-backed series exist in every build (they predate the
+  // metrics layer and are not compiled out).
+  EXPECT_EQ(snap.value("cache.packets"), t.num_packets());
+  EXPECT_EQ(snap.value("cache.hits") + snap.value("cache.misses"),
+            snap.value("cache.packets"));
+  EXPECT_EQ(snap.value("packets"), t.num_packets());
+  // Flushed: everything has migrated to SRAM.
+  EXPECT_EQ(snap.value("packets_in_sram"), t.num_packets());
+  EXPECT_GT(snap.value("cache.evictions.replacement"), 0u);
+  EXPECT_GT(snap.value("cache.evictions.flush"), 0u);
+
+  if (metrics::kEnabled) {
+    // Spill instruments are compiled out under CAESAR_METRICS=OFF.
+    EXPECT_GT(snap.value("spill.drains"), 0u);
+    EXPECT_GT(snap.value("spill.raw_deltas"), 0u);
+    // Coalescing can only shrink the write list.
+    EXPECT_LE(snap.value("spill.coalesced_writes"),
+              snap.value("spill.raw_deltas"));
+    EXPECT_GT(snap.value("spill.coalesced_writes"), 0u);
+    ASSERT_TRUE(snap.has("spill.drain_size"));
+    for (const auto& h : snap.histograms()) {
+      if (h.name == "spill.drain_size") {
+        EXPECT_EQ(h.count, snap.value("spill.drains"));
+      }
+    }
+  }
+  // After flush the spill queue is empty (the gauge's live value).
+  EXPECT_TRUE(snap.has("spill.depth"));
+  EXPECT_EQ(snap.value("spill.depth"), 0u);
+}
+
+TEST(MetricsDeterminism, ShardedMetricsRollUpAcrossShards) {
+  const auto t = trace::generate_trace(test_trace());
+  std::vector<FlowId> packets;
+  packets.reserve(t.num_packets());
+  for (auto idx : t.arrivals()) packets.push_back(t.id_of(idx));
+
+  const std::size_t kShards = 4;
+  ShardedCaesar sharded(test_sketch(), kShards);
+  sharded.add_parallel(packets);
+  sharded.flush();
+  metrics::MetricsSnapshot snap;
+  sharded.collect_metrics(snap);
+
+  // Per-shard cache packet counts always sum to the routed total.
+  std::uint64_t shard_packets = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::string p = "shard" + std::to_string(s) + ".";
+    ASSERT_TRUE(snap.has(p + "cache.packets")) << p;
+    shard_packets += snap.value(p + "cache.packets");
+  }
+  EXPECT_EQ(shard_packets, t.num_packets());
+
+  if (metrics::kEnabled) {
+    EXPECT_EQ(snap.value("pipeline.packets_routed"), t.num_packets());
+    EXPECT_EQ(snap.value("pipeline.parallel_batches"), 1u);
+    EXPECT_GT(snap.value("pipeline.worker_batches"), 0u);
+    // The aggregate equals the sum of the per-shard series.
+    std::uint64_t routed = 0, batches = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      const std::string p = "shard" + std::to_string(s) + ".pipeline.";
+      routed += snap.value(p + "packets_routed");
+      batches += snap.value(p + "worker_batches");
+    }
+    EXPECT_EQ(routed, snap.value("pipeline.packets_routed"));
+    EXPECT_EQ(batches, snap.value("pipeline.worker_batches"));
+  }
+}
+
+}  // namespace
+}  // namespace caesar::core

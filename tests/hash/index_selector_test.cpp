@@ -63,6 +63,47 @@ TEST(KIndexSelector, TinyDomainUsesAllSlots) {
   EXPECT_EQ(idx[2], 2u);
 }
 
+TEST(KIndexSelector, FallbackStepStillYieldsDistinctIndices) {
+  // With L even, the double-hash step can share a factor with L, so the
+  // probe orbit {idx, idx+step, ...} covers only a strict subset of the
+  // slots. When k is close to L the free slot can lie outside that
+  // orbit; select() then exhausts l_ attempts and falls back to step 1,
+  // which always completes. Sweep enough flows and seeds that the
+  // fallback path is exercised many times; every result must still be a
+  // set of k distinct in-range indices.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (std::size_t k = 3; k <= 4; ++k) {
+      KIndexSelector sel(k, 4, seed);  // L = 4: even, orbits of size 2
+      std::vector<std::uint64_t> idx(k);
+      for (std::uint64_t flow = 0; flow < 20000; ++flow) {
+        sel.select(flow * 0x9e3779b97f4a7c15ULL + seed, idx);
+        std::set<std::uint64_t> unique(idx.begin(), idx.end());
+        ASSERT_EQ(unique.size(), k)
+            << "duplicate index, seed=" << seed << " k=" << k
+            << " flow=" << flow;
+        for (auto v : idx) ASSERT_LT(v, 4u);
+      }
+    }
+  }
+}
+
+TEST(KIndexSelector, FullDomainSelectionIsAPermutation) {
+  // k == L across several widths: select() must return every counter
+  // exactly once for every flow (the degenerate no-sharing geometry).
+  for (std::uint64_t counters : {2u, 4u, 6u, 8u, 16u}) {
+    const auto k = static_cast<std::size_t>(counters);
+    KIndexSelector sel(k, counters, 4242);
+    std::vector<std::uint64_t> idx(k);
+    for (std::uint64_t flow = 0; flow < 2000; ++flow) {
+      sel.select(flow * 0x9e3779b97f4a7c15ULL + 7, idx);
+      std::vector<std::uint64_t> sorted = idx;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::uint64_t i = 0; i < counters; ++i)
+        ASSERT_EQ(sorted[i], i) << "L=" << counters << " flow=" << flow;
+    }
+  }
+}
+
 TEST(KIndexSelector, LoadSpreadsUniformly) {
   // Aggregate counter usage over many flows should be near uniform —
   // the "randomly and evenly" hashing assumption of paper §1.4.
