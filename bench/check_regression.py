@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for CI.
+
+Compares a fresh BENCH_throughput.json against the committed baseline
+(bench/baseline/BENCH_throughput.baseline.json) and fails if:
+
+  * counter_mismatches != 0 in the current run (correctness trumps speed:
+    a fast path that changes results is a failure, not a regression), or
+  * any path present in the baseline regressed by more than --tolerance
+    (default 25%) in mpps.
+
+Paths are matched by (name, shards). Paths added since the baseline was
+captured are reported but never gated — refresh the baseline to start
+gating them (see CONTRIBUTING.md).
+
+Only the standard library is used, so the gate runs anywhere python3
+exists.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def path_key(entry):
+    return (entry["name"], entry.get("shards", 1))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="BENCH_throughput.json from this run")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional mpps drop vs baseline (default 0.25)",
+    )
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+
+    mismatches = current.get("counter_mismatches")
+    if mismatches != 0:
+        failures.append(
+            f"counter_mismatches = {mismatches} (must be 0: the batched and "
+            "sharded paths must be bit-identical to per-packet ingest)"
+        )
+
+    cur_paths = {path_key(p): p for p in current.get("paths", [])}
+    base_paths = {path_key(p): p for p in baseline.get("paths", [])}
+
+    floor_frac = 1.0 - args.tolerance
+    print(
+        f"{'path':<24} {'shards':>6} {'baseline':>10} {'current':>10} "
+        f"{'ratio':>7}  status"
+    )
+    for key in sorted(base_paths):
+        name, shards = key
+        base_mpps = base_paths[key]["mpps"]
+        cur = cur_paths.get(key)
+        if cur is None:
+            failures.append(f"path {name} (shards={shards}) missing from run")
+            print(f"{name:<24} {shards:>6} {base_mpps:>10.2f} {'-':>10} "
+                  f"{'-':>7}  MISSING")
+            continue
+        cur_mpps = cur["mpps"]
+        ratio = cur_mpps / base_mpps if base_mpps > 0 else float("inf")
+        ok = ratio >= floor_frac
+        print(
+            f"{name:<24} {shards:>6} {base_mpps:>10.2f} {cur_mpps:>10.2f} "
+            f"{ratio:>7.2f}  {'ok' if ok else 'REGRESSED'}"
+        )
+        if not ok:
+            failures.append(
+                f"path {name} (shards={shards}) regressed: "
+                f"{cur_mpps:.2f} mpps vs baseline {base_mpps:.2f} "
+                f"(floor {floor_frac:.0%})"
+            )
+    for key in sorted(set(cur_paths) - set(base_paths)):
+        name, shards = key
+        print(
+            f"{name:<24} {shards:>6} {'-':>10} "
+            f"{cur_paths[key]['mpps']:>10.2f} {'-':>7}  new (not gated)"
+        )
+
+    if failures:
+        print("\nregression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nregression gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,10 +77,17 @@ void print_accuracy_panels(const std::string& label,
               scatter.to_ascii().c_str());
 
   Table bins({"size_bin", "flows", "avg_rel_error"});
-  for (const auto& b : result.bins)
-    bins.add_row({"[" + std::to_string(b.lo) + "," + std::to_string(b.hi) +
-                      ")",
-                  std::to_string(b.flows), format_double(b.avg_rel_error, 4)});
+  for (const auto& b : result.bins) {
+    // Built via append: GCC 12's -O3 -Wrestrict misfires on the
+    // char* + string&& overload.
+    std::string bin = "[";
+    bin += std::to_string(b.lo);
+    bin += ",";
+    bin += std::to_string(b.hi);
+    bin += ")";
+    bins.add_row(
+        {bin, std::to_string(b.flows), format_double(b.avg_rel_error, 4)});
+  }
   std::printf("average relative error vs actual flow size:\n%s\n",
               bins.to_ascii().c_str());
 

@@ -40,9 +40,14 @@ int main() {
   double shape_gap = 0.0;
   const std::size_t rows = std::min(size_bins.size(), vol_bins.size());
   for (std::size_t b = 0; b < rows; ++b) {
-    dist.add_row({"[" + std::to_string(size_bins[b].lo) + "," +
-                      std::to_string(size_bins[b].hi) + ")",
-                  format_double(size_bins[b].fraction, 5),
+    // Built via append: GCC 12's -O3 -Wrestrict misfires on the
+    // char* + string&& overload.
+    std::string bin = "[";
+    bin += std::to_string(size_bins[b].lo);
+    bin += ",";
+    bin += std::to_string(size_bins[b].hi);
+    bin += ")";
+    dist.add_row({bin, format_double(size_bins[b].fraction, 5),
                   format_double(vol_bins[b].fraction, 5)});
     shape_gap +=
         std::abs(size_bins[b].fraction - vol_bins[b].fraction);

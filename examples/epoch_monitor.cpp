@@ -1,15 +1,22 @@
-// Continuous monitoring with epochs — measure a stream in fixed windows,
-// report the top flows of every window, and track a persistent flow
-// across windows (the EpochManager extension of the paper's one-shot
-// construction/query split).
+// Continuous monitoring with live epoch rotation — measure a stream in
+// fixed windows *without ever pausing ingest*, serve queries from other
+// threads while packets flow, and track a persistent flow across
+// windows.
+//
+// This is the live-session version of the classic epoch workflow: a
+// ShardedCaesar live session keeps shard workers resident, rotate_live()
+// closes each window in-band (no stop-the-world flush), and a concurrent
+// monitor thread queries the latest closed window through query_live()
+// while the next window is still being fed.
 //
 // Run: ./epoch_monitor [--epochs N] [--flows Q] [--seed S]
-#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
-#include "core/epoch_manager.hpp"
+#include "core/sharded_caesar.hpp"
 #include "trace/synthetic.hpp"
 
 int main(int argc, char** argv) {
@@ -20,15 +27,32 @@ int main(int argc, char** argv) {
   core::CaesarConfig cfg;
   cfg.cache_entries = 2048;
   cfg.entry_capacity = 54;
-  cfg.num_counters = 4'000'000;
+  cfg.num_counters = 2'000'000;
   cfg.counter_bits = 15;
   cfg.seed = args.get_u64("seed", 12);
-  core::EpochManager mgr(cfg);
+  core::ShardedCaesar mon(cfg, 2);
+
+  core::LiveOptions live;
+  live.max_epochs = 0;  // keep every window for the report below
+  mon.start_live(live);
+
+  // A monitor thread watching the persistent flow while ingest runs:
+  // query_live() always answers from the most recent *closed* window and
+  // never blocks the shard workers.
+  const FlowId persistent = 0xFEED;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> live_queries{0};
+  std::thread monitor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)mon.query_live(persistent);
+      live_queries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
 
   // One synthetic trace per window, plus one persistent heavy flow that
   // appears in every window (id 0xFEED) — the kind of long-lived
   // conversation operators watch across reporting intervals.
-  const FlowId persistent = 0xFEED;
   std::vector<Count> persistent_truth;
   for (std::uint64_t e = 0; e < num_epochs; ++e) {
     trace::TraceConfig tc;
@@ -39,32 +63,48 @@ int main(int argc, char** argv) {
     const Count extra = 500 * (e + 1);  // the persistent flow ramps up
     persistent_truth.push_back(extra);
 
+    std::vector<FlowId> window;
+    window.reserve(t.num_packets() + extra);
     std::uint64_t injected = 0;
     const std::uint64_t stride = t.num_packets() / extra;
     for (std::size_t i = 0; i < t.arrivals().size(); ++i) {
-      mgr.add(t.id_of(t.arrivals()[i]));
+      window.push_back(t.id_of(t.arrivals()[i]));
       if (stride > 0 && i % stride == 0 && injected < extra) {
-        mgr.add(persistent);
+        window.push_back(persistent);
         ++injected;
       }
     }
-    while (injected++ < extra) mgr.add(persistent);
-    mgr.rotate();
+    while (injected++ < extra) window.push_back(persistent);
+
+    mon.feed(window);       // ingest keeps flowing...
+    mon.rotate_live();      // ...and the window closes in-band
   }
+  // Block until the last window's snapshot is published, then retire the
+  // session.
+  (void)mon.wait_epoch(num_epochs - 1);
+  done.store(true, std::memory_order_release);
+  monitor.join();
+  mon.stop_live();
 
   std::printf("%-8s %-12s %-14s %-14s\n", "epoch", "packets",
               "persistent_est", "persistent_true");
-  for (std::size_t e = 0; e < mgr.epochs().size(); ++e) {
-    std::printf("%-8zu %-12llu %-14.1f %-14llu\n", e,
-                static_cast<unsigned long long>(mgr.epochs()[e].packets()),
-                mgr.epochs()[e].estimate_csm(persistent),
+  double est_total = 0.0;
+  for (std::uint64_t e = 0; e < num_epochs; ++e) {
+    const auto epoch = mon.snapshot_epoch(e);
+    const double est = epoch->estimate_csm(persistent);
+    est_total += est;
+    std::printf("%-8llu %-12llu %-14.1f %-14llu\n",
+                static_cast<unsigned long long>(e),
+                static_cast<unsigned long long>(epoch->packets()), est,
                 static_cast<unsigned long long>(persistent_truth[e]));
   }
   double truth_total = 0;
   for (Count c : persistent_truth) truth_total += static_cast<double>(c);
   std::printf("\nacross all epochs: estimated %.1f vs true %.0f packets\n",
-              mgr.estimate_csm_total(persistent), truth_total);
-  std::printf("(each epoch is independently queryable: the SRAM snapshot "
-              "is the paper's offline query artifact)\n");
+              est_total, truth_total);
+  std::printf("%llu live queries served while ingest was running\n",
+              static_cast<unsigned long long>(live_queries.load()));
+  std::printf("(each epoch is independently queryable: the published "
+              "snapshot is the paper's offline query artifact)\n");
   return 0;
 }

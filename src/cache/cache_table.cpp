@@ -59,6 +59,7 @@ std::uint32_t CacheTable::choose_victim() noexcept {
 template <typename Sink>
 void CacheTable::process_one(FlowId flow, Count weight, Sink& sink) {
   assert(weight >= 1);
+  assert(flush_cursor_ == 0 && "no adds during an in-progress chunked flush");
   ++stats_.packets;
   stats_.accesses += 2;  // one lookup, one update
 
@@ -167,6 +168,7 @@ void CacheTable::process_batch(std::span<const FlowId> flows,
   //
   // Stats accumulate in locals and commit once per batch; totals match
   // the per-packet path exactly.
+  assert(flush_cursor_ == 0 && "no adds during an in-progress chunked flush");
   constexpr std::size_t kChunk = 64;
   std::uint32_t slots[kChunk];
   std::uint64_t packets = 0;
@@ -225,24 +227,45 @@ void CacheTable::process_batch(std::span<const FlowId> flows,
 std::vector<Eviction> CacheTable::flush() {
   std::vector<Eviction> out;
   out.reserve(occupied_);
-  for (std::uint32_t slot = 0; slot < entries_.size(); ++slot) {
-    Entry& e = entries_[slot];
+  flush_chunk(entries_.size(), out);
+  assert(occupied_ == 0 && flush_cursor_ == 0);
+  return out;
+}
+
+std::size_t CacheTable::flush_chunk(std::size_t max_entries,
+                                    EvictionSink& sink) {
+  // Same slot-order scan as the historical flush(), split at an entry
+  // budget. The cursor persists across calls so successive chunks emit
+  // the exact flush() eviction sequence; downstream RNG consumption (and
+  // therefore every SRAM counter) is bit-identical however the flush is
+  // sliced.
+  std::size_t flushed = 0;
+  while (flush_cursor_ < entries_.size() && flushed < max_entries &&
+         occupied_ > 0) {
+    Entry& e = entries_[flush_cursor_];
+    ++flush_cursor_;
     if (!e.occupied) continue;
     if (e.value > 0) {
-      out.push_back(Eviction{e.flow, e.value, EvictionCause::kFlush});
+      sink.push_back(Eviction{e.flow, e.value, EvictionCause::kFlush});
       ++stats_.flush_evictions;
+      ++stats_.accesses;
     }
     index_.erase(e.flow);
     e = Entry{};
+    --occupied_;
+    ++flushed;
   }
-  stats_.accesses += out.size();
-  occupied_ = 0;
-  lru_head_ = lru_tail_ = kNil;
-  free_slots_.clear();
-  for (std::uint32_t i = static_cast<std::uint32_t>(entries_.size());
-       i-- > 0;)
-    free_slots_.push_back(i);
-  return out;
+  if (occupied_ == 0) {
+    // Scan complete: rebuild the free list and LRU exactly as a full
+    // flush() leaves them, and rearm the cursor for the next flush.
+    lru_head_ = lru_tail_ = kNil;
+    free_slots_.clear();
+    for (std::uint32_t i = static_cast<std::uint32_t>(entries_.size());
+         i-- > 0;)
+      free_slots_.push_back(i);
+    flush_cursor_ = 0;
+  }
+  return flushed;
 }
 
 Count CacheTable::peek(FlowId flow) const noexcept {

@@ -94,6 +94,17 @@ class CacheTable {
   /// The table is empty afterwards.
   [[nodiscard]] std::vector<Eviction> flush();
 
+  /// Incremental flush — the flush-while-active path used by the live
+  /// rotation finalizer: dump up to `max_entries` occupied entries,
+  /// appending their evictions to `sink`, and return how many entries
+  /// were dumped (0 once the table is empty). The cumulative eviction
+  /// sequence over successive calls is identical to one flush() call, so
+  /// a chunked flush cannot change any downstream counter value; the
+  /// caller may interleave backlog reporting (see occupied()) between
+  /// chunks. No process()/process_batch() calls may be interleaved with
+  /// an in-progress chunked flush (asserted in debug builds).
+  std::size_t flush_chunk(std::size_t max_entries, EvictionSink& sink);
+
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::uint32_t occupied() const noexcept { return occupied_; }
   [[nodiscard]] std::uint32_t num_entries() const noexcept {
@@ -143,6 +154,8 @@ class CacheTable {
   std::uint32_t occupied_ = 0;
   std::uint32_t lru_head_ = kNil;  // most recently used
   std::uint32_t lru_tail_ = kNil;  // least recently used
+  /// Scan position of an in-progress chunked flush; 0 when idle.
+  std::uint32_t flush_cursor_ = 0;
 };
 
 }  // namespace caesar::cache

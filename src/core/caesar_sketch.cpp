@@ -102,6 +102,17 @@ void CaesarSketch::flush() {
   for (const auto& ev : cache_.flush()) spread_eviction(ev);
 }
 
+std::size_t CaesarSketch::flush_step(std::size_t budget) {
+  drain_spill();
+  // Reuse the (now empty) spill queue as the chunk's eviction scratch;
+  // evictions are spread immediately, in cache scan order, so the RNG
+  // stream matches a monolithic flush() exactly.
+  cache_.flush_chunk(budget, spill_);
+  for (const auto& ev : spill_) spread_eviction(ev);
+  spill_.clear();
+  return cache_.occupied();
+}
+
 void CaesarSketch::spread_eviction(const cache::Eviction& ev) {
   // Paper §3.1: split e = p*k + q; add p to each of the k mapped counters,
   // then allocate the remaining q units one by one to uniformly random

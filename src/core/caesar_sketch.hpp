@@ -85,6 +85,16 @@ class CaesarSketch {
   /// afterwards.
   void flush();
 
+  /// Incremental flush — the live rotation finalizer's unit of work:
+  /// drain the spill queue, then dump up to `budget` occupied cache
+  /// entries to SRAM. Returns the occupied entries still awaiting flush
+  /// (0 once done), so the caller can report backlog between steps. The
+  /// cumulative effect of stepping to completion is bit-identical to one
+  /// flush() call — same eviction order, same RNG consumption, same
+  /// counters. No add()/add_batch() calls may be interleaved before the
+  /// flush completes.
+  std::size_t flush_step(std::size_t budget);
+
   // --- offline query phase ----------------------------------------------
   // Flow sizes are non-negative, so the query API clamps at zero: the
   // de-noised CSM/MLM estimates (and interval bounds) can go slightly

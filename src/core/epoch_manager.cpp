@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
+#include <limits>
+
+#include "hash/murmur3.hpp"
 
 namespace caesar::core {
 
@@ -34,6 +38,58 @@ double EpochSnapshot::estimate_csm(FlowId flow) const {
 
 double EpochSnapshot::estimate_mlm(FlowId flow) const {
   return std::max(estimate_mlm_raw(flow), 0.0);
+}
+
+double EpochSnapshot::estimate_flow_count() const {
+  // Same linear-counting form as CaesarSketch::estimate_flow_count, over
+  // the frozen snapshot SRAM: Q_hat = ln(zeros/L) / ln(1 - k/L).
+  const auto l = static_cast<double>(params_.num_counters);
+  const std::uint64_t zeros = sram_.zero_count();
+  if (zeros == 0) return std::numeric_limits<double>::infinity();
+  const double p_untouched = 1.0 - static_cast<double>(params_.k) / l;
+  return std::log(static_cast<double>(zeros) / l) / std::log(p_untouched);
+}
+
+ShardedEpochSnapshot::ShardedEpochSnapshot(std::uint64_t seq,
+                                           std::uint64_t route_seed,
+                                           std::vector<EpochSnapshot> shards)
+    : seq_(seq), route_seed_(route_seed), shards_(std::move(shards)) {}
+
+std::size_t ShardedEpochSnapshot::shard_of(FlowId flow) const noexcept {
+  // Must match ShardedCaesar::shard_of bit for bit: queries against a
+  // snapshot ask the shard that ingested the flow.
+  return static_cast<std::size_t>(
+      (static_cast<__uint128_t>(hash::fmix64(flow ^ route_seed_)) *
+       shards_.size()) >>
+      64);
+}
+
+double ShardedEpochSnapshot::estimate_csm(FlowId flow) const {
+  return shards_[shard_of(flow)].estimate_csm(flow);
+}
+
+double ShardedEpochSnapshot::estimate_mlm(FlowId flow) const {
+  return shards_[shard_of(flow)].estimate_mlm(flow);
+}
+
+double ShardedEpochSnapshot::estimate_csm_raw(FlowId flow) const {
+  return shards_[shard_of(flow)].estimate_csm_raw(flow);
+}
+
+double ShardedEpochSnapshot::estimate_mlm_raw(FlowId flow) const {
+  return shards_[shard_of(flow)].estimate_mlm_raw(flow);
+}
+
+Count ShardedEpochSnapshot::packets() const noexcept {
+  Count total = 0;
+  for (const auto& shard : shards_) total += shard.packets();
+  return total;
+}
+
+double ShardedEpochSnapshot::estimate_flow_count() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) total += shard.estimate_flow_count();
+  return total;
 }
 
 EpochManager::EpochManager(const CaesarConfig& config, std::size_t max_epochs)

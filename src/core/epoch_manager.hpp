@@ -26,6 +26,10 @@ class EpochSnapshot {
   [[nodiscard]] double estimate_mlm(FlowId flow) const;
   [[nodiscard]] double estimate_csm_raw(FlowId flow) const;
   [[nodiscard]] double estimate_mlm_raw(FlowId flow) const;
+  /// Distinct flows recorded in this epoch — linear counting over the
+  /// snapshot's untouched counters (same semantics and caveats as
+  /// CaesarSketch::estimate_flow_count; +inf when no counter is zero).
+  [[nodiscard]] double estimate_flow_count() const;
   [[nodiscard]] Count packets() const noexcept {
     return static_cast<Count>(params_.total_packets);
   }
@@ -39,6 +43,46 @@ class EpochSnapshot {
   counters::CounterArray sram_;
   EstimatorParams params_;
   hash::KIndexSelector selector_;
+};
+
+/// A closed epoch of a ShardedCaesar: one EpochSnapshot per shard plus
+/// the routing hash, so per-flow queries route to the owning shard
+/// exactly as live ingest did. Immutable once constructed — this is the
+/// "quiesced snapshot" the concurrent query API hands out (every cache
+/// entry flushed, spill drained, no writer can ever touch it again).
+class ShardedEpochSnapshot {
+ public:
+  ShardedEpochSnapshot(std::uint64_t seq, std::uint64_t route_seed,
+                       std::vector<EpochSnapshot> shards);
+
+  /// Rotation sequence number (0 for the first epoch closed).
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const EpochSnapshot& shard(std::size_t index) const noexcept {
+    return shards_[index];
+  }
+  [[nodiscard]] std::size_t shard_of(FlowId flow) const noexcept;
+
+  // Per-flow queries route to the owning shard (clamped / raw as in
+  // EpochSnapshot).
+  [[nodiscard]] double estimate_csm(FlowId flow) const;
+  [[nodiscard]] double estimate_mlm(FlowId flow) const;
+  [[nodiscard]] double estimate_csm_raw(FlowId flow) const;
+  [[nodiscard]] double estimate_mlm_raw(FlowId flow) const;
+
+  /// Packets across all shards.
+  [[nodiscard]] Count packets() const noexcept;
+  /// Distinct-flow estimate: flows are partitioned across shards, so the
+  /// per-shard linear-counting estimates sum (+inf if any shard is
+  /// saturated).
+  [[nodiscard]] double estimate_flow_count() const;
+
+ private:
+  std::uint64_t seq_;
+  std::uint64_t route_seed_;
+  std::vector<EpochSnapshot> shards_;
 };
 
 class EpochManager {
@@ -63,6 +107,16 @@ class EpochManager {
   }
   [[nodiscard]] const CaesarSketch& current() const noexcept {
     return sketch_;
+  }
+  /// Epochs closed over the manager's lifetime (>= epochs().size() once
+  /// retention starts evicting).
+  [[nodiscard]] std::uint64_t epochs_closed() const noexcept {
+    return epoch_counter_;
+  }
+  /// Lifetime sequence number of epochs().front() — epochs evicted by
+  /// the retention bound keep their numbering.
+  [[nodiscard]] std::uint64_t first_epoch_seq() const noexcept {
+    return epoch_counter_ - epochs_.size();
   }
 
   /// Sum of a flow's CSM estimates across all retained epochs — the

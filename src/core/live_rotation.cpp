@@ -1,0 +1,337 @@
+// Live epoch rotation — the resident half of ShardedCaesar.
+//
+// Topology: the caller thread routes packets (feed) into one SPSC ring
+// per shard; persistent workers consume them through the batched ingest
+// fast path; rotate_live() injects an in-band epoch marker into every
+// ring. A worker that pops the marker hands the shard's sketch to the
+// finalizer thread and swaps in a pre-built standby, so the only work on
+// the ingest side of a rotation is S marker pushes. The finalizer flushes
+// each closed shard in bounded chunks (cache/ flush-while-active path),
+// assembles the ShardedEpochSnapshot, publishes it through the
+// SnapshotStore, and pre-builds the next standby sketches.
+//
+// Determinism: markers travel the same FIFO rings as packets, so every
+// shard closes its epoch at exactly the packet boundary the caller chose;
+// add_batch() and chunked flushing are bit-identical to their serial
+// counterparts, so each published snapshot equals a stop-the-world
+// rotate() at the same boundary (tests/core/live_rotation_test.cpp pins
+// this against every SRAM counter).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/live_state.hpp"
+#include "core/sharded_caesar.hpp"
+
+namespace caesar::core {
+
+ShardedCaesar::~ShardedCaesar() { stop_live(); }
+
+EpochSnapshot ShardedCaesar::snapshot_shard(const CaesarSketch& shard) {
+  return EpochSnapshot(shard.sram(), shard.estimator_params(),
+                       shard.config());
+}
+
+void ShardedCaesar::start_live(const LiveOptions& options) {
+  if (live_)
+    throw std::logic_error("ShardedCaesar: live session already active");
+  if (options.ring_capacity == 0)
+    throw std::invalid_argument(
+        "ShardedCaesar::start_live: ring_capacity must be nonzero");
+  const std::size_t num_shards = shards_.size();
+  auto st = std::make_unique<detail::LiveState>();
+  st->options = options;
+  if (st->options.flush_chunk == 0) st->options.flush_chunk = 1;
+  st->threads = options.threads == 0 ? num_shards
+                                     : std::min(options.threads, num_shards);
+  st->shard_configs.reserve(num_shards);
+  st->rings.reserve(num_shards);
+  st->standby.reserve(num_shards);
+  st->staged.resize(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    st->shard_configs.push_back(shards_[s].config());
+    st->rings.push_back(
+        std::make_unique<SpscRing<detail::LiveItem>>(options.ring_capacity));
+    auto slot = std::make_unique<detail::StandbySlot>();
+    slot->sketch = std::make_unique<CaesarSketch>(st->shard_configs[s]);
+    st->standby.push_back(std::move(slot));
+    st->staged[s].reserve(detail::kLiveRouteChunk);
+  }
+  st->next_marker_seq = store_.published();
+  store_.set_retention(options.max_epochs);
+  store_.open();
+
+  detail::LiveState* state = st.get();
+  live_ = std::move(st);
+
+  state->finalizer = std::thread([this, state] {
+    const std::size_t shards = shards_.size();
+    // Per-epoch reassembly: a slot per shard, published when complete.
+    // Markers reach shard s in rotation order and the finalizer pops in
+    // arrival order, so epochs complete (and publish) in sequence.
+    std::map<std::uint64_t, std::vector<std::unique_ptr<CaesarSketch>>>
+        pending;
+    std::map<std::uint64_t, std::size_t> arrived;
+    for (;;) {
+      detail::ClosedShard item;
+      {
+        std::unique_lock<std::mutex> lock(state->fq_mu);
+        state->fq_cv.wait(
+            lock, [&] { return !state->fq.empty() || state->fq_done; });
+        if (state->fq.empty()) break;  // fq_done and drained
+        item = std::move(state->fq.front());
+        state->fq.pop_front();
+      }
+      // Refill this shard's standby first: the next rotation should find
+      // a prebuilt sketch even while we are still flushing this one.
+      {
+        auto& slot = *state->standby[item.shard];
+        std::lock_guard<std::mutex> lock(slot.mu);
+        if (!slot.sketch)
+          slot.sketch = std::make_unique<CaesarSketch>(
+              state->shard_configs[item.shard]);
+      }
+      auto& epoch_shards = pending[item.seq];
+      if (epoch_shards.empty()) epoch_shards.resize(shards);
+      epoch_shards[item.shard] = std::move(item.sketch);
+      if (++arrived[item.seq] < shards) continue;
+
+      // Epoch complete: flush every shard in bounded chunks (reporting
+      // backlog between steps), snapshot, publish.
+      std::vector<EpochSnapshot> snaps;
+      snaps.reserve(shards);
+      for (auto& sketch : epoch_shards) {
+        live_metrics_.flush_backlog.set(sketch->cache_table().occupied());
+        std::size_t remaining;
+        do {
+          remaining = sketch->flush_step(state->options.flush_chunk);
+          live_metrics_.flush_backlog.set(remaining);
+        } while (remaining > 0);
+        snaps.push_back(snapshot_shard(*sketch));
+      }
+      auto snap = std::make_shared<const ShardedEpochSnapshot>(
+          item.seq, route_seed_, std::move(snaps));
+      store_.publish(snap);
+      live_metrics_.rotations.inc();
+      live_metrics_.snapshots_retained.set(store_.retained());
+      if constexpr (metrics::kEnabled) {
+        detail::clock_type::time_point t0;
+        {
+          std::lock_guard<std::mutex> lock(state->fq_mu);
+          t0 = state->marker_times[item.seq];
+          state->marker_times.erase(item.seq);
+        }
+        live_metrics_.rotation_latency_us.record(detail::elapsed_us(t0));
+      }
+      pending.erase(item.seq);
+      arrived.erase(item.seq);
+    }
+  });
+
+  for (std::size_t w = 0; w < state->threads; ++w) {
+    state->workers.emplace_back([this, state, w] {
+      const std::size_t threads = state->threads;
+      const std::size_t num_shards_w = shards_.size();
+      std::vector<detail::LiveItem> buf(detail::kLiveWorkerChunk);
+      std::vector<FlowId> batch;
+      batch.reserve(detail::kLiveWorkerChunk);
+
+      const auto rotate_shard = [&](std::size_t s, std::uint64_t seq) {
+        std::unique_ptr<CaesarSketch> fresh;
+        {
+          auto& slot = *state->standby[s];
+          std::lock_guard<std::mutex> lock(slot.mu);
+          fresh = std::move(slot.sketch);
+        }
+        if (!fresh) {
+          // Rotation outpaced the finalizer's refill: build inline (the
+          // stall the standby_miss series flags).
+          live_metrics_.standby_miss.inc();
+          fresh = std::make_unique<CaesarSketch>(state->shard_configs[s]);
+        }
+        auto closed = std::make_unique<CaesarSketch>(std::move(shards_[s]));
+        shards_[s] = std::move(*fresh);
+        {
+          std::lock_guard<std::mutex> lock(state->fq_mu);
+          state->fq.push_back(detail::ClosedShard{seq, s, std::move(closed)});
+        }
+        state->fq_cv.notify_one();
+      };
+
+      const auto process_items =
+          [&](std::size_t s, std::span<const detail::LiveItem> items) {
+            batch.clear();
+            for (const auto& item : items) {
+              if (item.marker_seq_plus_1 == 0) {
+                batch.push_back(item.flow);
+                continue;
+              }
+              // Packets before the marker close out the current epoch.
+              if (!batch.empty()) {
+                shards_[s].add_batch(batch);
+                batch.clear();
+              }
+              rotate_shard(s, item.marker_seq_plus_1 - 1);
+            }
+            if (!batch.empty()) shards_[s].add_batch(batch);
+          };
+
+      const auto drain_pass = [&] {
+        bool any = false;
+        for (std::size_t s = w; s < num_shards_w; s += threads) {
+          const std::size_t n = state->rings[s]->try_pop_bulk(
+              std::span<detail::LiveItem>(buf));
+          if (n > 0) {
+            process_items(s,
+                          std::span<const detail::LiveItem>(buf.data(), n));
+            ingest_metrics_[s].worker_batches.inc();
+            ingest_metrics_[s].batch_size.record(n);
+            any = true;
+          }
+        }
+        return any;
+      };
+
+      std::size_t idle_passes = 0;
+      for (;;) {
+        if (drain_pass()) {
+          idle_passes = 0;
+          continue;
+        }
+        if (state->ingest_done.load(std::memory_order_acquire)) {
+          // The router has stopped; an empty pass after observing the
+          // flag means the owned rings are drained for good.
+          if (!drain_pass()) break;
+          idle_passes = 0;
+        } else if (++idle_passes < 64) {
+          std::this_thread::yield();
+        } else {
+          // Long idle (live sessions are bursty): back off so spinning
+          // workers do not starve the ingest thread on small machines.
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+      for (std::size_t s = w; s < num_shards_w; s += threads)
+        shards_[s].drain_spill();
+    });
+  }
+}
+
+void ShardedCaesar::feed(std::span<const FlowId> flows) {
+  if (!live_) throw std::logic_error("ShardedCaesar::feed: no live session");
+  detail::LiveState* st = live_.get();
+  live_metrics_.packets_fed.add(flows.size());
+  const auto flush_staged = [&](std::size_t s) {
+    auto& buf = st->staged[s];
+    if (buf.empty()) return;
+    ingest_metrics_[s].packets_routed.add(buf.size());
+    std::span<const detail::LiveItem> pending(buf);
+    while (!pending.empty()) {
+      pending = pending.subspan(st->rings[s]->try_push_bulk(pending));
+      if (!pending.empty()) std::this_thread::yield();  // backpressure
+    }
+    buf.clear();
+  };
+  for (FlowId f : flows) {
+    const std::size_t s = shard_of(f);
+    st->staged[s].push_back(detail::LiveItem{f, 0});
+    if (st->staged[s].size() >= detail::kLiveRouteChunk) flush_staged(s);
+  }
+  // Leave nothing staged: when feed() returns, every packet is in its
+  // ring and a following rotate_live() marker cannot overtake it.
+  for (std::size_t s = 0; s < shards_.size(); ++s) flush_staged(s);
+}
+
+std::uint64_t ShardedCaesar::rotate_live() {
+  if (!live_)
+    throw std::logic_error(
+        "ShardedCaesar::rotate_live: no live session (use rotate())");
+  detail::LiveState* st = live_.get();
+  const auto t0 = detail::clock_type::now();
+  const std::uint64_t seq = st->next_marker_seq++;
+  if constexpr (metrics::kEnabled) {
+    std::lock_guard<std::mutex> lock(st->fq_mu);
+    st->marker_times[seq] = t0;
+  }
+  // feed() leaves the staging buffers empty, so the marker is the next
+  // item every shard sees after the epoch's final packet.
+  const detail::LiveItem marker{0, seq + 1};
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    while (!st->rings[s]->try_push(marker)) std::this_thread::yield();
+  }
+  live_metrics_.rotate_call_us.record(detail::elapsed_us(t0));
+  return seq;
+}
+
+void ShardedCaesar::stop_live() {
+  if (!live_) return;
+  detail::LiveState* st = live_.get();
+  st->ingest_done.store(true, std::memory_order_release);
+  for (auto& worker : st->workers) worker.join();
+  {
+    std::lock_guard<std::mutex> lock(st->fq_mu);
+    st->fq_done = true;
+  }
+  st->fq_cv.notify_all();
+  st->finalizer.join();
+  // The rings die with the session; fold their backpressure counts into
+  // the session aggregate first (all threads have joined, so the reads
+  // are exact).
+  for (const auto& ring : st->rings)
+    live_metrics_.ring_backpressure.add(ring->push_backpressure());
+  store_.close();
+  live_.reset();
+}
+
+std::shared_ptr<const ShardedEpochSnapshot> ShardedCaesar::rotate() {
+  if (live_)
+    throw std::logic_error(
+        "ShardedCaesar::rotate: stop-the-world rotation is not available "
+        "during a live session; use rotate_live()");
+  const auto t0 = detail::clock_type::now();
+  std::vector<EpochSnapshot> snaps;
+  snaps.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    shard.flush();
+    snaps.push_back(snapshot_shard(shard));
+    shard = CaesarSketch(shard.config());
+  }
+  auto snap = std::make_shared<const ShardedEpochSnapshot>(
+      store_.published(), route_seed_, std::move(snaps));
+  store_.publish(snap);
+  live_metrics_.rotations.inc();
+  live_metrics_.snapshots_retained.set(store_.retained());
+  live_metrics_.rotate_call_us.record(detail::elapsed_us(t0));
+  return snap;
+}
+
+double ShardedCaesar::query_live(FlowId flow) const {
+  live_metrics_.queries.inc();
+  const auto snap = store_.latest();
+  return snap ? snap->estimate_csm(flow) : 0.0;
+}
+
+std::shared_ptr<const ShardedEpochSnapshot> ShardedCaesar::snapshot_epoch(
+    std::uint64_t seq) const {
+  return store_.get(seq);
+}
+
+std::shared_ptr<const ShardedEpochSnapshot> ShardedCaesar::latest_snapshot()
+    const {
+  return store_.latest();
+}
+
+std::shared_ptr<const ShardedEpochSnapshot> ShardedCaesar::wait_epoch(
+    std::uint64_t seq) const {
+  return store_.wait(seq);
+}
+
+}  // namespace caesar::core

@@ -1,0 +1,80 @@
+// Internal: the resident-pipeline state behind ShardedCaesar's live
+// rotation API. Included only by core/*.cpp — user code sees just the
+// forward declaration in sharded_caesar.hpp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_ring.hpp"
+#include "core/caesar_sketch.hpp"
+#include "core/sharded_caesar.hpp"
+
+namespace caesar::core::detail {
+
+using clock_type = std::chrono::steady_clock;
+
+inline constexpr std::size_t kLiveRouteChunk = 256;  ///< staging per shard
+inline constexpr std::size_t kLiveWorkerChunk = 2048;  ///< worker pop batch
+
+inline std::uint64_t elapsed_us(clock_type::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          clock_type::now() - t0)
+          .count());
+}
+
+/// One ring element: a packet, or an epoch marker sequencing a rotation.
+struct LiveItem {
+  FlowId flow = 0;
+  std::uint64_t marker_seq_plus_1 = 0;  ///< 0 = packet, else epoch seq + 1
+};
+
+/// A shard sketch handed from its worker to the finalizer at a marker.
+struct ClosedShard {
+  std::uint64_t seq = 0;
+  std::size_t shard = 0;
+  std::unique_ptr<CaesarSketch> sketch;
+};
+
+/// Pre-built fresh sketch for one shard's next epoch. The worker takes it
+/// at a marker; the finalizer refills it off the hot path. The mutex is
+/// uncontended except in the instant of a rotation.
+struct StandbySlot {
+  std::mutex mu;
+  std::unique_ptr<CaesarSketch> sketch;
+};
+
+struct LiveState {
+  LiveOptions options;
+  std::size_t threads = 0;
+  std::vector<CaesarConfig> shard_configs;  ///< stable copies for refills
+  std::vector<std::unique_ptr<SpscRing<LiveItem>>> rings;
+  std::vector<std::unique_ptr<StandbySlot>> standby;
+  std::vector<std::vector<LiveItem>> staged;  ///< router-side staging
+  std::vector<std::thread> workers;
+  std::thread finalizer;
+  std::atomic<bool> ingest_done{false};
+
+  // Worker -> finalizer hand-off queue.
+  std::mutex fq_mu;
+  std::condition_variable fq_cv;
+  std::deque<ClosedShard> fq;
+  bool fq_done = false;
+
+  /// Marker-injection timestamps for the rotation-latency series
+  /// (guarded by fq_mu; only touched when metrics are enabled).
+  std::map<std::uint64_t, clock_type::time_point> marker_times;
+
+  std::uint64_t next_marker_seq = 0;  ///< router thread only
+};
+
+}  // namespace caesar::core::detail

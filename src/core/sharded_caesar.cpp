@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/spsc_ring.hpp"
+#include "core/live_state.hpp"
 #include "hash/murmur3.hpp"
 
 namespace caesar::core {
@@ -34,10 +35,20 @@ std::size_t ShardedCaesar::shard_of(FlowId flow) const noexcept {
       64);
 }
 
-void ShardedCaesar::add(FlowId flow) { shards_[shard_of(flow)].add(flow); }
+void ShardedCaesar::add(FlowId flow) {
+  if (live_)
+    throw std::logic_error(
+        "ShardedCaesar::add: shards are owned by live workers during a "
+        "live session; use feed()");
+  shards_[shard_of(flow)].add(flow);
+}
 
 void ShardedCaesar::add_parallel(std::span<const FlowId> flows,
                                  std::size_t threads) {
+  if (live_)
+    throw std::logic_error(
+        "ShardedCaesar::add_parallel: shards are owned by live workers "
+        "during a live session; use feed()");
   if (threads == 0) threads = shards_.size();
   threads = std::min(threads, shards_.size());
   // Tiny batches don't amortize thread start-up; the result is identical
@@ -181,7 +192,10 @@ void ShardedCaesar::collect_metrics(metrics::MetricsSnapshot& snapshot,
   metrics::Histogram batch_size_total;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const auto& m = ingest_metrics_[s];
-    const std::string shard_prefix = prefix + "shard" + std::to_string(s) + ".";
+    std::string shard_prefix = prefix;
+    shard_prefix += "shard";
+    shard_prefix += std::to_string(s);
+    shard_prefix += ".";
     snapshot.add_counter(shard_prefix + "pipeline.packets_routed",
                          m.packets_routed);
     snapshot.add_counter(shard_prefix + "pipeline.ring_backpressure",
@@ -201,6 +215,25 @@ void ShardedCaesar::collect_metrics(metrics::MetricsSnapshot& snapshot,
                        backpressure_total);
   snapshot.add_counter(prefix + "pipeline.worker_batches", batches_total);
   snapshot.add_histogram(prefix + "pipeline.batch_size", batch_size_total);
+  // Live rotation series. All instruments are relaxed atomics, so the
+  // roll-up is race-free mid-session; ring backpressure is folded in at
+  // stop_live(), so it (alone) is exact only after the session ends.
+  snapshot.add_counter(prefix + "live.rotations", live_metrics_.rotations);
+  snapshot.add_counter(prefix + "live.standby_miss",
+                       live_metrics_.standby_miss);
+  snapshot.add_counter(prefix + "live.packets_fed",
+                       live_metrics_.packets_fed);
+  snapshot.add_counter(prefix + "live.queries", live_metrics_.queries);
+  snapshot.add_counter(prefix + "live.ring_backpressure",
+                       live_metrics_.ring_backpressure);
+  snapshot.add_histogram(prefix + "live.rotate_call_us",
+                         live_metrics_.rotate_call_us);
+  snapshot.add_histogram(prefix + "live.rotation_latency_us",
+                         live_metrics_.rotation_latency_us);
+  snapshot.add_gauge(prefix + "live.flush_backlog",
+                     live_metrics_.flush_backlog);
+  snapshot.add_gauge(prefix + "live.snapshots_retained",
+                     live_metrics_.snapshots_retained);
 }
 
 memsim::OpCounts ShardedCaesar::op_counts() const noexcept {

@@ -10,21 +10,57 @@
 // path. The single router preserves the batch order within every shard,
 // so every counter value is bit-identical to a sequential run (verified
 // by the tests).
+//
+// Live epoch rotation (start_live/feed/rotate_live) keeps that pipeline
+// resident: persistent shard workers consume from per-shard SPSC rings
+// while rotate_live() injects an in-band epoch marker into every ring.
+// Each worker, on popping the marker, hands its shard's sketch to a
+// background finalizer (which flushes it and publishes an immutable
+// ShardedEpochSnapshot) and swaps in a pre-built standby sketch — the
+// ingest thread stalls only for the marker pushes, never for the flush.
+// Queries (query_live / snapshot_epoch / wait_epoch) read published
+// snapshots through a SnapshotStore and never block the workers. Because
+// markers travel the same FIFO rings as packets, every packet lands in
+// exactly the epoch it was fed in, and each closed epoch is bit-identical
+// to a stop-the-world rotate() at the same packet boundary (pinned by
+// tests/core/live_rotation_test.cpp).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/snapshot_store.hpp"
 #include "core/caesar_sketch.hpp"
+#include "core/epoch_manager.hpp"
 
 namespace caesar::core {
+
+namespace detail {
+struct LiveState;  // persistent pipeline internals (live_rotation.cpp)
+}  // namespace detail
+
+/// Tuning knobs for a live rotation session.
+struct LiveOptions {
+  std::size_t threads = 0;      ///< shard workers; 0 = one per shard
+  std::size_t max_epochs = 8;   ///< retained snapshots; 0 = unbounded
+  std::size_t ring_capacity = 8192;   ///< per-shard SPSC ring size
+  std::size_t flush_chunk = 2048;     ///< finalizer flush budget per step
+};
 
 class ShardedCaesar {
  public:
   /// `shards` independent sketches, each built from `per_shard` with a
   /// distinct derived seed. The aggregate SRAM is shards * L counters.
   ShardedCaesar(const CaesarConfig& per_shard, std::size_t shards);
+  ~ShardedCaesar();  // stops a live session if one is active
+
+  // Worker threads hold references into this object during a live
+  // session, and the snapshot store owns synchronization primitives;
+  // neither copying nor moving is meaningful.
+  ShardedCaesar(const ShardedCaesar&) = delete;
+  ShardedCaesar& operator=(const ShardedCaesar&) = delete;
 
   [[nodiscard]] std::size_t shards() const noexcept {
     return shards_.size();
@@ -41,6 +77,63 @@ class ShardedCaesar {
   void add_parallel(std::span<const FlowId> flows, std::size_t threads = 0);
 
   void flush();
+
+  // --- live epoch rotation ------------------------------------------------
+  // A live session turns the per-call streaming pipeline into a resident
+  // one. feed() and rotate_live() must be called from the thread that
+  // called start_live() (it is the single producer of every ring); the
+  // query API below may be called from any number of other threads.
+
+  /// Start the resident pipeline: spawn shard workers, the background
+  /// finalizer, and pre-build one standby sketch per shard. Throws
+  /// std::logic_error if a session is already active.
+  void start_live(const LiveOptions& options = {});
+  /// Route a packet batch into the shard rings (non-blocking except for
+  /// ring backpressure). Packets fed before a rotate_live() call belong
+  /// to the epoch it closes; packets fed after belong to the next one.
+  void feed(std::span<const FlowId> flows);
+  /// Close the current epoch *without stopping ingest*: flushes the
+  /// router staging buffers, then pushes an epoch marker into every
+  /// shard ring. Each worker swaps in its standby sketch at the marker;
+  /// the closed sketches are flushed and published by the finalizer.
+  /// Returns the epoch's sequence number (pass to snapshot_epoch /
+  /// wait_epoch). The caller stalls only for the marker pushes.
+  std::uint64_t rotate_live();
+  /// Drain the rings, retire the workers and finalizer (publishing any
+  /// epoch still in flight), and return to serial mode. The current
+  /// (unrotated) epoch stays in the shards: flush()/rotate()/queries work
+  /// as usual afterwards. No-op when no session is active.
+  void stop_live();
+  [[nodiscard]] bool live() const noexcept { return live_ != nullptr; }
+
+  /// Stop-the-world rotation (the serial baseline): flush every shard,
+  /// snapshot, reset, publish. Ingest is blocked for the duration —
+  /// bench/rotation_pause.cpp measures exactly this pause against
+  /// rotate_live(). Not callable during a live session (logic_error);
+  /// snapshots published here and by live sessions share one sequence.
+  std::shared_ptr<const ShardedEpochSnapshot> rotate();
+
+  // Concurrent query API — served from published (quiesced) snapshots,
+  // never from the sketches the workers are writing. Safe from any
+  // thread, during or outside a live session; never blocks the workers.
+  /// CSM estimate from the most recent closed epoch (0.0 before any
+  /// epoch has closed).
+  [[nodiscard]] double query_live(FlowId flow) const;
+  /// Snapshot of epoch `seq`; nullptr when unpublished or evicted by the
+  /// retention bound.
+  [[nodiscard]] std::shared_ptr<const ShardedEpochSnapshot> snapshot_epoch(
+      std::uint64_t seq) const;
+  /// Most recent closed epoch; nullptr before the first rotation.
+  [[nodiscard]] std::shared_ptr<const ShardedEpochSnapshot> latest_snapshot()
+      const;
+  /// Block until epoch `seq` is published (nullptr if the session stops
+  /// first or retention already evicted it).
+  [[nodiscard]] std::shared_ptr<const ShardedEpochSnapshot> wait_epoch(
+      std::uint64_t seq) const;
+  /// Epochs closed so far (live and stop-the-world combined).
+  [[nodiscard]] std::uint64_t epochs_closed() const {
+    return store_.published();
+  }
 
   // Clamped-at-zero query API; *_raw forwards keep the signed values for
   // evaluation code (see CaesarSketch's header note).
@@ -81,10 +174,35 @@ class ShardedCaesar {
     metrics::Histogram batch_size;       ///< packets per non-empty pop
   };
 
+  // Live rotation observability. Workers and the finalizer write these
+  // through relaxed atomics, so reading them from collect_metrics() is
+  // race-free at any time (values are advisory mid-session, exact after
+  // stop_live()).
+  struct LiveMetrics {
+    metrics::Counter rotations;        ///< snapshots published
+    metrics::Counter standby_miss;     ///< marker found no prebuilt sketch
+    metrics::Counter packets_fed;      ///< packets routed by feed()
+    metrics::Counter queries;          ///< query_live() calls served
+    metrics::Counter ring_backpressure;  ///< full-ring pushes (live rings)
+    metrics::Histogram rotate_call_us;   ///< ingest stall per rotate_live()
+    metrics::Histogram rotation_latency_us;  ///< marker -> snapshot publish
+    metrics::Gauge flush_backlog;      ///< cache entries awaiting flush
+    metrics::Gauge snapshots_retained;
+  };
+
+  /// Build a snapshot of one closed, flushed shard sketch.
+  [[nodiscard]] static EpochSnapshot snapshot_shard(const CaesarSketch& shard);
+
   std::vector<CaesarSketch> shards_;
   std::vector<ShardIngestMetrics> ingest_metrics_;
   metrics::Counter parallel_batches_;
   std::uint64_t route_seed_;
+
+  /// Published epochs; retention defaults to LiveOptions::max_epochs and
+  /// is re-armed by every start_live().
+  SnapshotStore<const ShardedEpochSnapshot> store_{LiveOptions{}.max_epochs};
+  std::unique_ptr<detail::LiveState> live_;
+  mutable LiveMetrics live_metrics_;
 };
 
 }  // namespace caesar::core

@@ -111,9 +111,15 @@ INSTANTIATE_TEST_SUITE_P(
                       DiffCase{32, 1, 100},    // y=1 degenerate mode
                       DiffCase{128, 54, 96}),  // fits: no replacement
     [](const ::testing::TestParamInfo<DiffCase>& param_info) {
-      return "M" + std::to_string(param_info.param.entries) + "_y" +
-             std::to_string(param_info.param.capacity) + "_F" +
-             std::to_string(param_info.param.flow_space);
+      // Built via append: GCC 12's -O3 -Wrestrict misfires on the
+      // char* + string&& overload.
+      std::string name = "M";
+      name += std::to_string(param_info.param.entries);
+      name += "_y";
+      name += std::to_string(param_info.param.capacity);
+      name += "_F";
+      name += std::to_string(param_info.param.flow_space);
+      return name;
     });
 
 }  // namespace

@@ -298,6 +298,53 @@ TEST(CacheTable, RejectsDegenerateConfig) {
   EXPECT_THROW(CacheTable cache2(c), std::invalid_argument);
 }
 
+TEST(CacheTable, ChunkedFlushMatchesMonolithicFlush) {
+  // Identically loaded tables; one flushed in one call, the other in
+  // budget-3 chunks. The concatenated eviction sequences must match
+  // record for record (this is what keeps a chunked flush from changing
+  // any downstream counter value).
+  CacheTable whole(small(16, 5));
+  CacheTable chunked(small(16, 5));
+  Xoshiro256pp rng(99);
+  for (int i = 0; i < 400; ++i) {
+    const FlowId f = rng.below(40);
+    whole.process(f);
+    chunked.process(f);
+  }
+  const auto expected = whole.flush();
+  EvictionSink actual;
+  std::size_t chunks = 0;
+  while (chunked.flush_chunk(3, actual) > 0) ++chunks;
+  EXPECT_GT(chunks, 1u);
+  EXPECT_EQ(chunked.occupied(), 0u);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].flow, expected[i].flow) << i;
+    EXPECT_EQ(actual[i].value, expected[i].value) << i;
+    EXPECT_EQ(actual[i].cause, expected[i].cause) << i;
+  }
+  EXPECT_EQ(whole.stats().flush_evictions, chunked.stats().flush_evictions);
+  // Both tables are reusable after their flush completes.
+  whole.process(7);
+  chunked.process(7);
+  EXPECT_EQ(whole.peek(7), chunked.peek(7));
+}
+
+TEST(CacheTable, ChunkedFlushBudgetCountsOccupiedEntriesOnly) {
+  CacheTable cache(small(8, 100));
+  for (FlowId f = 1; f <= 5; ++f) cache.process(f);
+  EvictionSink sink;
+  // Budget 2: exactly two occupied entries dumped per call regardless of
+  // how many empty slots the cursor skips.
+  EXPECT_EQ(cache.flush_chunk(2, sink), 2u);
+  EXPECT_EQ(cache.occupied(), 3u);
+  EXPECT_EQ(cache.flush_chunk(2, sink), 2u);
+  EXPECT_EQ(cache.flush_chunk(2, sink), 1u);
+  EXPECT_EQ(cache.occupied(), 0u);
+  EXPECT_EQ(cache.flush_chunk(2, sink), 0u);  // idempotent when empty
+  EXPECT_EQ(sink.size(), 5u);
+}
+
 TEST(CacheTable, LruOrderSurvivesOverflowEvictions) {
   CacheTable cache(small(2, 2, ReplacementPolicy::kLru));
   cache.process(1);

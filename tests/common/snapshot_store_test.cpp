@@ -1,0 +1,132 @@
+#include "common/snapshot_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace caesar {
+namespace {
+
+std::shared_ptr<const int> snap(int v) {
+  return std::make_shared<const int>(v);
+}
+
+TEST(SnapshotStore, PublishAssignsSequentialSeqsFromZero) {
+  SnapshotStore<const int> store;
+  EXPECT_EQ(store.published(), 0u);
+  EXPECT_EQ(store.latest(), nullptr);
+  EXPECT_EQ(store.publish(snap(10)), 0u);
+  EXPECT_EQ(store.publish(snap(11)), 1u);
+  EXPECT_EQ(store.published(), 2u);
+  EXPECT_EQ(*store.latest(), 11);
+  EXPECT_EQ(*store.get(0), 10);
+  EXPECT_EQ(*store.get(1), 11);
+  EXPECT_EQ(store.get(2), nullptr);  // not published yet
+}
+
+TEST(SnapshotStore, RetentionDropsOldestFirst) {
+  SnapshotStore<const int> store(2);
+  for (int v = 0; v < 5; ++v) store.publish(snap(v));
+  EXPECT_EQ(store.published(), 5u);
+  EXPECT_EQ(store.retained(), 2u);
+  EXPECT_EQ(store.first_retained(), 3u);
+  EXPECT_EQ(store.get(0), nullptr);
+  EXPECT_EQ(store.get(2), nullptr);
+  EXPECT_EQ(*store.get(3), 3);
+  EXPECT_EQ(*store.get(4), 4);
+}
+
+TEST(SnapshotStore, RetentionOneKeepsOnlyLatest) {
+  SnapshotStore<const int> store(1);
+  store.publish(snap(1));
+  store.publish(snap(2));
+  EXPECT_EQ(store.retained(), 1u);
+  EXPECT_EQ(store.get(0), nullptr);
+  EXPECT_EQ(*store.get(1), 2);
+}
+
+TEST(SnapshotStore, RetentionZeroKeepsEverything) {
+  SnapshotStore<const int> store(0);
+  for (int v = 0; v < 100; ++v) store.publish(snap(v));
+  EXPECT_EQ(store.retained(), 100u);
+  EXPECT_EQ(*store.get(0), 0);
+}
+
+TEST(SnapshotStore, TighteningRetentionPrunesImmediately) {
+  SnapshotStore<const int> store(0);
+  for (int v = 0; v < 4; ++v) store.publish(snap(v));
+  store.set_retention(2);
+  EXPECT_EQ(store.retained(), 2u);
+  EXPECT_EQ(store.first_retained(), 2u);
+}
+
+TEST(SnapshotStore, WaitBlocksUntilPublished) {
+  SnapshotStore<const int> store;
+  store.open();
+  std::thread waiter([&] {
+    const auto s = store.wait(1);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(*s, 21);
+  });
+  store.publish(snap(20));
+  store.publish(snap(21));
+  waiter.join();
+}
+
+TEST(SnapshotStore, CloseUnblocksWaitersWithNullptr) {
+  SnapshotStore<const int> store;
+  store.open();
+  std::thread waiter([&] { EXPECT_EQ(store.wait(5), nullptr); });
+  store.close();
+  waiter.join();
+}
+
+TEST(SnapshotStore, WaitOnClosedStoreFailsFast) {
+  SnapshotStore<const int> store;  // never opened
+  EXPECT_EQ(store.wait(0), nullptr);
+  store.publish(snap(1));
+  EXPECT_EQ(*store.wait(0), 1);  // already published: returned, no block
+}
+
+TEST(SnapshotStore, WaitOnEvictedSeqReturnsNullptr) {
+  SnapshotStore<const int> store(1);
+  store.open();
+  store.publish(snap(1));
+  store.publish(snap(2));
+  EXPECT_EQ(store.wait(0), nullptr);  // seq passed but evicted
+}
+
+TEST(SnapshotStore, ConcurrentReadersSeeConsistentSnapshots) {
+  SnapshotStore<const int> store(4);
+  store.open();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (const auto s = store.latest()) {
+          EXPECT_GE(*s, 0);
+        }
+        const std::uint64_t n = store.published();
+        if (n > 0) {
+          // Any retained snapshot's value equals its sequence number.
+          if (const auto s = store.get(n - 1)) {
+            EXPECT_EQ(*s, static_cast<int>(n) - 1);
+          }
+        }
+      }
+    });
+  }
+  for (int v = 0; v < 1000; ++v) store.publish(snap(v));
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  store.close();
+  EXPECT_EQ(store.published(), 1000u);
+}
+
+}  // namespace
+}  // namespace caesar

@@ -80,6 +80,60 @@ TEST(EpochManager, MappingStableAcrossEpochs) {
   }
 }
 
+TEST(EpochManager, UnboundedHistoryKeepsEveryEpoch) {
+  EpochManager mgr(cfg(), 0);  // 0 = unbounded
+  for (int e = 0; e < 12; ++e) {
+    for (int i = 0; i < 10; ++i) mgr.add(5);
+    mgr.rotate();
+  }
+  EXPECT_EQ(mgr.epochs().size(), 12u);
+  EXPECT_EQ(mgr.epochs_closed(), 12u);
+  EXPECT_EQ(mgr.first_epoch_seq(), 0u);
+}
+
+TEST(EpochManager, HistoryOfOneKeepsOnlyLatestEpoch) {
+  EpochManager mgr(cfg(), 1);
+  for (int e = 0; e < 3; ++e) {
+    for (int i = 0; i < (e + 1) * 100; ++i) mgr.add(5);
+    mgr.rotate();
+  }
+  ASSERT_EQ(mgr.epochs().size(), 1u);
+  EXPECT_EQ(mgr.epochs_closed(), 3u);
+  EXPECT_EQ(mgr.first_epoch_seq(), 2u);
+  EXPECT_NEAR(mgr.epochs()[0].estimate_csm(5), 300.0, 3.0);
+}
+
+TEST(EpochManager, PersistentTotalCoversOnlyRetainedEpochs) {
+  // query_persistent semantics under retention: the long-horizon total is
+  // over the retained window, so evicted epochs stop contributing.
+  EpochManager mgr(cfg(), 2);
+  for (int e = 0; e < 5; ++e) {
+    for (int i = 0; i < 100; ++i) mgr.add(42);
+    mgr.rotate();
+  }
+  // 500 packets seen in 5 epochs, but only the last 2 are retained.
+  EXPECT_NEAR(mgr.estimate_csm_total(42), 200.0, 5.0);
+  EXPECT_EQ(mgr.epochs_closed(), 5u);
+  EXPECT_EQ(mgr.first_epoch_seq(), 3u);
+}
+
+TEST(EpochManager, RotateOnEmptyEpochSnapshotsZeroPackets) {
+  EpochManager mgr(cfg(), 0);
+  mgr.rotate();
+  ASSERT_EQ(mgr.epochs().size(), 1u);
+  EXPECT_EQ(mgr.epochs()[0].packets(), 0u);
+  EXPECT_LT(mgr.epochs()[0].estimate_csm(7), 1.0);
+}
+
+TEST(EpochManager, SnapshotFlowCountMatchesSketchEstimate) {
+  EpochManager mgr(cfg(), 0);
+  Xoshiro256pp rng(4);
+  for (int i = 0; i < 20'000; ++i) mgr.add(rng.below(400));
+  mgr.rotate();
+  // Every flow has ~50 >= k packets, so linear counting is in-regime.
+  EXPECT_NEAR(mgr.epochs()[0].estimate_flow_count(), 400.0, 40.0);
+}
+
 TEST(EpochManager, MlmAvailablePerEpoch) {
   EpochManager mgr(cfg());
   for (int i = 0; i < 200; ++i) mgr.add(9);

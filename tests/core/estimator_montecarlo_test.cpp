@@ -79,9 +79,15 @@ INSTANTIATE_TEST_SUITE_P(
                       Geometry{3, 2, 4096}, Geometry{3, 500, 4096},
                       Geometry{3, 54, 64}, Geometry{3, 54, 65536}),
     [](const ::testing::TestParamInfo<Geometry>& param_info) {
-      return "k" + std::to_string(param_info.param.k) + "_y" +
-             std::to_string(param_info.param.y) + "_L" +
-             std::to_string(param_info.param.counters);
+      // Built via append: GCC 12's -O3 -Wrestrict misfires on the
+      // char* + string&& overload.
+      std::string name = "k";
+      name += std::to_string(param_info.param.k);
+      name += "_y";
+      name += std::to_string(param_info.param.y);
+      name += "_L";
+      name += std::to_string(param_info.param.counters);
+      return name;
     });
 
 TEST(EstimatorGrid, ConservationHoldsOnEveryGeometry) {

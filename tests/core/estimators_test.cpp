@@ -160,7 +160,11 @@ INSTANTIATE_TEST_SUITE_P(Ks, EstimatorKSweep,
                          ::testing::Values(KCase{1}, KCase{2}, KCase{3},
                                            KCase{4}, KCase{6}, KCase{8}),
                          [](const ::testing::TestParamInfo<KCase>& param_info) {
-                           return "k" + std::to_string(param_info.param.k);
+                           // Built via append: GCC 12's -O3 -Wrestrict
+                           // misfires on the char* + string&& overload.
+                           std::string name = "k";
+                           name += std::to_string(param_info.param.k);
+                           return name;
                          });
 
 }  // namespace

@@ -168,7 +168,9 @@ TEST(MetricsDeterminism, ShardedMetricsRollUpAcrossShards) {
   // Per-shard cache packet counts always sum to the routed total.
   std::uint64_t shard_packets = 0;
   for (std::size_t s = 0; s < kShards; ++s) {
-    const std::string p = "shard" + std::to_string(s) + ".";
+    std::string p = "shard";
+    p += std::to_string(s);
+    p += ".";
     ASSERT_TRUE(snap.has(p + "cache.packets")) << p;
     shard_packets += snap.value(p + "cache.packets");
   }
@@ -181,7 +183,9 @@ TEST(MetricsDeterminism, ShardedMetricsRollUpAcrossShards) {
     // The aggregate equals the sum of the per-shard series.
     std::uint64_t routed = 0, batches = 0;
     for (std::size_t s = 0; s < kShards; ++s) {
-      const std::string p = "shard" + std::to_string(s) + ".pipeline.";
+      std::string p = "shard";
+      p += std::to_string(s);
+      p += ".pipeline.";
       routed += snap.value(p + "packets_routed");
       batches += snap.value(p + "worker_batches");
     }

@@ -84,7 +84,11 @@ INSTANTIATE_TEST_SUITE_P(BitWidths, PackedSweep,
                                            PackedCase{15}, PackedCase{31},
                                            PackedCase{57}),
                          [](const ::testing::TestParamInfo<PackedCase>& i) {
-                           return "b" + std::to_string(i.param.bits);
+                           // Built via append: GCC 12's -O3 -Wrestrict
+                           // misfires on the char* + string&& overload.
+                           std::string name = "b";
+                           name += std::to_string(i.param.bits);
+                           return name;
                          });
 
 TEST(PackedCounterArray, RejectsBadWidths) {

@@ -48,8 +48,13 @@ INSTANTIATE_TEST_SUITE_P(
                       SelectorCase{8, 64}, SelectorCase{16, 16},
                       SelectorCase{16, 100000}),
     [](const ::testing::TestParamInfo<SelectorCase>& param_info) {
-      return "k" + std::to_string(param_info.param.k) + "_L" +
-             std::to_string(param_info.param.counters);
+      // Built via append: GCC 12's -O3 -Wrestrict misfires on the
+      // char* + string&& overload.
+      std::string name = "k";
+      name += std::to_string(param_info.param.k);
+      name += "_L";
+      name += std::to_string(param_info.param.counters);
+      return name;
     });
 
 TEST(KIndexSelector, TinyDomainUsesAllSlots) {
