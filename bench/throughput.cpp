@@ -4,9 +4,12 @@
 // trajectory to compare against.
 //
 // Run: ./throughput [--flows Q] [--repeats R] [--out FILE] [--smoke]
+//                   [--trace-out FILE]
 //   --smoke shrinks the workload for CI; the binary exits nonzero if any
 //   measured rate is not finite and positive, or if the batched path
 //   disagrees with the per-packet path on any SRAM counter.
+//   --trace-out records event-tracing spans across every measured path
+//   and writes a Chrome trace-event JSON (open in Perfetto).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -16,6 +19,7 @@
 
 #include "common/cli.hpp"
 #include "common/metrics.hpp"
+#include "common/tracing.hpp"
 #include "core/caesar_sketch.hpp"
 #include "core/sharded_caesar.hpp"
 #include "trace/synthetic.hpp"
@@ -84,6 +88,13 @@ int main(int argc, char** argv) {
 
   std::printf("workload: %zu packets, %zu flows (Zipf, uniform shuffle)\n",
               n, static_cast<std::size_t>(trace.num_flows()));
+
+  const auto trace_out = args.get("trace-out");
+  // Small ring capacity: spans are batch-granularity (hundreds per
+  // run), and worker threads lazily allocate their ring inside the
+  // measured region — an oversized ring would bill its zeroing to the
+  // first measurement that spawns workers.
+  if (trace_out) tracing::start(4096);
 
   std::vector<PathResult> results;
 
@@ -177,6 +188,24 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s (metrics %s)\n", metrics_path.c_str(),
               metrics::kEnabled ? "enabled" : "disabled");
+
+  if (trace_out) {
+    std::ofstream tf(*trace_out);
+    tracing::write_chrome_trace(tf);
+    tf << "\n";
+    tf.close();
+    if (!tf) {
+      std::fprintf(stderr, "error: could not write %s\n", trace_out->c_str());
+      return 1;
+    }
+    const auto ts = tracing::stats();
+    std::printf("wrote %s (tracing %s: %llu span(s), %llu dropped)\n",
+                trace_out->c_str(),
+                tracing::kEnabled ? "enabled" : "disabled",
+                static_cast<unsigned long long>(ts.recorded),
+                static_cast<unsigned long long>(ts.dropped));
+    tracing::stop();
+  }
 
   return ok ? 0 : 1;
 }

@@ -9,13 +9,23 @@
 // monitor thread queries the latest closed window through query_live()
 // while the next window is still being fed.
 //
+// With --listen PORT (0 = ephemeral) an exposition endpoint serves
+// /metrics, /healthz, /snapshot.json and /trace.json while windows are
+// being fed; health and metrics are refreshed per closed window.
+//
 // Run: ./epoch_monitor [--epochs N] [--flows Q] [--seed S]
+//                      [--listen PORT] [--linger SEC]
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/metrics_server.hpp"
+#include "common/tracing.hpp"
+#include "core/health.hpp"
 #include "core/sharded_caesar.hpp"
 #include "trace/synthetic.hpp"
 
@@ -35,6 +45,25 @@ int main(int argc, char** argv) {
   core::LiveOptions live;
   live.max_epochs = 0;  // keep every window for the report below
   mon.start_live(live);
+
+  metrics::MetricsHub hub;
+  core::HealthMonitor health;
+  std::unique_ptr<metrics::MetricsServer> server;
+  if (args.has("listen")) {
+    tracing::start();
+    metrics::MetricsServer::Options opts;
+    opts.port = static_cast<std::uint16_t>(args.get_u64("listen", 0));
+    server = std::make_unique<metrics::MetricsServer>(
+        opts, [&hub] { return *hub.latest(); });
+    server->set_handler("/healthz", [&health] {
+      return core::healthz_response(health.last());
+    });
+    server->start();
+    std::printf("serving /metrics /healthz /snapshot.json /trace.json "
+                "on 127.0.0.1:%u\n",
+                server->port());
+    std::fflush(stdout);  // scrapers watch for this line
+  }
 
   // A monitor thread watching the persistent flow while ingest runs:
   // query_live() always answers from the most recent *closed* window and
@@ -77,7 +106,16 @@ int main(int argc, char** argv) {
     while (injected++ < extra) window.push_back(persistent);
 
     mon.feed(window);       // ingest keeps flowing...
-    mon.rotate_live();      // ...and the window closes in-band
+    const std::uint64_t seq = mon.rotate_live();  // ...closed in-band
+    if (server) {
+      // Refresh the exposition plane per closed window: wait_epoch gives
+      // the happens-before edge that quiesces the collection.
+      const auto closed = mon.wait_epoch(seq);
+      metrics::MetricsSnapshot snap;
+      mon.collect_metrics(snap);
+      health.on_epoch(*closed, cfg.cache_entries, &snap);
+      hub.publish(std::move(snap));
+    }
   }
   // Block until the last window's snapshot is published, then retire the
   // session.
@@ -85,6 +123,21 @@ int main(int argc, char** argv) {
   done.store(true, std::memory_order_release);
   monitor.join();
   mon.stop_live();
+  if (server) {
+    // The run itself is short; --linger keeps the finished windows
+    // scrapeable for external tooling.
+    if (const std::uint64_t linger_sec = args.get_u64("linger", 0)) {
+      std::printf("lingering %llus for scrapes on 127.0.0.1:%u\n",
+                  static_cast<unsigned long long>(linger_sec),
+                  server->port());
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(linger_sec));
+    }
+    std::printf("served %llu scrape(s)\n",
+                static_cast<unsigned long long>(server->requests_served()));
+    server->stop();
+    tracing::stop();
+  }
 
   std::printf("%-8s %-12s %-14s %-14s\n", "epoch", "packets",
               "persistent_est", "persistent_true");

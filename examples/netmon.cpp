@@ -16,17 +16,29 @@
 // The traffic is synthetic: steady background plus a DDoS burst in one
 // interval and a port scan in another; both must be flagged.
 //
+// With --listen PORT (0 = ephemeral) an HTTP exposition endpoint serves
+// /metrics, /healthz, /snapshot.json and /trace.json during ingest —
+// scrapes read only snapshots published between intervals, never the
+// live pipeline. --linger SEC keeps the endpoint up after the last
+// interval (for scraping a finished run, e.g. in CI).
+//
 // Run: ./netmon [--intervals N] [--flows Q] [--seed S]
+//               [--listen PORT] [--linger SEC]
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "baselines/sampling/space_saving.hpp"
 #include "common/cli.hpp"
+#include "common/metrics_server.hpp"
 #include "common/table.hpp"
 #include "common/random.hpp"
+#include "common/tracing.hpp"
+#include "core/health.hpp"
 #include "core/sharded_caesar.hpp"
 #include "trace/flow_id.hpp"
 #include "trace/synthetic.hpp"
@@ -91,6 +103,8 @@ int main(int argc, char** argv) {
   const std::uint64_t intervals = args.get_u64("intervals", 5);
   const std::uint64_t flows = args.get_u64("flows", 10'000);
   const std::uint64_t seed = args.get_u64("seed", 8);
+  const bool listen = args.has("listen");
+  const std::uint64_t linger_sec = args.get_u64("linger", 0);
 
   core::CaesarConfig cfg;
   cfg.cache_entries = 2048;
@@ -103,6 +117,28 @@ int main(int argc, char** argv) {
   core::LiveOptions live;
   live.max_epochs = 4;  // alerts only look back a few intervals
   mon.start_live(live);
+
+  // Exposition plane: scrapes pull from the hub (published between
+  // intervals from quiesced data), never from the live pipeline.
+  metrics::MetricsHub hub;
+  core::HealthMonitor health;
+  std::unique_ptr<metrics::MetricsServer> server;
+  if (listen) {
+    tracing::start();
+    metrics::MetricsServer::Options opts;
+    opts.port =
+        static_cast<std::uint16_t>(args.get_u64("listen", 0));
+    server = std::make_unique<metrics::MetricsServer>(
+        opts, [&hub] { return *hub.latest(); });
+    server->set_handler("/healthz", [&health] {
+      return core::healthz_response(health.last());
+    });
+    server->start();
+    std::printf("serving /metrics /healthz /snapshot.json /trace.json "
+                "on 127.0.0.1:%u\n",
+                server->port());
+    std::fflush(stdout);  // scrapers watch for this line
+  }
 
   // The measurement plane's query side: a monitor thread re-checking the
   // current watch flow against the latest closed interval while ingest
@@ -136,6 +172,14 @@ int main(int argc, char** argv) {
     // Ingest could keep streaming here; the report blocks only this
     // thread until the finalizer publishes the closed interval.
     const auto epoch = mon.wait_epoch(interval_seq);
+    if (listen) {
+      // The epoch is published, so every worker-side write up to the
+      // marker happens-before this point: the collection is quiesced.
+      metrics::MetricsSnapshot snap;
+      mon.collect_metrics(snap);
+      health.on_epoch(*epoch, cfg.cache_entries, &snap);
+      hub.publish(std::move(snap));
+    }
     const double est_flows = epoch->estimate_flow_count();
     const Count interval_packets = epoch->packets();
 
@@ -189,6 +233,24 @@ int main(int argc, char** argv) {
   done.store(true, std::memory_order_release);
   monitor.join();
   mon.stop_live();
+  if (server) {
+    // Final roll-up (exact now that all session threads joined), then
+    // keep serving so an external scraper can read the finished run.
+    metrics::MetricsSnapshot snap;
+    mon.collect_metrics(snap);
+    hub.publish(std::move(snap));
+    if (linger_sec > 0) {
+      std::printf("lingering %llus for scrapes on 127.0.0.1:%u\n",
+                  static_cast<unsigned long long>(linger_sec),
+                  server->port());
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(linger_sec));
+    }
+    std::printf("served %llu scrape(s)\n",
+                static_cast<unsigned long long>(server->requests_served()));
+    server->stop();
+    tracing::stop();
+  }
   std::printf("\n(top flows re-ranked by CAESAR estimates from SpaceSaving "
               "candidates; cardinality from linear counting over the "
               "sketch; %llu live queries served during ingest)\n",

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/tracing.hpp"
+
 namespace caesar::cache {
 
 CacheTable::CacheTable(const Config& config)
@@ -169,6 +171,8 @@ void CacheTable::process_batch(std::span<const FlowId> flows,
   // Stats accumulate in locals and commit once per batch; totals match
   // the per-packet path exactly.
   assert(flush_cursor_ == 0 && "no adds during an in-progress chunked flush");
+  tracing::TraceSpan span("cache.process_batch");
+  span.arg(flows.size());
   constexpr std::size_t kChunk = 64;
   std::uint32_t slots[kChunk];
   std::uint64_t packets = 0;
@@ -239,6 +243,7 @@ std::size_t CacheTable::flush_chunk(std::size_t max_entries,
   // the exact flush() eviction sequence; downstream RNG consumption (and
   // therefore every SRAM counter) is bit-identical however the flush is
   // sliced.
+  tracing::TraceSpan span("cache.flush_chunk");
   std::size_t flushed = 0;
   while (flush_cursor_ < entries_.size() && flushed < max_entries &&
          occupied_ > 0) {
@@ -265,6 +270,7 @@ std::size_t CacheTable::flush_chunk(std::size_t max_entries,
       free_slots_.push_back(i);
     flush_cursor_ = 0;
   }
+  span.arg(flushed);
   return flushed;
 }
 

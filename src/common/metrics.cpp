@@ -5,6 +5,28 @@
 
 namespace caesar::metrics {
 
+namespace {
+
+/// Emit `s` as a JSON string literal. Callers pick metric names, and a
+/// hostile prefix ('"', '\', control bytes) must not break the document.
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (u < 0x20) {
+      constexpr char kHex[] = "0123456789abcdef";
+      out << "\\u00" << kHex[u >> 4] << kHex[u & 0xF];
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
 void MetricsSnapshot::add_counter(std::string name, std::uint64_t value) {
   counters_.push_back(Sample{std::move(name), value});
 }
@@ -27,12 +49,17 @@ void MetricsSnapshot::add_histogram(std::string name,
   histograms_.push_back(std::move(s));
 }
 
-std::uint64_t MetricsSnapshot::value(std::string_view name) const noexcept {
+std::optional<std::uint64_t> MetricsSnapshot::find(
+    std::string_view name) const noexcept {
   for (const auto& c : counters_)
     if (c.name == name) return c.value;
   for (const auto& g : gauges_)
     if (g.name == name) return g.value;
-  return 0;
+  return std::nullopt;
+}
+
+std::uint64_t MetricsSnapshot::value(std::string_view name) const noexcept {
+  return find(name).value_or(0);
 }
 
 bool MetricsSnapshot::has(std::string_view name) const noexcept {
@@ -48,20 +75,23 @@ bool MetricsSnapshot::has(std::string_view name) const noexcept {
 void MetricsSnapshot::write_json(std::ostream& out) const {
   out << "{\n  \"counters\": {";
   for (std::size_t i = 0; i < counters_.size(); ++i) {
-    out << (i ? ",\n    " : "\n    ") << '"' << counters_[i].name
-        << "\": " << counters_[i].value;
+    out << (i ? ",\n    " : "\n    ");
+    write_json_string(out, counters_[i].name);
+    out << ": " << counters_[i].value;
   }
   out << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
   for (std::size_t i = 0; i < gauges_.size(); ++i) {
-    out << (i ? ",\n    " : "\n    ") << '"' << gauges_[i].name
-        << "\": {\"value\": " << gauges_[i].value
+    out << (i ? ",\n    " : "\n    ");
+    write_json_string(out, gauges_[i].name);
+    out << ": {\"value\": " << gauges_[i].value
         << ", \"high_water\": " << gauges_[i].high_water << '}';
   }
   out << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
   for (std::size_t i = 0; i < histograms_.size(); ++i) {
     const auto& h = histograms_[i];
-    out << (i ? ",\n    " : "\n    ") << '"' << h.name
-        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+    out << (i ? ",\n    " : "\n    ");
+    write_json_string(out, h.name);
+    out << ": {\"count\": " << h.count << ", \"sum\": " << h.sum
         << ", \"buckets\": [";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       out << (b ? ", " : "") << "{\"le\": " << h.buckets[b].first

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -245,13 +246,19 @@ class MetricsSnapshot {
     return histograms_;
   }
 
-  /// Value of a named counter or gauge; 0 when absent (see has()).
+  /// Value of a named counter or gauge when present. Use this wherever
+  /// "absent" and "present with value 0" must be told apart — e.g. an
+  /// instrument that is expected to exist regardless of its count.
+  [[nodiscard]] std::optional<std::uint64_t> find(
+      std::string_view name) const noexcept;
+  /// Convenience form of find(): 0 when absent.
   [[nodiscard]] std::uint64_t value(std::string_view name) const noexcept;
   [[nodiscard]] bool has(std::string_view name) const noexcept;
 
   /// Render as one JSON object: {"counters": {...}, "gauges": {...},
-  /// "histograms": {...}}. Names are emitted as-is (the instrumentation
-  /// uses only [A-Za-z0-9_.] names, so no escaping is required).
+  /// "histograms": {...}}. Names are JSON-string-escaped, so hostile
+  /// prefixes (quotes, backslashes, control bytes) cannot corrupt the
+  /// document.
   void write_json(std::ostream& out) const;
   [[nodiscard]] std::string to_json() const;
 

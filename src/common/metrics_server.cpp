@@ -1,0 +1,173 @@
+#include "common/metrics_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/prometheus.hpp"
+#include "common/tracing.hpp"
+
+namespace caesar::metrics {
+
+namespace {
+
+const char* status_text(int status) noexcept {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+/// First request line up to CRLF, bounded; a scrape request fits in one
+/// read almost always, so loop only until the line is complete.
+std::string read_request_line(int fd) {
+  std::string buf;
+  char chunk[1024];
+  while (buf.find("\r\n") == std::string::npos && buf.size() < 4096) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  const auto eol = buf.find("\r\n");
+  return eol == std::string::npos ? buf : buf.substr(0, eol);
+}
+
+void write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+MetricsServer::MetricsServer(Options options, SnapshotFn snapshot)
+    : options_(std::move(options)), snapshot_(std::move(snapshot)) {}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::set_handler(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+HttpResponse MetricsServer::handle(std::string_view path) const {
+  // Ignore any query string: scrapers may append ?name[]=... probes.
+  if (const auto q = path.find('?'); q != std::string_view::npos)
+    path = path.substr(0, q);
+  if (const auto it = handlers_.find(path); it != handlers_.end())
+    return it->second();
+  HttpResponse res;
+  if (path == "/metrics") {
+    res.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    res.body = to_prometheus(snapshot_());
+  } else if (path == "/snapshot.json") {
+    res.content_type = "application/json";
+    res.body = snapshot_().to_json();
+    res.body += '\n';
+  } else if (path == "/trace.json") {
+    res.content_type = "application/json";
+    res.body = tracing::chrome_trace_json();
+    res.body += '\n';
+  } else if (path == "/healthz") {
+    res.body = "ok\n";
+  } else {
+    res.status = 404;
+    res.body = "not found\n";
+  }
+  return res;
+}
+
+void MetricsServer::start() {
+  if (running()) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("MetricsServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("MetricsServer: bad bind address " +
+                             options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("MetricsServer: cannot listen on " +
+                             options_.bind_address + ":" +
+                             std::to_string(options_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Unblock accept(): shutting the listening socket down makes the
+  // blocked accept return with an error, and the loop exits on the flag.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsServer::serve_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;  // interrupted or shutting down
+    // A client that connects and goes silent must not wedge the serve
+    // loop (and with it, stop()).
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    const std::string line = read_request_line(fd);
+    // "GET /path HTTP/1.1" — anything else earns a 404 body.
+    std::string_view path = "/";
+    if (line.rfind("GET ", 0) == 0) {
+      const auto end = line.find(' ', 4);
+      path = std::string_view(line).substr(
+          4, end == std::string::npos ? line.size() - 4 : end - 4);
+    }
+    const HttpResponse res = handle(path);
+    std::string head = "HTTP/1.1 " + std::to_string(res.status) + " " +
+                       status_text(res.status) +
+                       "\r\nContent-Type: " + res.content_type +
+                       "\r\nContent-Length: " +
+                       std::to_string(res.body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    // Count before writing: a client that has received its complete
+    // response must observe the incremented counter.
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    write_all(fd, head);
+    write_all(fd, res.body);
+    ::close(fd);
+  }
+}
+
+}  // namespace caesar::metrics

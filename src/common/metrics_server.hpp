@@ -1,0 +1,120 @@
+// Minimal, dependency-free HTTP/1.1 exposition endpoint.
+//
+// One background thread accepts loopback connections and serves:
+//
+//   /metrics        Prometheus text format (write_prometheus)
+//   /snapshot.json  the snapshot's JSON rendering (write_json)
+//   /trace.json     Chrome trace-event JSON (tracing::chrome_trace_json)
+//   /healthz        "ok" by default; installs override it (see
+//                   core/health.hpp's healthz_response)
+//
+// Scrapes must never touch the ingest threads' data structures, so the
+// server pulls every snapshot through a caller-supplied callback. The
+// intended wiring is a MetricsHub: the measurement loop publishes a
+// fresh MetricsSnapshot at its own cadence (per interval / rotation) and
+// the callback hands the server the latest published copy — the scrape
+// path then only ever reads quiesced, mutex-handed-off data, which is
+// what makes serving during a live session race-free (pinned under TSan
+// by tests/core/observability_live_test.cpp).
+//
+// Deliberately blocking and sequential: one request at a time, requests
+// are "GET <path>", responses close the connection. A scrape endpoint
+// for one Prometheus server does not need more, and a blocking
+// accept-loop has no poll-set state to get wrong.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/metrics.hpp"
+
+namespace caesar::metrics {
+
+/// Thread-safe slot for the most recently published snapshot. Writers
+/// (the measurement loop) publish at their own cadence; readers (the
+/// server thread's snapshot callback) get the latest published copy.
+class MetricsHub {
+ public:
+  void publish(MetricsSnapshot snapshot) {
+    auto next = std::make_shared<const MetricsSnapshot>(std::move(snapshot));
+    std::lock_guard<std::mutex> lock(mu_);
+    latest_ = std::move(next);
+  }
+  [[nodiscard]] std::shared_ptr<const MetricsSnapshot> latest() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const MetricsSnapshot> latest_ =
+      std::make_shared<const MetricsSnapshot>();
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class MetricsServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = pick an ephemeral port (see port())
+  };
+  using SnapshotFn = std::function<MetricsSnapshot()>;
+  using Handler = std::function<HttpResponse()>;
+
+  /// `snapshot` feeds /metrics and /snapshot.json. It runs on the server
+  /// thread, so it must not read anything an ingest thread writes
+  /// without synchronization — hand it a MetricsHub, not a live sketch.
+  MetricsServer(Options options, SnapshotFn snapshot);
+  ~MetricsServer();  // stops the server if running
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Install (or override) the handler for `path`. Call before start().
+  void set_handler(std::string path, Handler handler);
+
+  /// Bind, listen, and spawn the serve thread. Throws std::runtime_error
+  /// when the address cannot be bound.
+  void start();
+  /// Stop accepting and join the serve thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (resolves Options::port == 0). Valid after start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Route a request path to its response — the serve loop's dispatch,
+  /// exposed so tests can exercise routing without sockets.
+  [[nodiscard]] HttpResponse handle(std::string_view path) const;
+
+ private:
+  void serve_loop();
+
+  Options options_;
+  SnapshotFn snapshot_;
+  std::map<std::string, Handler, std::less<>> handlers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace caesar::metrics

@@ -1,0 +1,74 @@
+#include "common/prometheus.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace caesar::metrics {
+
+namespace {
+
+bool valid_name_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void emit_type(std::ostream& out, const std::string& name,
+               std::string_view type) {
+  out << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name, std::string_view ns) {
+  if (ns.empty() && name.empty()) return "_";
+  std::string out;
+  out.reserve(ns.size() + name.size() + 2);
+  out.append(ns);
+  if (!ns.empty()) out.push_back('_');
+  // A metric name must start with [a-zA-Z_:]; after a non-empty
+  // namespace that is already satisfied.
+  if (ns.empty() && !name.empty() && name[0] >= '0' && name[0] <= '9')
+    out.push_back('_');
+  for (char c : name) out.push_back(valid_name_char(c) ? c : '_');
+  return out;
+}
+
+void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& out,
+                      std::string_view ns) {
+  for (const auto& c : snapshot.counters()) {
+    const std::string name = prometheus_name(c.name, ns);
+    emit_type(out, name, "counter");
+    out << name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges()) {
+    const std::string name = prometheus_name(g.name, ns);
+    emit_type(out, name, "gauge");
+    out << name << ' ' << g.value << '\n';
+    emit_type(out, name + "_high_water", "gauge");
+    out << name << "_high_water " << g.high_water << '\n';
+  }
+  for (const auto& h : snapshot.histograms()) {
+    const std::string name = prometheus_name(h.name, ns);
+    emit_type(out, name, "histogram");
+    // The snapshot stores per-bucket counts over inclusive upper edges;
+    // Prometheus buckets are cumulative, closed by the +Inf bucket.
+    std::uint64_t cumulative = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cumulative += count;
+      out << name << "_bucket{le=\"" << upper << "\"} " << cumulative
+          << '\n';
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << name << "_sum " << h.sum << '\n';
+    out << name << "_count " << h.count << '\n';
+  }
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot,
+                          std::string_view ns) {
+  std::ostringstream out;
+  write_prometheus(snapshot, out, ns);
+  return out.str();
+}
+
+}  // namespace caesar::metrics

@@ -1,0 +1,35 @@
+// Prometheus text-format exposition over MetricsSnapshot.
+//
+// The snapshot's dotted instrument names ("shard3.cache.hits") become
+// Prometheus series ("caesar_shard3_cache_hits"): every character
+// outside [a-zA-Z0-9_:] maps to '_' and a leading digit gains a '_'
+// prefix, so even hostile prefixes encode to valid series names.
+// Counters render as-is, gauges render twice (value and _high_water),
+// and the power-of-two histograms render in the cumulative
+// _bucket/_sum/_count scheme scrapers expect (buckets are emitted
+// cumulatively here — the snapshot stores per-bucket counts).
+//
+// Output follows the text exposition format version 0.0.4 (the format
+// every Prometheus-compatible scraper accepts).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/metrics.hpp"
+
+namespace caesar::metrics {
+
+/// Prometheus metric name for an instrument name: '<ns>_<sanitized>'
+/// (or just the sanitized name when `ns` is empty).
+[[nodiscard]] std::string prometheus_name(std::string_view name,
+                                          std::string_view ns = "caesar");
+
+/// Render the whole snapshot in Prometheus text format.
+void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& out,
+                      std::string_view ns = "caesar");
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot,
+                                        std::string_view ns = "caesar");
+
+}  // namespace caesar::metrics

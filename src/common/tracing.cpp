@@ -1,0 +1,204 @@
+#include "common/tracing.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace caesar::tracing {
+
+std::uint64_t now_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  // One process-wide epoch so timestamps from every thread share a
+  // timebase (magic-static initialization is thread-safe).
+  static const clock::time_point t0 = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+          .count());
+}
+
+namespace {
+
+/// One ring slot. Every field is a relaxed atomic and `seq` is a
+/// per-slot seqlock: odd while the owning thread rewrites the slot, even
+/// (and equal before/after) when a concurrent reader may trust it. The
+/// ring has exactly one writer (its thread), so writes never contend.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> begin_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+  std::atomic<std::uint64_t> arg{0};
+};
+
+struct ThreadRing {
+  ThreadRing(std::uint32_t tid_in, std::size_t capacity)
+      : tid(tid_in), slots(capacity) {}
+
+  void record(const char* name, std::uint64_t begin_ns, std::uint64_t dur_ns,
+              std::uint64_t arg) noexcept {
+    const std::uint64_t i = head.load(std::memory_order_relaxed);
+    Slot& s = slots[i % slots.size()];
+    s.seq.store(2 * i + 1, std::memory_order_relaxed);  // odd: in flight
+    s.name.store(name, std::memory_order_relaxed);
+    s.begin_ns.store(begin_ns, std::memory_order_relaxed);
+    s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    s.arg.store(arg, std::memory_order_relaxed);
+    s.seq.store(2 * (i + 1), std::memory_order_release);  // even: stable
+    head.store(i + 1, std::memory_order_release);
+  }
+
+  const std::uint32_t tid;
+  std::vector<Slot> slots;
+  std::atomic<std::uint64_t> head{0};  ///< spans ever written
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::size_t capacity = 16384;
+  /// Bumped by start() so threads holding a ring from a previous arming
+  /// re-register instead of writing into a retired buffer.
+  std::atomic<std::uint64_t> epoch{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+struct LocalRing {
+  std::shared_ptr<ThreadRing> ring;
+  std::uint64_t epoch = 0;
+};
+
+ThreadRing& local_ring() {
+  thread_local LocalRing local;
+  Registry& reg = registry();
+  const std::uint64_t epoch = reg.epoch.load(std::memory_order_acquire);
+  if (!local.ring || local.epoch != epoch) {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    local.ring = std::make_shared<ThreadRing>(
+        static_cast<std::uint32_t>(reg.rings.size()), reg.capacity);
+    reg.rings.push_back(local.ring);
+    local.epoch = epoch;
+  }
+  return *local.ring;
+}
+
+}  // namespace
+
+namespace detail {
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t dur_ns,
+            std::uint64_t arg) noexcept {
+  local_ring().record(name, begin_ns, dur_ns, arg);
+}
+}  // namespace detail
+
+void start(std::size_t events_per_thread) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.rings.clear();
+  reg.capacity = events_per_thread == 0 ? 1 : events_per_thread;
+  reg.epoch.fetch_add(1, std::memory_order_release);
+  if constexpr (kEnabled) {
+    (void)now_ns();  // pin the timebase before the first span
+    detail::g_active.store(true, std::memory_order_release);
+  }
+}
+
+void stop() { detail::g_active.store(false, std::memory_order_release); }
+
+TraceStats stats() {
+  TraceStats out;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  out.threads = reg.rings.size();
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t written = ring->head.load(std::memory_order_acquire);
+    out.recorded += written;
+    const std::uint64_t cap = ring->slots.size();
+    if (written > cap) out.dropped += written - cap;
+  }
+  return out;
+}
+
+std::vector<TraceEvent> collect() {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    rings = reg.rings;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    const std::uint64_t written = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    const std::uint64_t first = written > cap ? written - cap : 0;
+    for (std::uint64_t i = first; i < written; ++i) {
+      Slot& s = ring->slots[i % cap];
+      const std::uint64_t seq_before = s.seq.load(std::memory_order_acquire);
+      TraceEvent ev;
+      ev.name = s.name.load(std::memory_order_relaxed);
+      ev.tid = ring->tid;
+      ev.begin_ns = s.begin_ns.load(std::memory_order_relaxed);
+      ev.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+      ev.arg = s.arg.load(std::memory_order_relaxed);
+      const std::uint64_t seq_after = s.seq.load(std::memory_order_acquire);
+      // Discard slots the owner rewrote (or was rewriting) underneath
+      // us; an overwritten slot reappears once the writer settles.
+      if (seq_before != seq_after || (seq_before & 1) != 0) continue;
+      if (ev.name == nullptr) continue;
+      events.push_back(ev);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns
+                                              : a.tid < b.tid;
+            });
+  return events;
+}
+
+namespace {
+/// Nanoseconds as decimal microseconds with full precision — default
+/// ostream double formatting would round long-run timestamps.
+void write_us(std::ostream& out, std::uint64_t ns) {
+  out << ns / 1000 << '.';
+  const auto frac = static_cast<unsigned>(ns % 1000);
+  out << static_cast<char>('0' + frac / 100)
+      << static_cast<char>('0' + frac / 10 % 10)
+      << static_cast<char>('0' + frac % 10);
+}
+}  // namespace
+
+void write_chrome_trace(std::ostream& out) {
+  const auto events = collect();
+  const auto st = stats();
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& ev : events) {
+    if (!first) out << ",";
+    first = false;
+    // Instrumentation names are [A-Za-z0-9_.] literals: no escaping
+    // needed. Timestamps are microseconds per the trace-event spec.
+    out << "\n  {\"name\": \"" << ev.name << "\", \"ph\": \"X\", \"pid\": 1"
+        << ", \"tid\": " << ev.tid << ", \"ts\": ";
+    write_us(out, ev.begin_ns);
+    out << ", \"dur\": ";
+    write_us(out, ev.dur_ns);
+    out << ", \"args\": {\"n\": " << ev.arg << "}}";
+  }
+  out << (first ? "" : "\n") << "],\n\"metadata\": {\"recorded\": "
+      << st.recorded << ", \"dropped\": " << st.dropped
+      << ", \"threads\": " << st.threads << "},\n\"displayTimeUnit\": \"ms\"}";
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream out;
+  write_chrome_trace(out);
+  return out.str();
+}
+
+}  // namespace caesar::tracing

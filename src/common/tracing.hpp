@@ -1,0 +1,152 @@
+// Event tracing — the time axis of the observability plane.
+//
+// Metrics (common/metrics.hpp) answer "how much"; tracing answers
+// "when, and for how long". Instrumented seams open an RAII TraceSpan at
+// batch granularity (a cache process_batch call, a spill drain, a worker
+// pop-batch, a finalizer flush step) and the span records one complete
+// event — name, thread, steady-clock begin timestamp, duration, one
+// free-form integer argument — into a fixed-capacity per-thread ring
+// buffer when tracing is active. The merged rings export as Chrome
+// trace-event JSON loadable in Perfetto / chrome://tracing.
+//
+// Design constraints, mirroring the metrics layer:
+//
+//   1. Tracing must not perturb results. Spans never touch an RNG, a
+//      counter, or a decision; estimates are bit-identical with tracing
+//      active, inactive, or compiled out (pinned by
+//      tests/core/observability_live_test.cpp).
+//   2. Cheap when compiled in but not started: one relaxed atomic load
+//      per span. Recording is wait-free — a handful of relaxed stores
+//      into the calling thread's own ring; a full ring overwrites the
+//      oldest events (and accounts the overwrite) rather than blocking.
+//   3. Disabled tracing (-DCAESAR_TRACING_DISABLED, CMake option
+//      -DCAESAR_TRACING=OFF) compiles spans to no-ops the optimizer
+//      deletes; the control/export API stays callable (exports empty).
+//
+// Collection is safe while recording: every slot field is a relaxed
+// atomic and a per-slot sequence counter (seqlock) lets the exporter
+// discard slots caught mid-overwrite, so a scrape thread can serve
+// /trace.json during live ingest without a data race.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace caesar::tracing {
+
+#if defined(CAESAR_TRACING_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+namespace detail {
+/// Global recording switch. Inline so TraceSpan's constructor is one
+/// relaxed load with no function call when tracing is inactive.
+inline std::atomic<bool> g_active{false};
+/// Record one complete span into the calling thread's ring (registers
+/// the thread on first use). Only called while recording is active.
+void record(const char* name, std::uint64_t begin_ns, std::uint64_t dur_ns,
+            std::uint64_t arg) noexcept;
+}  // namespace detail
+
+/// True between start() and stop(). Always false when compiled out.
+[[nodiscard]] inline bool active() noexcept {
+  if constexpr (kEnabled)
+    return detail::g_active.load(std::memory_order_relaxed);
+  else
+    return false;
+}
+
+/// Nanoseconds since the process's trace epoch (steady clock).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// Arm tracing: drop any previously captured events, size every ring at
+/// `events_per_thread` slots, and start recording. Threads register
+/// lazily on their first span. Safe to call again to re-arm.
+void start(std::size_t events_per_thread = 16384);
+
+/// Stop recording. Captured events stay available to collect() /
+/// write_chrome_trace() until the next start().
+void stop();
+
+/// One complete span, merged out of the per-thread rings.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-storage instrumentation name
+  std::uint32_t tid = 0;       ///< registration-order thread id
+  std::uint64_t begin_ns = 0;  ///< now_ns() timebase
+  std::uint64_t dur_ns = 0;
+  std::uint64_t arg = 0;  ///< span payload (batch size, backlog, ...)
+};
+
+/// Ring accounting across all registered threads.
+struct TraceStats {
+  std::uint64_t recorded = 0;  ///< spans written (including overwritten)
+  std::uint64_t dropped = 0;   ///< spans lost to ring wrap-around
+  std::size_t threads = 0;     ///< rings registered since start()
+};
+[[nodiscard]] TraceStats stats();
+
+/// Record a span whose begin timestamp was captured elsewhere (e.g. the
+/// rotation marker -> publish latency, which begins on the ingest thread
+/// and ends on the finalizer). No-op unless active.
+inline void emit(const char* name, std::uint64_t begin_ns,
+                 std::uint64_t end_ns, std::uint64_t arg = 0) noexcept {
+  if constexpr (kEnabled) {
+    if (!active()) return;
+    detail::record(name, begin_ns,
+                   end_ns > begin_ns ? end_ns - begin_ns : 0, arg);
+  }
+}
+
+/// RAII span: records [construction, destruction) under `name`, which
+/// must have static storage duration (string literals). Compiles to
+/// nothing under CAESAR_TRACING=OFF; costs one relaxed load when
+/// tracing is compiled in but not started.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    if constexpr (kEnabled) {
+      if (!active()) return;
+      name_ = name;
+      armed_ = true;
+      begin_ns_ = now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if constexpr (kEnabled) {
+      if (armed_) detail::record(name_, begin_ns_, now_ns() - begin_ns_, arg_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach the span's integer payload (exported as args.n).
+  void arg(std::uint64_t v) noexcept {
+    if constexpr (kEnabled) {
+      if (armed_) arg_ = v;
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+  std::uint64_t arg_ = 0;
+  bool armed_ = false;
+};
+
+/// Snapshot the per-thread rings into one time-sorted event list. Safe
+/// while recording: slots caught mid-overwrite are discarded, never torn.
+[[nodiscard]] std::vector<TraceEvent> collect();
+
+/// Export collect() as Chrome trace-event JSON ("X" complete events,
+/// microsecond timestamps) — loadable in Perfetto / chrome://tracing.
+void write_chrome_trace(std::ostream& out);
+[[nodiscard]] std::string chrome_trace_json();
+
+}  // namespace caesar::tracing

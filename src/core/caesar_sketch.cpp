@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/serialize.hpp"
+#include "common/tracing.hpp"
 
 namespace caesar::core {
 
@@ -57,6 +58,8 @@ void CaesarSketch::add_batch(std::span<const FlowId> flows) {
 
 void CaesarSketch::drain_spill() {
   if (spill_.empty()) return;
+  tracing::TraceSpan span("sketch.drain_spill");
+  span.arg(spill_.size());
   spill_metrics_.drains.inc();
   spill_metrics_.drain_size.record(spill_.size());
   const std::size_t k = config_.k;
@@ -103,6 +106,8 @@ void CaesarSketch::flush() {
 }
 
 std::size_t CaesarSketch::flush_step(std::size_t budget) {
+  tracing::TraceSpan span("sketch.flush_step");
+  span.arg(budget);
   drain_spill();
   // Reuse the (now empty) spill queue as the chunk's eviction scratch;
   // evictions are spread immediately, in cache scan order, so the RNG

@@ -1,0 +1,260 @@
+#include "core/health.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+namespace caesar::core {
+
+std::string_view to_string(HealthStatus status) noexcept {
+  switch (status) {
+    case HealthStatus::kOk:
+      return "ok";
+    case HealthStatus::kDegraded:
+      return "degraded";
+    case HealthStatus::kSaturated:
+      return "saturated";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void raise(HealthStatus& status, HealthStatus at_least) noexcept {
+  if (static_cast<int>(at_least) > static_cast<int>(status))
+    status = at_least;
+}
+
+std::string describe(std::string_view signal, double value,
+                     double threshold, std::string_view consequence) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%.*s = %.4g exceeds %.4g: %.*s",
+                static_cast<int>(signal.size()), signal.data(), value,
+                threshold, static_cast<int>(consequence.size()),
+                consequence.data());
+  return buf;
+}
+
+/// Grade one fractional signal against its two thresholds, appending a
+/// reason when it is out of bounds.
+void grade(double value, double degraded, double saturated,
+           std::string_view name, std::string_view consequence,
+           HealthStatus& status, std::vector<std::string>& reasons) {
+  if (!(value > degraded)) return;  // NaN compares false: treated as ok
+  const bool is_saturated = std::isinf(value) || value > saturated;
+  raise(status,
+        is_saturated ? HealthStatus::kSaturated : HealthStatus::kDegraded);
+  reasons.push_back(describe(name, value, degraded, consequence));
+}
+
+bool ends_with(std::string_view name, std::string_view suffix) noexcept {
+  // A suffix match at a prefix boundary: "cache.packets" matches both
+  // the bare name and "shard3.cache.packets", never "xcache.packets".
+  if (name == suffix) return true;
+  if (name.size() <= suffix.size()) return false;
+  return name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0 &&
+         name[name.size() - suffix.size() - 1] == '.';
+}
+
+std::uint64_t sum_counters(const metrics::MetricsSnapshot& snapshot,
+                           std::string_view suffix) {
+  std::uint64_t total = 0;
+  for (const auto& c : snapshot.counters())
+    if (ends_with(c.name, suffix)) total += c.value;
+  return total;
+}
+
+std::uint64_t sum_gauges(const metrics::MetricsSnapshot& snapshot,
+                         std::string_view suffix) {
+  std::uint64_t total = 0;
+  for (const auto& g : snapshot.gauges())
+    if (ends_with(g.name, suffix)) total += g.value;
+  return total;
+}
+
+/// Shared classification over the signal set.
+HealthReport classify(HealthSignals signals,
+                      const HealthThresholds& thresholds) {
+  HealthReport report;
+  report.signals = signals;
+  if (!signals.has_epoch) return report;  // nothing measured yet: ok
+  grade(signals.saturation, thresholds.saturation_degraded,
+        thresholds.saturation_saturated, "saturation",
+        "pinned counters under-count every flow sharing them",
+        report.status, report.reasons);
+  grade(signals.noise_load, thresholds.noise_load_degraded,
+        thresholds.noise_load_saturated, "noise_load",
+        "mean counter value is consuming the capacity headroom",
+        report.status, report.reasons);
+  grade(signals.cache_pressure, thresholds.cache_pressure_degraded,
+        thresholds.cache_pressure_saturated, "cache_pressure",
+        "flows per cache entry beyond the y = 2n/Q sizing assumption",
+        report.status, report.reasons);
+  if (signals.replacement_share > thresholds.replacement_share_degraded &&
+      signals.replacement_trend > 0.0) {
+    raise(report.status, HealthStatus::kDegraded);
+    report.reasons.push_back(describe(
+        "replacement_share", signals.replacement_share,
+        thresholds.replacement_share_degraded,
+        "cache thrash is rising window over window"));
+  }
+  if (signals.flush_backlog > thresholds.flush_backlog_degraded) {
+    raise(report.status, HealthStatus::kDegraded);
+    report.reasons.push_back(describe(
+        "flush_backlog", static_cast<double>(signals.flush_backlog),
+        static_cast<double>(thresholds.flush_backlog_degraded),
+        "finalizer is falling behind the rotation cadence"));
+  }
+  return report;
+}
+
+HealthSignals snapshot_signals(const ShardedEpochSnapshot& snapshot,
+                               std::uint64_t cache_entries_per_shard) {
+  HealthSignals s;
+  s.has_epoch = true;
+  s.epoch_seq = snapshot.seq();
+  std::uint64_t total_value = 0;
+  double capacity = 0.0;
+  for (std::size_t i = 0; i < snapshot.shards(); ++i) {
+    const auto& sram = snapshot.shard(i).sram();
+    capacity = static_cast<double>(sram.capacity());
+    s.counters += sram.size();
+    for (std::uint64_t c = 0; c < sram.size(); ++c) {
+      const Count v = sram.peek(c);
+      total_value += v;
+      if (v >= sram.capacity()) ++s.saturated_counters;
+    }
+  }
+  if (s.counters > 0) {
+    s.saturation = static_cast<double>(s.saturated_counters) /
+                   static_cast<double>(s.counters);
+    if (capacity > 0.0)
+      s.noise_load = static_cast<double>(total_value) /
+                     (static_cast<double>(s.counters) * capacity);
+  }
+  const double m = static_cast<double>(cache_entries_per_shard) *
+                   static_cast<double>(snapshot.shards());
+  if (m > 0.0)
+    s.cache_pressure = snapshot.estimate_flow_count() / m;  // may be +inf
+  return s;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // +inf: estimator saturated
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char esc[8];
+      std::snprintf(esc, sizeof esc, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += esc;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string HealthReport::to_json() const {
+  std::string out = "{\"status\": \"";
+  out += to_string(status);
+  out += "\", \"signals\": {";
+  out += "\"has_epoch\": ";
+  out += signals.has_epoch ? "true" : "false";
+  out += ", \"epoch_seq\": " + std::to_string(signals.epoch_seq);
+  out += ", \"counters\": " + std::to_string(signals.counters);
+  out += ", \"saturated_counters\": " +
+         std::to_string(signals.saturated_counters);
+  out += ", \"saturation\": " + json_number(signals.saturation);
+  out += ", \"noise_load\": " + json_number(signals.noise_load);
+  out += ", \"cache_pressure\": " + json_number(signals.cache_pressure);
+  out +=
+      ", \"replacement_share\": " + json_number(signals.replacement_share);
+  out +=
+      ", \"replacement_trend\": " + json_number(signals.replacement_trend);
+  out += ", \"flush_backlog\": " + std::to_string(signals.flush_backlog);
+  out += ", \"spill_depth\": " + std::to_string(signals.spill_depth);
+  out += "}, \"reasons\": [";
+  for (std::size_t i = 0; i < reasons.size(); ++i) {
+    if (i) out += ", ";
+    append_json_string(out, reasons[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+HealthReport assess_snapshot(const ShardedEpochSnapshot& snapshot,
+                             std::uint64_t cache_entries_per_shard,
+                             const HealthThresholds& thresholds) {
+  return classify(snapshot_signals(snapshot, cache_entries_per_shard),
+                  thresholds);
+}
+
+HealthReport assess_live(const ShardedCaesar& sharded,
+                         const HealthThresholds& thresholds) {
+  const auto snapshot = sharded.latest_snapshot();
+  HealthSignals signals;
+  // per_shard_config() — not shard(0).config() — because the shard
+  // objects belong to the workers/finalizer during a live session.
+  if (snapshot)
+    signals = snapshot_signals(
+        *snapshot, sharded.per_shard_config().cache_entries);
+  signals.flush_backlog = sharded.flush_backlog();
+  return classify(signals, thresholds);
+}
+
+HealthReport HealthMonitor::on_epoch(
+    const ShardedEpochSnapshot& snapshot,
+    std::uint64_t cache_entries_per_shard,
+    const metrics::MetricsSnapshot* runtime) {
+  HealthSignals signals =
+      snapshot_signals(snapshot, cache_entries_per_shard);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (runtime != nullptr) {
+    const std::uint64_t replacement =
+        sum_counters(*runtime, "cache.evictions.replacement");
+    const std::uint64_t packets = sum_counters(*runtime, "cache.packets");
+    if (have_prev_ && packets > prev_packets_) {
+      signals.replacement_share =
+          static_cast<double>(replacement - prev_replacement_) /
+          static_cast<double>(packets - prev_packets_);
+      signals.replacement_trend = signals.replacement_share - prev_share_;
+    }
+    prev_replacement_ = replacement;
+    prev_packets_ = packets;
+    prev_share_ = signals.replacement_share;
+    have_prev_ = true;
+    signals.flush_backlog = sum_gauges(*runtime, "live.flush_backlog");
+    signals.spill_depth = sum_gauges(*runtime, "spill.depth");
+  }
+  last_ = classify(signals, thresholds_);
+  return last_;
+}
+
+HealthReport HealthMonitor::last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+metrics::HttpResponse healthz_response(const HealthReport& report) {
+  metrics::HttpResponse res;
+  res.status = report.status == HealthStatus::kSaturated ? 503 : 200;
+  res.content_type = "application/json";
+  res.body = report.to_json();
+  res.body += '\n';
+  return res;
+}
+
+}  // namespace caesar::core

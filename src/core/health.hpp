@@ -1,0 +1,154 @@
+// Sketch health self-monitoring — can the estimates still be trusted?
+//
+// The paper's accuracy analysis rests on assumptions the datapath can
+// silently outgrow during a long measurement: SRAM counters must not
+// saturate (a pinned counter under-counts every flow sharing it), the
+// per-counter noise n/L must stay well inside the counter capacity l
+// (the CSM/MLM de-noising subtracts the *expected* noise; a counter
+// near capacity clips the actual noise), and the cache sizing y = 2n/Q
+// assumes the flow count Q does not dwarf the M cache entries (when it
+// does, replacement evictions — "not fulfilled" in the paper — dominate
+// and the cache stops absorbing bursts). Production counter systems
+// (Counter Braids, RCS) rotate or resize on exactly these signals; this
+// module derives them per closed epoch and folds them into one
+// HealthReport that /healthz serves.
+//
+// Health assessment reads only quiesced data: a published
+// ShardedEpochSnapshot (immutable by construction) plus atomic gauges.
+// It never touches the sketches the ingest workers are writing, so it is
+// safe from any thread during a live session — and, like metrics and
+// tracing, it cannot perturb results.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics_server.hpp"
+#include "core/epoch_manager.hpp"
+#include "core/sharded_caesar.hpp"
+
+namespace caesar::core {
+
+enum class HealthStatus {
+  kOk,         ///< every signal inside its degraded threshold
+  kDegraded,   ///< estimates still usable; accuracy margin shrinking
+  kSaturated,  ///< de-noising assumptions violated; rotate or resize
+};
+
+[[nodiscard]] std::string_view to_string(HealthStatus status) noexcept;
+
+/// Tuning knobs, all expressed as fractions so they survive resizing.
+/// Defaults are derived in docs/OBSERVABILITY.md ("Health thresholds").
+struct HealthThresholds {
+  /// Fraction of SRAM counters pinned at capacity l. Any pinned counter
+  /// already biases the flows mapped onto it; 1% pinned means ~3% of
+  /// flows (k = 3) read at least one clipped counter.
+  double saturation_degraded = 1e-9;  // i.e. any pinned counter
+  double saturation_saturated = 0.01;
+  /// Noise load n / (L * l): the mean counter value (total packets over
+  /// L counters) as a fraction of counter capacity. The paper sizes l
+  /// with Gaussian headroom above the mean; past ~50% the tail has no
+  /// room left, past ~90% saturation is imminent.
+  double noise_load_degraded = 0.50;
+  double noise_load_saturated = 0.90;
+  /// Cache pressure Q / M (estimated flows per cache entry, aggregate
+  /// over shards). y = floor(2n/Q) assumes Q <~ M; beyond a few flows
+  /// per entry the replacement path dominates eviction traffic.
+  double cache_pressure_degraded = 4.0;
+  double cache_pressure_saturated = 16.0;
+  /// Replacement-eviction share of packets in the window between two
+  /// assessments — the eviction-rate trend input. Rising share means
+  /// the cache is thrashing harder than last window.
+  double replacement_share_degraded = 0.25;
+  /// Backlogs: cache entries awaiting a finalizer flush, and spill-queue
+  /// depth, in entries. Sustained backlog means the finalizer cannot
+  /// keep up with the rotation cadence.
+  std::uint64_t flush_backlog_degraded = 1u << 20;
+};
+
+/// The derived gauges, one assessment's worth.
+struct HealthSignals {
+  bool has_epoch = false;      ///< false before the first closed epoch
+  std::uint64_t epoch_seq = 0;
+  std::uint64_t counters = 0;  ///< aggregate L across shards
+  std::uint64_t saturated_counters = 0;
+  double saturation = 0.0;      ///< saturated_counters / counters
+  double noise_load = 0.0;      ///< n / (L * l)
+  double cache_pressure = 0.0;  ///< Q_hat / (M * shards)
+  double replacement_share = 0.0;  ///< replacement evictions per packet
+  double replacement_trend = 0.0;  ///< share delta vs previous window
+  std::uint64_t flush_backlog = 0;
+  std::uint64_t spill_depth = 0;
+};
+
+struct HealthReport {
+  HealthStatus status = HealthStatus::kOk;
+  HealthSignals signals;
+  /// One human-readable line per signal outside its threshold.
+  std::vector<std::string> reasons;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == HealthStatus::kOk;
+  }
+  /// {"status": "...", "signals": {...}, "reasons": [...]}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Assess one quiesced epoch snapshot. `cache_entries_per_shard` is the
+/// M of the configuration that produced it (the snapshot itself only
+/// carries the SRAM geometry). Pure function; scans the snapshot's
+/// counters once (O(L)).
+[[nodiscard]] HealthReport assess_snapshot(
+    const ShardedEpochSnapshot& snapshot,
+    std::uint64_t cache_entries_per_shard,
+    const HealthThresholds& thresholds = {});
+
+/// Assess a live (or serial) ShardedCaesar from its latest *published*
+/// snapshot plus its atomic backlog gauge — never from the shard
+/// sketches themselves, so this is safe from any thread mid-session.
+/// Before the first closed epoch the report is kOk with
+/// signals.has_epoch == false.
+[[nodiscard]] HealthReport assess_live(const ShardedCaesar& sharded,
+                                       const HealthThresholds& thresholds = {});
+
+/// Stateful wrapper for serving /healthz: re-assess per closed epoch
+/// (from the session thread), read the latest report from any thread.
+/// Keeps the previous window's eviction counters so the report carries
+/// the eviction-rate *trend*, which the pure functions cannot.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthThresholds thresholds = {})
+      : thresholds_(thresholds) {}
+
+  /// Fold a freshly closed epoch in. `runtime` (optional) supplies the
+  /// eviction/backlog series: the sum of "*.cache.evictions.replacement"
+  /// and "*.cache.packets" counters drives the trend, the
+  /// "live.flush_backlog" gauge and "*.spill.depth" gauges the backlog
+  /// signals. Thread-safe.
+  HealthReport on_epoch(const ShardedEpochSnapshot& snapshot,
+                        std::uint64_t cache_entries_per_shard,
+                        const metrics::MetricsSnapshot* runtime = nullptr);
+
+  /// Latest report (default-constructed kOk before the first on_epoch).
+  [[nodiscard]] HealthReport last() const;
+
+ private:
+  HealthThresholds thresholds_;
+  mutable std::mutex mu_;
+  HealthReport last_;
+  std::uint64_t prev_replacement_ = 0;
+  std::uint64_t prev_packets_ = 0;
+  double prev_share_ = 0.0;
+  bool have_prev_ = false;
+};
+
+/// HTTP rendering for MetricsServer::set_handler("/healthz", ...):
+/// JSON body; 200 for ok/degraded, 503 for saturated (the convention
+/// load balancers and Kubernetes probes act on).
+[[nodiscard]] metrics::HttpResponse healthz_response(
+    const HealthReport& report);
+
+}  // namespace caesar::core

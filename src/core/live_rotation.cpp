@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/tracing.hpp"
 #include "core/live_state.hpp"
 #include "core/sharded_caesar.hpp"
 
@@ -106,6 +107,8 @@ void ShardedCaesar::start_live(const LiveOptions& options) {
 
       // Epoch complete: flush every shard in bounded chunks (reporting
       // backlog between steps), snapshot, publish.
+      tracing::TraceSpan finalize_span("live.finalize_epoch");
+      finalize_span.arg(item.seq);
       std::vector<EpochSnapshot> snaps;
       snaps.reserve(shards);
       for (auto& sketch : epoch_shards) {
@@ -122,14 +125,22 @@ void ShardedCaesar::start_live(const LiveOptions& options) {
       store_.publish(snap);
       live_metrics_.rotations.inc();
       live_metrics_.snapshots_retained.set(store_.retained());
-      if constexpr (metrics::kEnabled) {
+      if constexpr (metrics::kEnabled || tracing::kEnabled) {
         detail::clock_type::time_point t0;
         {
           std::lock_guard<std::mutex> lock(state->fq_mu);
           t0 = state->marker_times[item.seq];
           state->marker_times.erase(item.seq);
         }
-        live_metrics_.rotation_latency_us.record(detail::elapsed_us(t0));
+        const std::uint64_t us = detail::elapsed_us(t0);
+        live_metrics_.rotation_latency_us.record(us);
+        if (tracing::active()) {
+          // The marker was injected on the ingest thread; reconstruct the
+          // span end-anchored so it lands on this (finalizer) timeline.
+          const std::uint64_t end = tracing::now_ns();
+          tracing::emit("live.rotation_latency", end - us * 1000, end,
+                        item.seq);
+        }
       }
       pending.erase(item.seq);
       arrived.erase(item.seq);
@@ -190,6 +201,8 @@ void ShardedCaesar::start_live(const LiveOptions& options) {
           const std::size_t n = state->rings[s]->try_pop_bulk(
               std::span<detail::LiveItem>(buf));
           if (n > 0) {
+            tracing::TraceSpan span("live.pop_batch");
+            span.arg(n);
             process_items(s,
                           std::span<const detail::LiveItem>(buf.data(), n));
             ingest_metrics_[s].worker_batches.inc();
@@ -257,7 +270,9 @@ std::uint64_t ShardedCaesar::rotate_live() {
   detail::LiveState* st = live_.get();
   const auto t0 = detail::clock_type::now();
   const std::uint64_t seq = st->next_marker_seq++;
-  if constexpr (metrics::kEnabled) {
+  tracing::TraceSpan span("live.rotate_call");
+  span.arg(seq);
+  if constexpr (metrics::kEnabled || tracing::kEnabled) {
     std::lock_guard<std::mutex> lock(st->fq_mu);
     st->marker_times[seq] = t0;
   }

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/spsc_ring.hpp"
+#include "common/tracing.hpp"
 #include "core/live_state.hpp"
 #include "hash/murmur3.hpp"
 
@@ -23,6 +24,7 @@ ShardedCaesar::ShardedCaesar(const CaesarConfig& per_shard,
     shards_.emplace_back(cfg);
   }
   ingest_metrics_ = std::vector<ShardIngestMetrics>(shards);
+  per_shard_config_ = per_shard;
   // The routing hash must be independent of every in-shard hash; derive
   // it from the base seed with a distinct tweak.
   route_seed_ = per_shard.seed ^ 0x517cc1b727220a95ULL;
@@ -86,6 +88,8 @@ void ShardedCaesar::add_parallel(std::span<const FlowId> flows,
         for (std::size_t s = w; s < num_shards; s += threads) {
           const std::size_t n = rings[s]->try_pop_bulk(std::span<FlowId>(buf));
           if (n > 0) {
+            tracing::TraceSpan span("pipeline.pop_batch");
+            span.arg(n);
             shards_[s].add_batch(std::span<const FlowId>(buf.data(), n));
             ingest_metrics_[s].worker_batches.inc();
             ingest_metrics_[s].batch_size.record(n);

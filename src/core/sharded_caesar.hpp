@@ -134,6 +134,12 @@ class ShardedCaesar {
   [[nodiscard]] std::uint64_t epochs_closed() const {
     return store_.published();
   }
+  /// Cache entries awaiting a finalizer flush (the live.flush_backlog
+  /// gauge; 0 outside a live session or with metrics compiled out).
+  /// Relaxed-atomic read, safe from any thread.
+  [[nodiscard]] std::uint64_t flush_backlog() const noexcept {
+    return live_metrics_.flush_backlog.value();
+  }
 
   // Clamped-at-zero query API; *_raw forwards keep the signed values for
   // evaluation code (see CaesarSketch's header note).
@@ -154,6 +160,13 @@ class ShardedCaesar {
 
   [[nodiscard]] const CaesarSketch& shard(std::size_t index) const noexcept {
     return shards_[index];
+  }
+
+  /// The base per-shard configuration (shard seeds are derived from it).
+  /// Immutable after construction, so — unlike shard() — it is safe to
+  /// read from any thread during a live session.
+  [[nodiscard]] const CaesarConfig& per_shard_config() const noexcept {
+    return per_shard_config_;
   }
 
   /// Append pipeline + per-shard instruments to `snapshot`:
@@ -196,6 +209,7 @@ class ShardedCaesar {
   std::vector<CaesarSketch> shards_;
   std::vector<ShardIngestMetrics> ingest_metrics_;
   metrics::Counter parallel_batches_;
+  CaesarConfig per_shard_config_;
   std::uint64_t route_seed_;
 
   /// Published epochs; retention defaults to LiveOptions::max_epochs and

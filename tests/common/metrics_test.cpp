@@ -143,6 +143,24 @@ TEST(MetricsSnapshot, LooksUpByName) {
   EXPECT_EQ(snap.value("nope"), 0u);
 }
 
+TEST(MetricsSnapshot, FindDistinguishesAbsentFromZero) {
+  MetricsSnapshot snap;
+  snap.add_counter("cache.hits", 0);
+  snap.add_gauge("spill.depth", 0, 0);
+  // value() collapses both cases to 0; find() keeps them apart.
+  EXPECT_EQ(snap.value("cache.hits"), 0u);
+  EXPECT_EQ(snap.value("cache.misses"), 0u);
+  ASSERT_TRUE(snap.find("cache.hits").has_value());
+  EXPECT_EQ(*snap.find("cache.hits"), 0u);
+  ASSERT_TRUE(snap.find("spill.depth").has_value());
+  EXPECT_FALSE(snap.find("cache.misses").has_value());
+  // Histograms are has()-visible but have no scalar value to find.
+  Histogram h;
+  snap.add_histogram("batch", h);
+  EXPECT_TRUE(snap.has("batch"));
+  EXPECT_FALSE(snap.find("batch").has_value());
+}
+
 TEST(MetricsSnapshot, CollectsLiveInstruments) {
   Counter c;
   c.add(5);
@@ -185,6 +203,23 @@ TEST(MetricsSnapshot, JsonHasAllThreeSections) {
   std::ostringstream os;
   snap.write_json(os);
   EXPECT_EQ(os.str(), json);
+}
+
+TEST(MetricsSnapshot, JsonEscapesHostileNames) {
+  // Callers choose prefixes; a hostile one must not corrupt the JSON.
+  MetricsSnapshot snap;
+  snap.add_counter("evil\"name\\with\ncontrol", 1);
+  snap.add_gauge("quote\"gauge", 2, 3);
+  Histogram h;
+  snap.add_histogram("tab\thist", h);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"evil\\\"name\\\\with\\u000acontrol\": 1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"quote\\\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"tab\\u0009hist\""), std::string::npos);
+  // No raw quote or control byte survives inside a name.
+  EXPECT_EQ(json.find("evil\"name"), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
 }
 
 TEST(MetricsSnapshot, EmptySnapshotIsStillValidJson) {

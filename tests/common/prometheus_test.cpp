@@ -1,0 +1,91 @@
+// Prometheus text-format encoder: name sanitization and the exposition
+// rendering of counters, gauges, and cumulative histograms. The golden
+// test fixes the exact byte output so an accidental format change (which
+// would silently break scrapers) fails loudly.
+#include "common/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/metrics.hpp"
+
+namespace caesar::metrics {
+namespace {
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("cache.hits"), "caesar_cache_hits");
+  EXPECT_EQ(prometheus_name("shard3.ring.push", "caesar"),
+            "caesar_shard3_ring_push");
+  EXPECT_EQ(prometheus_name("weird-name with spaces!"),
+            "caesar_weird_name_with_spaces_");
+  EXPECT_EQ(prometheus_name("a:b_c9", ""), "a:b_c9");  // already valid
+  // Without a namespace a leading digit needs a guard underscore.
+  EXPECT_EQ(prometheus_name("9lives", ""), "_9lives");
+  EXPECT_EQ(prometheus_name("9lives"), "caesar_9lives");
+  EXPECT_EQ(prometheus_name("", ""), "_");
+}
+
+TEST(Prometheus, GoldenExposition) {
+  MetricsSnapshot snap;
+  snap.add_counter("cache.hits", 42);
+  snap.add_gauge("spill.depth", 7, 19);
+  Histogram h;
+  h.record(0);  // bucket le=0
+  h.record(1);  // bucket le=1
+  h.record(5);  // bucket le=7
+  snap.add_histogram("batch.size", h);
+
+  const std::string expected = metrics::kEnabled ?
+      "# TYPE caesar_cache_hits counter\n"
+      "caesar_cache_hits 42\n"
+      "# TYPE caesar_spill_depth gauge\n"
+      "caesar_spill_depth 7\n"
+      "# TYPE caesar_spill_depth_high_water gauge\n"
+      "caesar_spill_depth_high_water 19\n"
+      "# TYPE caesar_batch_size histogram\n"
+      "caesar_batch_size_bucket{le=\"0\"} 1\n"
+      "caesar_batch_size_bucket{le=\"1\"} 2\n"
+      "caesar_batch_size_bucket{le=\"7\"} 3\n"
+      "caesar_batch_size_bucket{le=\"+Inf\"} 3\n"
+      "caesar_batch_size_sum 6\n"
+      "caesar_batch_size_count 3\n"
+      :
+      // Metrics compiled out: instruments read 0 and record nothing,
+      // but the snapshot still lists every name (empty histogram).
+      "# TYPE caesar_cache_hits counter\n"
+      "caesar_cache_hits 42\n"
+      "# TYPE caesar_spill_depth gauge\n"
+      "caesar_spill_depth 7\n"
+      "# TYPE caesar_spill_depth_high_water gauge\n"
+      "caesar_spill_depth_high_water 19\n"
+      "# TYPE caesar_batch_size histogram\n"
+      "caesar_batch_size_bucket{le=\"+Inf\"} 0\n"
+      "caesar_batch_size_sum 0\n"
+      "caesar_batch_size_count 0\n";
+  EXPECT_EQ(to_prometheus(snap), expected);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulative) {
+  MetricsSnapshot snap;
+  Histogram h;
+  for (int i = 0; i < 4; ++i) h.record(2);    // le=3
+  for (int i = 0; i < 2; ++i) h.record(100);  // le=127
+  snap.add_histogram("lat", h);
+  const std::string text = to_prometheus(snap);
+  if (!metrics::kEnabled) return;
+  // 4 samples at le=3, cumulative 6 at le=127, +Inf equals count.
+  EXPECT_NE(text.find("caesar_lat_bucket{le=\"3\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("caesar_lat_bucket{le=\"127\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("caesar_lat_bucket{le=\"+Inf\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("caesar_lat_count 6\n"), std::string::npos);
+}
+
+TEST(Prometheus, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(to_prometheus(MetricsSnapshot{}), "");
+}
+
+}  // namespace
+}  // namespace caesar::metrics

@@ -1,0 +1,206 @@
+// Sketch health monitor: signal derivation from closed epoch snapshots,
+// threshold grading, the trend state in HealthMonitor, and the /healthz
+// HTTP rendering.
+#include "core/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/sharded_caesar.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::core {
+namespace {
+
+std::vector<FlowId> test_packets(std::uint64_t flows, double mean,
+                                 std::uint64_t seed) {
+  trace::TraceConfig tc;
+  tc.num_flows = flows;
+  tc.mean_flow_size = mean;
+  tc.seed = seed;
+  const auto t = trace::generate_trace(tc);
+  std::vector<FlowId> packets;
+  packets.reserve(t.num_packets());
+  for (auto idx : t.arrivals()) packets.push_back(t.id_of(idx));
+  return packets;
+}
+
+CaesarConfig healthy_config() {
+  CaesarConfig cfg;
+  cfg.cache_entries = 4096;
+  cfg.entry_capacity = 40;
+  cfg.num_counters = 200'000;
+  cfg.counter_bits = 20;
+  cfg.seed = 33;
+  return cfg;
+}
+
+TEST(Health, StatusStrings) {
+  EXPECT_EQ(to_string(HealthStatus::kOk), "ok");
+  EXPECT_EQ(to_string(HealthStatus::kDegraded), "degraded");
+  EXPECT_EQ(to_string(HealthStatus::kSaturated), "saturated");
+}
+
+TEST(Health, HealthySnapshotIsOk) {
+  ShardedCaesar sketch(healthy_config(), 2);
+  const auto packets = test_packets(2000, 15.0, 5);
+  for (FlowId f : packets) sketch.add(f);
+  const auto snap = sketch.rotate();
+
+  const auto report =
+      assess_snapshot(*snap, healthy_config().cache_entries);
+  EXPECT_EQ(report.status, HealthStatus::kOk);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.reasons.empty());
+  EXPECT_TRUE(report.signals.has_epoch);
+  EXPECT_EQ(report.signals.counters, 2u * 200'000u);
+  EXPECT_EQ(report.signals.saturated_counters, 0u);
+  EXPECT_GT(report.signals.noise_load, 0.0);
+  EXPECT_LT(report.signals.noise_load, 0.5);
+  EXPECT_GT(report.signals.cache_pressure, 0.0);
+}
+
+TEST(Health, SaturatedCountersAreDetected) {
+  // Tiny 4-bit counters (capacity 15) under tens of thousands of packets:
+  // most counters pin at capacity, which must grade as saturated — the
+  // estimates from such a sketch are untrustworthy.
+  CaesarConfig cfg = healthy_config();
+  cfg.num_counters = 64;
+  cfg.counter_bits = 4;
+  cfg.cache_entries = 16;
+  cfg.entry_capacity = 4;
+  ShardedCaesar sketch(cfg, 1);
+  const auto packets = test_packets(500, 40.0, 6);
+  for (FlowId f : packets) sketch.add(f);
+  const auto snap = sketch.rotate();
+
+  const auto report = assess_snapshot(*snap, cfg.cache_entries);
+  EXPECT_EQ(report.status, HealthStatus::kSaturated);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.signals.saturated_counters, 0u);
+  EXPECT_GT(report.signals.saturation, 0.01);
+  EXPECT_FALSE(report.reasons.empty());
+  bool mentions_saturation = false;
+  for (const auto& r : report.reasons)
+    if (r.find("saturation") != std::string::npos) mentions_saturation = true;
+  EXPECT_TRUE(mentions_saturation);
+}
+
+TEST(Health, CachePressureGradesWhenFlowsDwarfEntries) {
+  // Plenty of counter headroom but a 32-entry cache facing thousands of
+  // flows: Q/M blows past the sizing assumption and must at least
+  // degrade the report.
+  CaesarConfig cfg = healthy_config();
+  cfg.cache_entries = 32;
+  ShardedCaesar sketch(cfg, 1);
+  const auto packets = test_packets(4000, 10.0, 7);
+  for (FlowId f : packets) sketch.add(f);
+  const auto snap = sketch.rotate();
+
+  const auto report = assess_snapshot(*snap, cfg.cache_entries);
+  EXPECT_NE(report.status, HealthStatus::kOk);
+  EXPECT_GT(report.signals.cache_pressure, 4.0);
+}
+
+TEST(Health, ThresholdsAreTunable) {
+  ShardedCaesar sketch(healthy_config(), 1);
+  const auto packets = test_packets(2000, 15.0, 8);
+  for (FlowId f : packets) sketch.add(f);
+  const auto snap = sketch.rotate();
+
+  // Absurdly strict thresholds flip a healthy run to saturated.
+  HealthThresholds strict;
+  strict.noise_load_degraded = 0.0;
+  strict.noise_load_saturated = 1e-12;
+  const auto report =
+      assess_snapshot(*snap, healthy_config().cache_entries, strict);
+  EXPECT_EQ(report.status, HealthStatus::kSaturated);
+}
+
+TEST(Health, AssessLiveBeforeAnyEpochIsOk) {
+  ShardedCaesar sketch(healthy_config(), 2);
+  const auto report = assess_live(sketch);
+  EXPECT_EQ(report.status, HealthStatus::kOk);
+  EXPECT_FALSE(report.signals.has_epoch);
+  EXPECT_TRUE(report.reasons.empty());
+}
+
+TEST(Health, AssessLiveReadsLatestSnapshot) {
+  ShardedCaesar sketch(healthy_config(), 2);
+  const auto packets = test_packets(2000, 15.0, 9);
+  for (FlowId f : packets) sketch.add(f);
+  (void)sketch.rotate();
+  const auto report = assess_live(sketch);
+  EXPECT_TRUE(report.signals.has_epoch);
+  EXPECT_EQ(report.status, HealthStatus::kOk);
+  EXPECT_EQ(report.signals.flush_backlog, 0u);
+}
+
+TEST(Health, MonitorTracksReplacementTrend) {
+  HealthMonitor monitor;
+  EXPECT_EQ(monitor.last().status, HealthStatus::kOk);  // before any epoch
+
+  ShardedCaesar sketch(healthy_config(), 1);
+  const auto packets = test_packets(2000, 15.0, 10);
+  for (FlowId f : packets) sketch.add(f);
+  const auto snap = sketch.rotate();
+
+  // Synthetic runtime series: replacement share jumps from 10% to 60%
+  // across windows — a rising-thrash trend the monitor must flag.
+  metrics::MetricsSnapshot w1;
+  w1.add_counter("shard0.cache.evictions.replacement", 100);
+  w1.add_counter("shard0.cache.packets", 1000);
+  const auto r1 =
+      monitor.on_epoch(*snap, healthy_config().cache_entries, &w1);
+  EXPECT_EQ(r1.signals.replacement_share, 0.0);  // no previous window
+
+  metrics::MetricsSnapshot w2;
+  w2.add_counter("shard0.cache.evictions.replacement", 700);
+  w2.add_counter("shard0.cache.packets", 2000);
+  const auto r2 =
+      monitor.on_epoch(*snap, healthy_config().cache_entries, &w2);
+  EXPECT_DOUBLE_EQ(r2.signals.replacement_share, 0.6);
+  EXPECT_GT(r2.signals.replacement_trend, 0.0);
+  EXPECT_EQ(r2.status, HealthStatus::kDegraded);
+  EXPECT_EQ(monitor.last().status, HealthStatus::kDegraded);
+
+  // Gauges feed the backlog signals through the same snapshot.
+  metrics::MetricsSnapshot w3;
+  w3.add_counter("shard0.cache.evictions.replacement", 700);
+  w3.add_counter("shard0.cache.packets", 3000);
+  w3.add_gauge("live.flush_backlog", 42, 42);
+  w3.add_gauge("shard0.spill.depth", 7, 7);
+  const auto r3 =
+      monitor.on_epoch(*snap, healthy_config().cache_entries, &w3);
+  EXPECT_EQ(r3.signals.flush_backlog, 42u);
+  EXPECT_EQ(r3.signals.spill_depth, 7u);
+}
+
+TEST(Health, ReportRendersJsonAndHttp) {
+  HealthReport report;
+  report.status = HealthStatus::kDegraded;
+  report.signals.has_epoch = true;
+  report.signals.counters = 10;
+  report.reasons.push_back("noise_load = 0.6 exceeds 0.5: \"headroom\"");
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\": 10"), std::string::npos);
+  // Reason strings are JSON-escaped.
+  EXPECT_NE(json.find("\\\"headroom\\\""), std::string::npos);
+
+  const auto ok_res = healthz_response(report);
+  EXPECT_EQ(ok_res.status, 200);  // degraded still serves traffic
+  EXPECT_EQ(ok_res.content_type, "application/json");
+  EXPECT_NE(ok_res.body.find("degraded"), std::string::npos);
+
+  report.status = HealthStatus::kSaturated;
+  EXPECT_EQ(healthz_response(report).status, 503);
+}
+
+}  // namespace
+}  // namespace caesar::core

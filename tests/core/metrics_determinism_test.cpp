@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -122,13 +123,17 @@ TEST(MetricsDeterminism, SketchMetricsSatisfyPipelineInvariants) {
   sketch.collect_metrics(snap);
 
   // CacheStats-backed series exist in every build (they predate the
-  // metrics layer and are not compiled out).
-  EXPECT_EQ(snap.value("cache.packets"), t.num_packets());
+  // metrics layer and are not compiled out). find() asserts presence:
+  // value() would let a renamed series pass as "0 == 0".
+  ASSERT_EQ(snap.find("cache.packets"),
+            std::optional<std::uint64_t>(t.num_packets()));
   EXPECT_EQ(snap.value("cache.hits") + snap.value("cache.misses"),
             snap.value("cache.packets"));
-  EXPECT_EQ(snap.value("packets"), t.num_packets());
+  ASSERT_EQ(snap.find("packets"),
+            std::optional<std::uint64_t>(t.num_packets()));
   // Flushed: everything has migrated to SRAM.
-  EXPECT_EQ(snap.value("packets_in_sram"), t.num_packets());
+  ASSERT_EQ(snap.find("packets_in_sram"),
+            std::optional<std::uint64_t>(t.num_packets()));
   EXPECT_GT(snap.value("cache.evictions.replacement"), 0u);
   EXPECT_GT(snap.value("cache.evictions.flush"), 0u);
 
@@ -147,9 +152,9 @@ TEST(MetricsDeterminism, SketchMetricsSatisfyPipelineInvariants) {
       }
     }
   }
-  // After flush the spill queue is empty (the gauge's live value).
-  EXPECT_TRUE(snap.has("spill.depth"));
-  EXPECT_EQ(snap.value("spill.depth"), 0u);
+  // After flush the spill queue is empty (the gauge's live value);
+  // find() distinguishes "present with 0" from "gauge went missing".
+  ASSERT_EQ(snap.find("spill.depth"), std::optional<std::uint64_t>(0));
 }
 
 TEST(MetricsDeterminism, ShardedMetricsRollUpAcrossShards) {

@@ -1,0 +1,257 @@
+// The introspection plane's two load-bearing guarantees, exercised
+// against real ingest:
+//
+//   1. TracingDeterminism — tracing must never perturb results: every
+//      SRAM counter and every estimate is bit-identical whether tracing
+//      is inactive, active, or compiled out (the cross-build half is
+//      covered by the CI metrics smoke job's CAESAR_TRACING=OFF build).
+//   2. MetricsServerLive — /metrics and /healthz can be scraped from
+//      other threads while a live-rotation session ingests and rotates;
+//      the CI TSan pass (regex includes MetricsServerLive) pins that the
+//      scrape path shares no unsynchronized state with the workers.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/metrics_server.hpp"
+#include "common/tracing.hpp"
+#include "core/health.hpp"
+#include "core/sharded_caesar.hpp"
+#include "trace/synthetic.hpp"
+
+namespace caesar::core {
+namespace {
+
+CaesarConfig test_config() {
+  CaesarConfig cfg;
+  cfg.cache_entries = 512;  // replacement pressure: many evictions
+  cfg.entry_capacity = 25;
+  cfg.num_counters = 50'000;
+  cfg.counter_bits = 18;
+  cfg.k = 3;
+  cfg.seed = 21;
+  return cfg;
+}
+
+std::vector<FlowId> test_packets(std::uint64_t seed) {
+  trace::TraceConfig tc;
+  tc.num_flows = 3000;
+  tc.mean_flow_size = 16.0;
+  tc.seed = seed;
+  const auto t = trace::generate_trace(tc);
+  std::vector<FlowId> packets;
+  packets.reserve(t.num_packets());
+  for (auto idx : t.arrivals()) packets.push_back(t.id_of(idx));
+  return packets;
+}
+
+std::uint64_t fnv_fold(const ShardedEpochSnapshot& snap) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t s = 0; s < snap.shards(); ++s) {
+    const auto& sram = snap.shard(s).sram();
+    for (std::uint64_t i = 0; i < sram.size(); ++i) {
+      h ^= sram.peek(i);
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+/// Run the same two-epoch live session and return the per-epoch SRAM
+/// folds. `traced` arms tracing around the whole session.
+std::vector<std::uint64_t> run_session(bool traced) {
+  if (traced) tracing::start(4096);
+  ShardedCaesar sketch(test_config(), 2);
+  LiveOptions live;
+  live.flush_chunk = 64;  // many flush_step spans per rotation
+  sketch.start_live(live);
+  std::vector<std::uint64_t> folds;
+  for (std::uint64_t e = 0; e < 2; ++e) {
+    sketch.feed(test_packets(100 + e));
+    const std::uint64_t seq = sketch.rotate_live();
+    const auto snap = sketch.wait_epoch(seq);
+    folds.push_back(fnv_fold(*snap));
+    folds.push_back(
+        static_cast<std::uint64_t>(snap->estimate_flow_count() * 1e6));
+  }
+  sketch.stop_live();
+  if (traced) tracing::stop();
+  return folds;
+}
+
+TEST(TracingDeterminism, LiveSessionIsBitIdenticalWithTracing) {
+  const auto quiet = run_session(false);
+  const auto traced = run_session(true);
+  ASSERT_EQ(quiet, traced);
+  if (tracing::kEnabled) {
+    // The traced run actually captured the instrumented seams.
+    const auto events = tracing::collect();
+    EXPECT_FALSE(events.empty());
+    bool saw_pop = false, saw_flush = false, saw_rotate = false;
+    for (const auto& e : events) {
+      const std::string name = e.name;
+      saw_pop |= name == "live.pop_batch";
+      saw_flush |= name == "sketch.flush_step";
+      saw_rotate |= name == "live.rotate_call";
+    }
+    EXPECT_TRUE(saw_pop);
+    EXPECT_TRUE(saw_flush);
+    EXPECT_TRUE(saw_rotate);
+  }
+}
+
+TEST(TracingDeterminism, BatchedPathIsBitIdenticalWithTracing) {
+  const auto packets = test_packets(77);
+  CaesarSketch quiet(test_config());
+  quiet.add_batch(packets);
+  quiet.flush();
+
+  tracing::start(4096);
+  CaesarSketch traced(test_config());
+  traced.add_batch(packets);
+  traced.flush();
+  tracing::stop();
+
+  ASSERT_EQ(quiet.sram().size(), traced.sram().size());
+  for (std::uint64_t i = 0; i < quiet.sram().size(); ++i)
+    ASSERT_EQ(quiet.sram().peek(i), traced.sram().peek(i)) << "counter " << i;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const FlowId f = packets[i * 37 % packets.size()];
+    ASSERT_EQ(quiet.estimate_csm(f), traced.estimate_csm(f));
+    ASSERT_EQ(quiet.estimate_mlm(f), traced.estimate_mlm(f));
+  }
+}
+
+/// Minimal blocking HTTP GET; returns the raw response.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    out.append(buf, static_cast<size_t>(n));
+  ::close(fd);
+  return out;
+}
+
+TEST(MetricsServerLive, ConcurrentScrapeDuringLiveRotation) {
+  // The full wiring of the examples: hub + health monitor + server +
+  // tracing, scraped continuously while the session feeds and rotates.
+  // Scrapes only ever read hub-published snapshots (quiesced at
+  // wait_epoch) and the monitor's mutex-guarded report, so this must be
+  // clean under TSan.
+  tracing::start(4096);
+  ShardedCaesar sketch(test_config(), 2);
+  sketch.start_live({});
+
+  metrics::MetricsHub hub;
+  HealthMonitor health;
+  metrics::MetricsServer server({}, [&hub] { return *hub.latest(); });
+  server.set_handler("/healthz", [&health] {
+    return healthz_response(health.last());
+  });
+  server.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> scrapes_ok{0};
+  std::thread scraper([&] {
+    int i = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const char* path;
+      switch (i++ % 3) {
+        case 0: path = "/metrics"; break;
+        case 1: path = "/healthz"; break;
+        default: path = "/trace.json"; break;
+      }
+      const std::string res = http_get(server.port(), path);
+      if (res.find("HTTP/1.1 200 OK") != std::string::npos)
+        scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  constexpr std::uint64_t kEpochs = 3;
+  for (std::uint64_t e = 0; e < kEpochs; ++e) {
+    sketch.feed(test_packets(300 + e));
+    const std::uint64_t seq = sketch.rotate_live();
+    const auto closed = sketch.wait_epoch(seq);
+    ASSERT_NE(closed, nullptr);
+    metrics::MetricsSnapshot snap;
+    sketch.collect_metrics(snap);
+    health.on_epoch(*closed, test_config().cache_entries, &snap);
+    hub.publish(std::move(snap));
+  }
+
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  sketch.stop_live();
+
+  // The published plane reflects the session.
+  const auto last = hub.latest();
+  EXPECT_TRUE(last->has("live.rotations"));
+  EXPECT_EQ(sketch.epochs_closed(), kEpochs);
+  EXPECT_GT(scrapes_ok.load(), 0u);
+  EXPECT_GE(server.requests_served(), scrapes_ok.load());
+  server.stop();
+  tracing::stop();
+
+  // Health saw every epoch; the healthy config grades ok.
+  EXPECT_TRUE(health.last().signals.has_epoch);
+  EXPECT_EQ(health.last().signals.epoch_seq, kEpochs - 1);
+}
+
+TEST(MetricsServerLive, AssessLiveIsSafeDuringSession) {
+  // assess_live reads only the published snapshot + atomic gauges, so it
+  // may run from any thread mid-session.
+  ShardedCaesar sketch(test_config(), 2);
+  sketch.start_live({});
+  std::atomic<bool> done{false};
+  std::thread assessor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto report = assess_live(sketch);
+      EXPECT_TRUE(report.status == HealthStatus::kOk ||
+                  report.status == HealthStatus::kDegraded ||
+                  report.status == HealthStatus::kSaturated);
+      std::this_thread::yield();
+    }
+  });
+  for (std::uint64_t e = 0; e < 2; ++e) {
+    sketch.feed(test_packets(500 + e));
+    (void)sketch.wait_epoch(sketch.rotate_live());
+  }
+  done.store(true, std::memory_order_release);
+  assessor.join();
+  sketch.stop_live();
+  const auto report = assess_live(sketch);
+  EXPECT_TRUE(report.signals.has_epoch);
+}
+
+}  // namespace
+}  // namespace caesar::core

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition file.
+
+Dependency-free checker used by the CI exporter-smoke job: it enforces
+the subset of the format that caesar's encoder emits, so a formatting
+regression fails loudly instead of being silently dropped by a real
+scraper.
+
+Checks:
+  - every non-comment line parses as `name{labels} value`
+  - metric and label names match the Prometheus grammar
+  - every sample family is preceded by a `# TYPE` declaration
+  - histogram families are complete: `_bucket` series end with `le="+Inf"`,
+    bucket counts are monotonically non-decreasing, the +Inf bucket equals
+    `_count`, and `_sum`/`_count` are present
+  - values parse as floats (integers, scientific notation, +Inf)
+  - each `--require NAME` appears as a sample
+
+Usage: check_prometheus.py metrics.txt [--require caesar_foo]...
+"""
+
+import argparse
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# `name{label="value"} 12.5` — the encoder emits at most one label (le).
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+TYPE_LINE = re.compile(r"^# TYPE (?P<name>\S+) (?P<kind>counter|gauge|histogram|summary|untyped)$")
+
+
+def parse_value(raw):
+    if raw in ("+Inf", "-Inf", "NaN"):
+        return float(raw.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(raw)
+
+
+def parse_labels(raw):
+    labels = {}
+    if not raw:
+        return labels
+    for pair in raw.split(","):
+        name, _, value = pair.partition("=")
+        if not LABEL_NAME.match(name):
+            raise ValueError(f"bad label name {name!r}")
+        if len(value) < 2 or value[0] != '"' or value[-1] != '"':
+            raise ValueError(f"unquoted label value {value!r}")
+        labels[name] = value[1:-1]
+    return labels
+
+
+def family_of(name, types):
+    """Histogram samples belong to the family without the suffix."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def check(path, required):
+    errors = []
+    types = {}     # family -> kind
+    samples = {}   # metric name -> list of (labels, value)
+    buckets = {}   # histogram family -> list of (le, value) in order
+
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        errors.append("empty exposition")
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_LINE.match(line)
+            if line.startswith("# TYPE"):
+                if not m:
+                    errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                elif m.group("name") in types:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {m.group('name')}")
+                else:
+                    types[m.group("name")] = m.group("kind")
+            continue
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        if not METRIC_NAME.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+            continue
+        try:
+            labels = parse_labels(m.group("labels"))
+            value = parse_value(m.group("value"))
+        except ValueError as e:
+            errors.append(f"line {lineno}: {e}")
+            continue
+        family = family_of(name, types)
+        if family not in types:
+            errors.append(f"line {lineno}: sample {name} has no # TYPE")
+        samples.setdefault(name, []).append((labels, value))
+        if types.get(family) == "histogram" and name == family + "_bucket":
+            if "le" not in labels:
+                errors.append(f"line {lineno}: bucket without le label")
+            else:
+                buckets.setdefault(family, []).append((labels["le"], value))
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            if family not in samples:
+                errors.append(f"TYPE {family} declared but no samples")
+            continue
+        fam_buckets = buckets.get(family, [])
+        if not fam_buckets:
+            errors.append(f"histogram {family} has no _bucket samples")
+            continue
+        if fam_buckets[-1][0] != "+Inf":
+            errors.append(f"histogram {family} does not end with le=\"+Inf\"")
+        counts = [v for _, v in fam_buckets]
+        if counts != sorted(counts):
+            errors.append(f"histogram {family} buckets are not cumulative")
+        for suffix in ("_sum", "_count"):
+            if family + suffix not in samples:
+                errors.append(f"histogram {family} missing {family}{suffix}")
+        if family + "_count" in samples:
+            count = samples[family + "_count"][0][1]
+            if fam_buckets[-1][0] == "+Inf" and fam_buckets[-1][1] != count:
+                errors.append(
+                    f"histogram {family}: +Inf bucket {fam_buckets[-1][1]}"
+                    f" != _count {count}")
+
+    for name in required:
+        if name not in samples:
+            errors.append(f"required metric {name} not exposed")
+
+    return errors, samples
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", help="exposition file to validate")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME", help="metric name that must be present")
+    args = ap.parse_args()
+
+    errors, samples = check(args.file, args.require)
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(samples)} metric series, "
+          f"{sum(len(v) for v in samples.values())} samples, "
+          f"{len(args.require)} required names present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
