@@ -6,12 +6,22 @@ Compares a fresh BENCH_throughput.json against the committed baseline
 
   * counter_mismatches != 0 in the current run (correctness trumps speed:
     a fast path that changes results is a failure, not a regression), or
-  * any path present in the baseline regressed by more than --tolerance
-    (default 25%) in mpps.
+  * any path present in the baseline regressed by more than its tolerance
+    in mpps.
+
+Tolerances resolve per path, most specific wins:
+
+  1. --path-tolerance NAME=FRAC or NAME/SHARDS=FRAC (repeatable CLI flag),
+  2. a "tolerance" field on the baseline path entry,
+  3. the global --tolerance (default 0.25).
 
 Paths are matched by (name, shards). Paths added since the baseline was
 captured are reported but never gated — refresh the baseline to start
 gating them (see CONTRIBUTING.md).
+
+Refreshing: --update-baseline rewrites the baseline file in place from
+the current run (preserving any per-path "tolerance" fields) instead of
+gating. Run it from a quiet machine and commit the result.
 
 Only the standard library is used, so the gate runs anywhere python3
 exists.
@@ -31,6 +41,58 @@ def path_key(entry):
     return (entry["name"], entry.get("shards", 1))
 
 
+def parse_path_tolerances(specs):
+    """'name=0.3' or 'name/shards=0.3' -> {('name', shards|None): 0.3}"""
+    out = {}
+    for spec in specs or []:
+        try:
+            target, frac = spec.rsplit("=", 1)
+            frac = float(frac)
+        except ValueError:
+            raise SystemExit(f"bad --path-tolerance {spec!r} "
+                             "(want NAME=FRAC or NAME/SHARDS=FRAC)")
+        if "/" in target:
+            name, shards = target.rsplit("/", 1)
+            out[(name, int(shards))] = frac
+        else:
+            out[(target, None)] = frac
+    return out
+
+
+def tolerance_for(key, entry, cli, default):
+    name, shards = key
+    if (name, shards) in cli:
+        return cli[(name, shards)]
+    if (name, None) in cli:
+        return cli[(name, None)]
+    if "tolerance" in entry:
+        return float(entry["tolerance"])
+    return default
+
+
+def update_baseline(current, baseline_path):
+    """Rewrite the baseline from the current run, keeping per-path
+    tolerances that were set on the old baseline."""
+    try:
+        old = {path_key(p): p for p in load(baseline_path).get("paths", [])}
+    except (OSError, ValueError):
+        old = {}
+    fresh = dict(current)
+    for p in fresh.get("paths", []):
+        prev = old.get(path_key(p))
+        if prev is not None and "tolerance" in prev:
+            p["tolerance"] = prev["tolerance"]
+    with open(baseline_path, "w") as f:
+        json.dump(fresh, f, indent=2)
+        f.write("\n")
+    for p in fresh.get("paths", []):
+        name, shards = path_key(p)
+        prev = old.get((name, shards))
+        prev_mpps = f"{prev['mpps']:.2f}" if prev else "-"
+        print(f"{name:<24} {shards:>6} {prev_mpps:>10} -> {p['mpps']:.2f}")
+    print(f"baseline updated: {baseline_path}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="BENCH_throughput.json from this run")
@@ -39,45 +101,71 @@ def main():
         "--tolerance",
         type=float,
         default=0.25,
-        help="allowed fractional mpps drop vs baseline (default 0.25)",
+        help="default allowed fractional mpps drop vs baseline "
+        "(default 0.25)",
+    )
+    ap.add_argument(
+        "--path-tolerance",
+        action="append",
+        metavar="NAME[/SHARDS]=FRAC",
+        help="per-path tolerance override; repeatable "
+        "(e.g. --path-tolerance batched=0.15 "
+        "--path-tolerance sharded_streaming/4=0.40)",
+    )
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current run instead of gating "
+        "(per-path tolerances on the old baseline are preserved)",
     )
     args = ap.parse_args()
 
     current = load(args.current)
-    baseline = load(args.baseline)
-
-    failures = []
 
     mismatches = current.get("counter_mismatches")
+    failures = []
     if mismatches != 0:
         failures.append(
             f"counter_mismatches = {mismatches} (must be 0: the batched and "
             "sharded paths must be bit-identical to per-packet ingest)"
         )
 
+    if args.update_baseline:
+        if failures:
+            print("refusing to update baseline from a run with "
+                  f"counter_mismatches = {mismatches}", file=sys.stderr)
+            return 1
+        update_baseline(current, args.baseline)
+        return 0
+
+    baseline = load(args.baseline)
+    cli_tol = parse_path_tolerances(args.path_tolerance)
+
     cur_paths = {path_key(p): p for p in current.get("paths", [])}
     base_paths = {path_key(p): p for p in baseline.get("paths", [])}
 
-    floor_frac = 1.0 - args.tolerance
     print(
         f"{'path':<24} {'shards':>6} {'baseline':>10} {'current':>10} "
-        f"{'ratio':>7}  status"
+        f"{'ratio':>7} {'floor':>6}  status"
     )
     for key in sorted(base_paths):
         name, shards = key
-        base_mpps = base_paths[key]["mpps"]
+        entry = base_paths[key]
+        base_mpps = entry["mpps"]
+        tol = tolerance_for(key, entry, cli_tol, args.tolerance)
+        floor_frac = 1.0 - tol
         cur = cur_paths.get(key)
         if cur is None:
             failures.append(f"path {name} (shards={shards}) missing from run")
             print(f"{name:<24} {shards:>6} {base_mpps:>10.2f} {'-':>10} "
-                  f"{'-':>7}  MISSING")
+                  f"{'-':>7} {'-':>6}  MISSING")
             continue
         cur_mpps = cur["mpps"]
         ratio = cur_mpps / base_mpps if base_mpps > 0 else float("inf")
         ok = ratio >= floor_frac
         print(
             f"{name:<24} {shards:>6} {base_mpps:>10.2f} {cur_mpps:>10.2f} "
-            f"{ratio:>7.2f}  {'ok' if ok else 'REGRESSED'}"
+            f"{ratio:>7.2f} {floor_frac:>6.2f}  {'ok' if ok else 'REGRESSED'}"
         )
         if not ok:
             failures.append(
@@ -89,7 +177,8 @@ def main():
         name, shards = key
         print(
             f"{name:<24} {shards:>6} {'-':>10} "
-            f"{cur_paths[key]['mpps']:>10.2f} {'-':>7}  new (not gated)"
+            f"{cur_paths[key]['mpps']:>10.2f} {'-':>7} {'-':>6}  "
+            "new (not gated)"
         )
 
     if failures:
@@ -97,7 +186,7 @@ def main():
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"\nregression gate passed (tolerance {args.tolerance:.0%})")
+    print("\nregression gate passed")
     return 0
 
 

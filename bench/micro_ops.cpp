@@ -15,6 +15,9 @@
 #include "baselines/sampling/space_saving.hpp"
 #include "baselines/vhc/virtual_hll.hpp"
 #include "cache/cache_table.hpp"
+#include "cache/set_probe.hpp"
+#include "cache/simd_dispatch.hpp"
+#include "common/aligned_buffer.hpp"
 #include "common/random.hpp"
 #include "core/caesar_sketch.hpp"
 #include "counters/counter_array.hpp"
@@ -63,6 +66,106 @@ void BM_KIndexSelect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KIndexSelect)->Arg(1)->Arg(3)->Arg(8);
+
+// --- set-probe kernel shootout --------------------------------------------
+// The innermost datapath loop (set_probe.hpp), tier by tier, over the
+// associativities and hit mixes that matter: record BENCH_micro_ops.json
+// in CI (--benchmark_out) to track kernel regressions. Arg order:
+// (tier, ways, hit_pct). Unsupported tiers skip, so the suite is
+// portable across hosts and -DCAESAR_SIMD=OFF builds.
+template <cache::SimdTier Tier>
+void probe_shootout(benchmark::State& state, unsigned ways,
+                    unsigned hit_pct) {
+  const unsigned ways_padded = (ways + 7) / 8 * 8;
+  constexpr std::uint32_t kSets = 512;
+  AlignedBuffer<std::uint64_t> tags(kSets * ways_padded);
+  // Fully occupied sets with distinct tags; key 0 never stored.
+  for (std::uint32_t s = 0; s < kSets; ++s)
+    for (unsigned w = 0; w < ways_padded; ++w)
+      tags[s * ways_padded + w] =
+          w < ways ? (std::uint64_t{s} << 32 | (w + 1)) : 1;  // pad: no match
+  const std::uint32_t occ =
+      ways >= 32 ? ~std::uint32_t{0} : (std::uint32_t{1} << ways) - 1;
+
+  // Precomputed (set, key) stream: hit_pct% of probes find their flow in
+  // a rotating way, the rest miss after scanning every lane.
+  constexpr std::size_t kStream = 4096;
+  std::vector<std::uint32_t> sets(kStream);
+  std::vector<std::uint64_t> keys(kStream);
+  Xoshiro256pp rng(1234 + ways);
+  for (std::size_t i = 0; i < kStream; ++i) {
+    sets[i] = static_cast<std::uint32_t>(rng.below(kSets));
+    const bool hit = rng.below(100) < hit_pct;
+    keys[i] = hit ? tags[sets[i] * ways_padded + rng.below(ways)] : 0;
+  }
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache::kernels::probe<Tier>(
+        tags.data() + std::size_t{sets[i]} * ways_padded, occ, ways_padded,
+        keys[i]));
+    i = (i + 1) % kStream;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SetProbe(benchmark::State& state) {
+  const auto tier = static_cast<cache::SimdTier>(state.range(0));
+  const auto ways = static_cast<unsigned>(state.range(1));
+  const auto hit_pct = static_cast<unsigned>(state.range(2));
+  if (!cache::tier_supported(tier)) {
+    state.SkipWithError("tier not supported on this host/build");
+    return;
+  }
+  switch (tier) {
+    case cache::SimdTier::kScalar:
+      probe_shootout<cache::SimdTier::kScalar>(state, ways, hit_pct);
+      break;
+    case cache::SimdTier::kSse2:
+      probe_shootout<cache::SimdTier::kSse2>(state, ways, hit_pct);
+      break;
+    case cache::SimdTier::kNeon:
+      probe_shootout<cache::SimdTier::kNeon>(state, ways, hit_pct);
+      break;
+    case cache::SimdTier::kAvx2:
+      probe_shootout<cache::SimdTier::kAvx2>(state, ways, hit_pct);
+      break;
+  }
+}
+BENCHMARK(BM_SetProbe)
+    ->ArgNames({"tier", "ways", "hit_pct"})
+    ->ArgsProduct({{0, 1, 2, 3}, {4, 8, 16}, {100, 50, 0}});
+
+// End-to-end batched ingest per tier: the probe kernel in situ, with
+// hashing, prefetch, and LRU bookkeeping around it.
+void BM_CacheBatchByTier(benchmark::State& state) {
+  const auto tier = static_cast<cache::SimdTier>(state.range(0));
+  if (!cache::tier_supported(tier)) {
+    state.SkipWithError("tier not supported on this host/build");
+    return;
+  }
+  cache::CacheTable::Config cfg;
+  cfg.num_entries = 16'384;
+  cfg.entry_capacity = 54;
+  cfg.simd = tier;
+  cache::CacheTable cache(cfg);
+  Xoshiro256pp rng(77);
+  std::vector<FlowId> batch(8192);
+  for (auto& f : batch) f = rng.below(20'000) + 1;
+  cache::EvictionSink sink;
+  for (auto _ : state) {
+    cache.process_batch(batch, sink);
+    sink.clear();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_CacheBatchByTier)
+    ->ArgNames({"tier"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3);
 
 void BM_CacheProcessHit(benchmark::State& state) {
   cache::CacheTable::Config cfg;

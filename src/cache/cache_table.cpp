@@ -1,126 +1,188 @@
 #include "cache/cache_table.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "cache/set_probe.hpp"
+#include "common/env.hpp"
 #include "common/tracing.hpp"
 
 namespace caesar::cache {
 
+namespace {
+
+/// Chunk length cap of the batched hash+prefetch pipeline (and upper
+/// clamp of CAESAR_PREFETCH_DIST).
+constexpr std::uint32_t kMaxPrefetchDistance = 256;
+
+std::uint32_t resolve_prefetch_distance() noexcept {
+  const std::uint64_t d = env_u64("CAESAR_PREFETCH_DIST").value_or(64);
+  if (d < 1) return 1;
+  if (d > kMaxPrefetchDistance) return kMaxPrefetchDistance;
+  return static_cast<std::uint32_t>(d);
+}
+
+constexpr std::uint32_t low_bits(std::uint32_t n) noexcept {
+  return n >= 32 ? 0xFFFFFFFFu : (std::uint32_t{1} << n) - 1u;
+}
+
+}  // namespace
+
 CacheTable::CacheTable(const Config& config)
-    : entries_(config.num_entries),
-      index_(config.num_entries),
+    : num_entries_(config.num_entries),
       capacity_(config.entry_capacity),
       policy_(config.policy),
+      tier_(resolve_tier(config.simd)),
+      prefetch_distance_(resolve_prefetch_distance()),
       rng_(config.seed) {
   if (config.num_entries == 0)
     throw std::invalid_argument("CacheTable: num_entries must be positive");
   if (config.entry_capacity == 0)
     throw std::invalid_argument("CacheTable: entry_capacity must be positive");
-  free_slots_.reserve(config.num_entries);
-  for (std::uint32_t i = config.num_entries; i-- > 0;)
-    free_slots_.push_back(i);
+  if (config.ways == 0 || config.ways > 32)
+    throw std::invalid_argument("CacheTable: ways must be in [1, 32]");
+  // A table smaller than one set collapses to a single fully associative
+  // set of M ways — the paper's original model.
+  ways_ = std::min(config.ways, num_entries_);
+  ways_padded_ = (ways_ + 7u) / 8u * 8u;
+  lane_mask_ = low_bits(ways_padded_);
+  num_sets_ = (num_entries_ + ways_ - 1u) / ways_;
+  const std::size_t lanes = std::size_t{num_sets_} * ways_padded_;
+  tags_ = AlignedBuffer<std::uint64_t>(lanes);
+  values_ = AlignedBuffer<Count>(lanes);
+  stamps_ = AlignedBuffer<std::uint64_t>(lanes);
+  occ_.assign(num_sets_, 0);
+
+  // Sentinel tags: every empty (or padded) way holds a tag that maps to
+  // a *different* set, so the probe kernels can compare all lanes
+  // without consulting the occupancy mask — a false match is impossible
+  // by construction, and the hit path never loads occ_. Tag 0 works for
+  // every set but set_of(0); that one set uses the smallest value that
+  // maps elsewhere. A single-set table has no "elsewhere", so it keeps
+  // the masked probe (see masked()).
+  if (num_sets_ > 1) {
+    alt_sentinel_ = 1;
+    while (set_of(alt_sentinel_) == set_of(0)) ++alt_sentinel_;
+    for (std::uint32_t s = 0; s < num_sets_; ++s) {
+      const std::uint64_t t = sentinel(s);
+      for (std::uint32_t w = 0; w < ways_padded_; ++w)
+        tags_[std::size_t{s} * ways_padded_ + w] = t;
+    }
+  }
 }
 
 double CacheTable::memory_kb() const noexcept {
   const double bits =
       std::ceil(std::log2(static_cast<double>(capacity_) + 1.0));
-  return static_cast<double>(entries_.size()) * bits / (1024.0 * 8.0);
+  return static_cast<double>(num_entries_) * bits / (1024.0 * 8.0);
 }
 
-void CacheTable::lru_unlink(std::uint32_t slot) noexcept {
-  Entry& e = entries_[slot];
-  if (e.lru_prev != kNil)
-    entries_[e.lru_prev].lru_next = e.lru_next;
-  else
-    lru_head_ = e.lru_next;
-  if (e.lru_next != kNil)
-    entries_[e.lru_next].lru_prev = e.lru_prev;
-  else
-    lru_tail_ = e.lru_prev;
-  e.lru_prev = e.lru_next = kNil;
-}
-
-void CacheTable::lru_push_front(std::uint32_t slot) noexcept {
-  Entry& e = entries_[slot];
-  e.lru_prev = kNil;
-  e.lru_next = lru_head_;
-  if (lru_head_ != kNil) entries_[lru_head_].lru_prev = slot;
-  lru_head_ = slot;
-  if (lru_tail_ == kNil) lru_tail_ = slot;
-}
-
-std::uint32_t CacheTable::choose_victim() noexcept {
-  if (policy_ == ReplacementPolicy::kLru) return lru_tail_;
-  // Random replacement: all entries are occupied when a victim is needed
-  // (replacement only happens on a miss with no free slot).
-  return static_cast<std::uint32_t>(rng_.below(entries_.size()));
-}
-
-template <typename Sink>
-void CacheTable::process_one(FlowId flow, Count weight, Sink& sink) {
-  assert(weight >= 1);
-  assert(flush_cursor_ == 0 && "no adds during an in-progress chunked flush");
-  ++stats_.packets;
-  stats_.accesses += 2;  // one lookup, one update
-
-  std::uint32_t slot;
-  if (const auto found = index_.find(flow)) {
-    ++stats_.hits;
-    slot = *found;
-    if (slot != lru_head_) {
-      // Pointer surgery only when the entry is not already MRU — on
-      // skewed traffic the hottest flows usually are, and the no-op
-      // unlink/relink is the most expensive part of a hit.
-      lru_unlink(slot);
-      lru_push_front(slot);
+std::uint32_t CacheTable::victim_way(std::uint32_t set,
+                                     std::uint32_t valid) noexcept {
+  // Replacement only happens when every eligible way of the set is
+  // occupied, so all `valid` ways are candidates.
+  if (policy_ == ReplacementPolicy::kRandom)
+    return static_cast<std::uint32_t>(rng_.below(valid));
+  // Per-set LRU: the smallest recency stamp. Stamps are unique (one
+  // monotonic tick per touch), so the argmin — and therefore every
+  // kernel's victim — is deterministic.
+  const std::uint64_t* stamps =
+      stamps_.data() + std::size_t{set} * ways_padded_;
+  std::uint32_t victim = 0;
+  std::uint64_t oldest = stamps[0];
+  for (std::uint32_t w = 1; w < valid; ++w) {
+    if (stamps[w] < oldest) {
+      oldest = stamps[w];
+      victim = w;
     }
+  }
+  return victim;
+}
+
+void CacheTable::prefetch_set(std::uint32_t set) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  const std::size_t base = std::size_t{set} * ways_padded_;
+  const std::size_t bytes = std::size_t{ways_padded_} * sizeof(std::uint64_t);
+  // High temporal locality (3): the hot flows' sets are re-touched
+  // constantly, so the lines should land in (and stay near) L1.
+  for (std::size_t off = 0; off < bytes; off += kCacheLineBytes) {
+    __builtin_prefetch(
+        reinterpret_cast<const char*>(tags_.data() + base) + off, 0, 3);
+    __builtin_prefetch(
+        reinterpret_cast<const char*>(values_.data() + base) + off, 1, 3);
+    __builtin_prefetch(
+        reinterpret_cast<const char*>(stamps_.data() + base) + off, 1, 3);
+  }
+  // occ_ is deliberately not prefetched: sentinel tags keep the hit
+  // path occupancy-free, and misses (the only occ_ readers) are rare.
+#else
+  (void)set;
+#endif
+}
+
+template <SimdTier Tier, typename Sink>
+void CacheTable::apply(FlowId flow, std::uint32_t set, Count weight,
+                       Sink& sink, HotState& hot) {
+  ++hot.stats.packets;
+  hot.stats.accesses += 2;  // one lookup, one update
+
+  const std::size_t base = std::size_t{set} * ways_padded_;
+  std::uint64_t* tags = tags_.data() + base;
+  Count* values = values_.data() + base;
+  std::uint64_t* stamps = stamps_.data() + base;
+
+  // Sentinel tags make the unmasked probe exact (see ctor), so the hit
+  // path never touches occ_; the masked() fallback only exists for
+  // single-set tables.
+  int w = masked()
+              ? kernels::probe<Tier>(tags, occ_[set], ways_padded_, flow)
+              : kernels::probe<Tier>(tags, lane_mask_, ways_padded_, flow);
+  if (w >= 0) [[likely]] {
+    ++hot.stats.hits;
   } else {
-    ++stats_.misses;
-    if (!free_slots_.empty()) {
-      slot = free_slots_.back();
-      free_slots_.pop_back();
+    ++hot.stats.misses;
+    const std::uint32_t valid = set_capacity(set);
+    const std::uint32_t free = ~occ_[set] & low_bits(valid);
+    if (free != 0) {
+      w = std::countr_zero(free);
+      occ_[set] |= std::uint32_t{1} << w;
+      ++hot.occupied;
     } else {
       // Replacement eviction: dump the victim's partial count ("not
-      // fulfilled", paper §3.1) and hand its slot to the new flow.
-      slot = choose_victim();
-      Entry& victim = entries_[slot];
-      if (victim.value > 0) {
+      // fulfilled", paper §3.1) and hand its way to the new flow.
+      w = static_cast<int>(victim_way(set, valid));
+      const auto uw = static_cast<std::uint32_t>(w);
+      if (values[uw] > 0) {
         sink.push_back(
-            Eviction{victim.flow, victim.value, EvictionCause::kReplacement});
-        ++stats_.replacement_evictions;
+            Eviction{tags[uw], values[uw], EvictionCause::kReplacement});
+        ++hot.stats.replacement_evictions;
       }
-      index_.erase(victim.flow);
-      lru_unlink(slot);
-      --occupied_;
     }
-    Entry& e = entries_[slot];
-    e.flow = flow;
-    e.value = 0;
-    e.occupied = true;
-    index_.insert(flow, slot);
-    lru_push_front(slot);
-    ++occupied_;
+    tags[w] = flow;
+    values[w] = 0;
   }
 
-  Entry& e = entries_[slot];
-  e.value += weight;
-  if (e.value >= capacity_) {
+  stamps[w] = ++hot.tick;
+  Count v = values[w] + weight;
+  if (v >= capacity_) [[unlikely]] {
     // Overflow eviction: the entry is fulfilled; evict the whole value
     // and keep counting this flow from zero. A bulk weight can fulfill
     // the entry several times over; peel y-sized chunks until the
     // remainder fits one record (value < 2y), matching the historical
     // single-record behaviour whenever weight <= y.
-    while (e.value - capacity_ >= capacity_) {
-      sink.push_back(Eviction{e.flow, capacity_, EvictionCause::kOverflow});
-      ++stats_.overflow_evictions;
-      e.value -= capacity_;
+    while (v - capacity_ >= capacity_) {
+      sink.push_back(Eviction{flow, capacity_, EvictionCause::kOverflow});
+      ++hot.stats.overflow_evictions;
+      v -= capacity_;
     }
-    sink.push_back(Eviction{e.flow, e.value, EvictionCause::kOverflow});
-    ++stats_.overflow_evictions;
-    e.value = 0;
+    sink.push_back(Eviction{flow, v, EvictionCause::kOverflow});
+    ++hot.stats.overflow_evictions;
+    v = 0;
   }
+  values[w] = v;
 }
 
 namespace {
@@ -132,7 +194,47 @@ struct FixedSink {
     result.evictions[result.count++] = ev;
   }
 };
+
+// Accumulate a per-call stats delta into the table's running totals.
+void commit_stats(CacheStats& into, const CacheStats& delta) noexcept {
+  into.packets += delta.packets;
+  into.hits += delta.hits;
+  into.misses += delta.misses;
+  into.overflow_evictions += delta.overflow_evictions;
+  into.replacement_evictions += delta.replacement_evictions;
+  into.flush_evictions += delta.flush_evictions;
+  into.accesses += delta.accesses;
+}
 }  // namespace
+
+template <typename Sink>
+void CacheTable::process_one(FlowId flow, Count weight, Sink& sink) {
+  assert(weight >= 1);
+  assert(flush_cursor_ == 0 && "no adds during an in-progress chunked flush");
+  HotState hot{CacheStats{}, tick_, occupied_};
+  const std::uint32_t set = set_of(flow);
+  switch (tier_) {
+#if defined(CAESAR_SET_PROBE_X86)
+    case SimdTier::kAvx2:
+      apply<SimdTier::kAvx2>(flow, set, weight, sink, hot);
+      break;
+    case SimdTier::kSse2:
+      apply<SimdTier::kSse2>(flow, set, weight, sink, hot);
+      break;
+#endif
+#if defined(CAESAR_SET_PROBE_NEON)
+    case SimdTier::kNeon:
+      apply<SimdTier::kNeon>(flow, set, weight, sink, hot);
+      break;
+#endif
+    default:
+      apply<SimdTier::kScalar>(flow, set, weight, sink, hot);
+      break;
+  }
+  commit_stats(stats_, hot.stats);
+  tick_ = hot.tick;
+  occupied_ = hot.occupied;
+}
 
 CacheTable::ProcessResult CacheTable::process(FlowId flow) {
   ProcessResult result;
@@ -146,137 +248,125 @@ void CacheTable::process_weighted(FlowId flow, Count weight,
   process_one(flow, weight, sink);
 }
 
-void CacheTable::process_batch(std::span<const FlowId> flows,
-                               EvictionSink& sink) {
-  // Two-pass chunked kernel. The per-packet API pays an out-of-line
-  // lookup (optional boxing, call overhead), generic weighted overflow
-  // handling, and per-packet stats read-modify-writes for every add; a
-  // batch can restructure that work without changing one observable bit:
+template <SimdTier Tier>
+void CacheTable::process_batch_impl(std::span<const FlowId> flows,
+                                    EvictionSink& sink) {
+  // Pipelined kernel, bit-identical to per-packet process():
   //
-  //   pass 1 probes a whole chunk through the inline FlowIndex::probe —
-  //   the probes are independent, so they schedule with full memory-level
-  //   parallelism instead of one dependent chain per packet — and
-  //   prefetches each hit's cache entry;
+  //   hash  — every flow ID is batch-hashed to its set index up front
+  //           (a data-independent tight loop the compiler vectorizes
+  //           and the out-of-order core overlaps);
+  //   apply — packets run the same `apply` kernel as the per-packet
+  //           path, reusing the precomputed set index (no re-hash),
+  //           while the lanes of the set prefetch_distance_ packets
+  //           ahead are software-prefetched — a rolling lookahead, so
+  //           only ~D prefetches are ever in flight.
   //
-  //   pass 2 applies packets in order. A probe result can be stale (an
-  //   earlier miss in the chunk may insert or erase flows), so a hit is
-  //   trusted only if the entry still holds the probed flow — a flow
-  //   lives in at most one slot, and replacement reuses the victim's slot
-  //   in the same step, so `entries_[slot].flow == flow` holds exactly
-  //   when the mapping is still current. Validated hits run a weight-1
-  //   specialized path (merged LRU splice, single overflow test — a +1
-  //   can never reach 2y); everything else falls back to process_one,
-  //   which re-probes authoritatively.
-  //
-  // Stats accumulate in locals and commit once per batch; totals match
-  // the per-packet path exactly.
+  // Stats/tick/occupancy accumulate in locals and commit once per call,
+  // which keeps them in registers across the inner loop (the compiler
+  // cannot otherwise prove the eviction sink doesn't alias *this).
   assert(flush_cursor_ == 0 && "no adds during an in-progress chunked flush");
   tracing::TraceSpan span("cache.process_batch");
   span.arg(flows.size());
-  constexpr std::size_t kChunk = 64;
-  std::uint32_t slots[kChunk];
-  std::uint64_t packets = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t overflows = 0;
-  while (!flows.empty()) {
-    const std::size_t n = std::min(kChunk, flows.size());
-    for (std::size_t j = 0; j < n; ++j) {
-      const std::uint32_t s = index_.probe(flows[j]);
-      slots[j] = s;
-#if defined(__GNUC__) || defined(__clang__)
-      if (s != FlowIndex::kNoSlot) __builtin_prefetch(&entries_[s], 1, 1);
-#endif
-    }
-    for (std::size_t j = 0; j < n; ++j) {
-      const FlowId flow = flows[j];
-      const std::uint32_t slot = slots[j];
-      if (slot != FlowIndex::kNoSlot && entries_[slot].flow == flow)
-          [[likely]] {
-        ++packets;
-        ++hits;
-        if (slot != lru_head_) {
-          // unlink + push_front fused: slot is in the list and is not
-          // the head, so lru_prev != kNil and lru_head_ != kNil.
-          Entry& e = entries_[slot];
-          const std::uint32_t prev = e.lru_prev;
-          const std::uint32_t next = e.lru_next;
-          entries_[prev].lru_next = next;
-          if (next != kNil)
-            entries_[next].lru_prev = prev;
-          else
-            lru_tail_ = prev;
-          e.lru_prev = kNil;
-          e.lru_next = lru_head_;
-          entries_[lru_head_].lru_prev = slot;
-          lru_head_ = slot;
-        }
-        Entry& e = entries_[slot];
-        if (++e.value >= capacity_) {
-          sink.push_back(Eviction{e.flow, e.value, EvictionCause::kOverflow});
-          ++overflows;
-          e.value = 0;
-        }
-      } else {
-        process_one(flow, 1, sink);
-      }
-    }
-    flows = flows.subspan(n);
+
+  const std::size_t n = flows.size();
+  const std::size_t dist = prefetch_distance_;
+  batch_sets_.resize(n);
+  hash::bucket_batch(flows, num_sets_, batch_sets_);
+  for (std::size_t i = 0; i < std::min(dist, n); ++i)
+    prefetch_set(batch_sets_[i]);
+
+  HotState hot{CacheStats{}, tick_, occupied_};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + dist < n) prefetch_set(batch_sets_[i + dist]);
+    apply<Tier>(flows[i], batch_sets_[i], 1, sink, hot);
   }
-  stats_.packets += packets;
-  stats_.accesses += 2 * packets;
-  stats_.hits += hits;
-  stats_.overflow_evictions += overflows;
+
+  commit_stats(stats_, hot.stats);
+  tick_ = hot.tick;
+  occupied_ = hot.occupied;
+}
+
+void CacheTable::process_batch(std::span<const FlowId> flows,
+                               EvictionSink& sink) {
+  switch (tier_) {
+#if defined(CAESAR_SET_PROBE_X86)
+    case SimdTier::kAvx2:
+      process_batch_impl<SimdTier::kAvx2>(flows, sink);
+      return;
+    case SimdTier::kSse2:
+      process_batch_impl<SimdTier::kSse2>(flows, sink);
+      return;
+#endif
+#if defined(CAESAR_SET_PROBE_NEON)
+    case SimdTier::kNeon:
+      process_batch_impl<SimdTier::kNeon>(flows, sink);
+      return;
+#endif
+    default:
+      process_batch_impl<SimdTier::kScalar>(flows, sink);
+      return;
+  }
 }
 
 std::vector<Eviction> CacheTable::flush() {
   std::vector<Eviction> out;
   out.reserve(occupied_);
-  flush_chunk(entries_.size(), out);
+  flush_chunk(num_entries_, out);
   assert(occupied_ == 0 && flush_cursor_ == 0);
   return out;
 }
 
 std::size_t CacheTable::flush_chunk(std::size_t max_entries,
                                     EvictionSink& sink) {
-  // Same slot-order scan as the historical flush(), split at an entry
-  // budget. The cursor persists across calls so successive chunks emit
-  // the exact flush() eviction sequence; downstream RNG consumption (and
-  // therefore every SRAM counter) is bit-identical however the flush is
-  // sliced.
+  // Same slot-order scan as the historical flush() (set-major,
+  // way-minor), split at an entry budget. The cursor persists across
+  // calls so successive chunks emit the exact flush() eviction sequence;
+  // downstream RNG consumption (and therefore every SRAM counter) is
+  // bit-identical however the flush is sliced.
   tracing::TraceSpan span("cache.flush_chunk");
   std::size_t flushed = 0;
-  while (flush_cursor_ < entries_.size() && flushed < max_entries &&
+  while (flush_cursor_ < num_entries_ && flushed < max_entries &&
          occupied_ > 0) {
-    Entry& e = entries_[flush_cursor_];
-    ++flush_cursor_;
-    if (!e.occupied) continue;
-    if (e.value > 0) {
-      sink.push_back(Eviction{e.flow, e.value, EvictionCause::kFlush});
+    const std::uint32_t slot = flush_cursor_++;
+    const std::uint32_t set = slot / ways_;
+    const std::uint32_t way = slot % ways_;
+    // Entering a new set: prefetch the next one's lanes so the scan
+    // streams ahead of the evictions it emits.
+    if (way == 0 && set + 1 < num_sets_) prefetch_set(set + 1);
+    if ((occ_[set] >> way & 1u) == 0) continue;
+    const std::size_t i = std::size_t{set} * ways_padded_ + way;
+    if (values_[i] > 0) {
+      sink.push_back(Eviction{tags_[i], values_[i], EvictionCause::kFlush});
       ++stats_.flush_evictions;
       ++stats_.accesses;
     }
-    index_.erase(e.flow);
-    e = Entry{};
+    occ_[set] &= ~(std::uint32_t{1} << way);
+    tags_[i] = sentinel(set);
+    values_[i] = 0;
+    stamps_[i] = 0;
     --occupied_;
     ++flushed;
   }
   if (occupied_ == 0) {
-    // Scan complete: rebuild the free list and LRU exactly as a full
-    // flush() leaves them, and rearm the cursor for the next flush.
-    lru_head_ = lru_tail_ = kNil;
-    free_slots_.clear();
-    for (std::uint32_t i = static_cast<std::uint32_t>(entries_.size());
-         i-- > 0;)
-      free_slots_.push_back(i);
+    // Scan complete: the table is indistinguishable from a fresh one
+    // (all occupancy cleared, recency restarted); rearm the cursor for
+    // the next flush.
     flush_cursor_ = 0;
+    tick_ = 0;
   }
   span.arg(flushed);
   return flushed;
 }
 
 Count CacheTable::peek(FlowId flow) const noexcept {
-  if (const auto found = index_.find(flow)) return entries_[*found].value;
-  return 0;
+  const std::uint32_t set = set_of(flow);
+  // Kernel choice is irrelevant here (all tiers agree); the scalar
+  // reference keeps this const path trivially portable.
+  const int w = kernels::probe_scalar(
+      set_tags(set), masked() ? occ_[set] : lane_mask_, ways_padded_, flow);
+  if (w < 0) return 0;
+  return values_[std::size_t{set} * ways_padded_ + static_cast<unsigned>(w)];
 }
 
 void CacheTable::collect_metrics(metrics::MetricsSnapshot& snapshot,
@@ -291,7 +381,16 @@ void CacheTable::collect_metrics(metrics::MetricsSnapshot& snapshot,
   snapshot.add_counter(prefix + "evictions.flush", stats_.flush_evictions);
   snapshot.add_counter(prefix + "accesses", stats_.accesses);
   snapshot.add_gauge(prefix + "occupied", occupied_, occupied_);
-  snapshot.add_gauge(prefix + "entries", entries_.size(), entries_.size());
+  snapshot.add_gauge(prefix + "entries", num_entries_, num_entries_);
+  snapshot.add_gauge(prefix + "ways", ways_, ways_);
+  snapshot.add_gauge(prefix + "sets", num_sets_, num_sets_);
+  snapshot.add_gauge(prefix + "prefetch_distance", prefetch_distance_,
+                     prefetch_distance_);
+  // Which probe kernel this table actually runs, as a labeled flag
+  // gauge: a scrape shows `caesar_..._cache_kernel{tier="avx2"} 1`.
+  snapshot.add_gauge(
+      prefix + "kernel{tier=\"" + std::string(tier_name(tier_)) + "\"}", 1,
+      1);
 }
 
 }  // namespace caesar::cache

@@ -4,30 +4,46 @@
 // eviction paths, exactly as the paper describes:
 //   * overflow   — the entry's count reaches y ("fulfilled"); its value is
 //                  evicted and the entry keeps counting from zero,
-//   * replacement — a new flow misses while all M entries are occupied;
-//                  a victim chosen by LRU or random replacement is evicted
-//                  ("not fulfilled"),
+//   * replacement — a new flow misses while every eligible entry is
+//                  occupied; a victim chosen by LRU or random replacement
+//                  is evicted ("not fulfilled"),
 //   * flush      — at the end of the measurement every remaining entry is
 //                  dumped to SRAM.
 // The table never drops a packet: every arrival lands either in the cache
 // or (transitively, via evictions) in the off-chip counters.
+//
+// Layout: the M entries are organized set-associatively, like the
+// hardware cache the paper models. A flow hashes to exactly one set of
+// `ways` entries (default 8); within the set, contiguous cache-line-
+// aligned SoA lanes hold the tags (flow IDs), the partial counts, and
+// the recency stamps, so a probe touches whole cache lines and the tag
+// compare runs `ways` lanes at a time under the SIMD kernels
+// (set_probe.hpp, tier chosen by simd_dispatch.hpp). Replacement is
+// per-set: LRU evicts the smallest recency stamp in the flow's set,
+// random evicts a uniform way of that set. When M <= ways the table
+// degenerates to one fully associative set — the paper's original model.
+// All kernels are bit-identical; the scalar path is the semantic oracle
+// (tests/cache/simd_kernel_differential_test.cpp).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
-#include "cache/flow_index.hpp"
+#include "cache/simd_dispatch.hpp"
+#include "common/aligned_buffer.hpp"
 #include "common/metrics.hpp"
 #include "common/random.hpp"
 #include "common/types.hpp"
+#include "hash/batch.hpp"
 
 namespace caesar::cache {
 
 enum class ReplacementPolicy {
-  kLru,     ///< evict the least recently used entry
-  kRandom,  ///< evict a uniformly random entry
+  kLru,     ///< evict the least recently used entry of the flow's set
+  kRandom,  ///< evict a uniformly random entry of the flow's set
 };
 
 enum class EvictionCause { kOverflow, kReplacement, kFlush };
@@ -62,6 +78,14 @@ class CacheTable {
     Count entry_capacity = 64;         ///< y
     ReplacementPolicy policy = ReplacementPolicy::kLru;
     std::uint64_t seed = 1;            ///< randomness for kRandom policy
+    /// Set associativity (1..32). M entries form ceil(M/ways) sets; the
+    /// last set may hold fewer than `ways` entries when ways does not
+    /// divide M. ways >= M yields a single fully associative set.
+    std::uint32_t ways = 8;
+    /// Probe-kernel tier; nullopt = CAESAR_SIMD env override, else the
+    /// best the CPU supports. Requests clamp down to what is available.
+    /// Pure dispatch: every tier produces bit-identical results.
+    std::optional<SimdTier> simd;
   };
 
   explicit CacheTable(const Config& config);
@@ -85,9 +109,9 @@ class CacheTable {
 
   /// Batched fast path: account one packet for every flow in order,
   /// appending evictions to `sink`. Equivalent to calling process() per
-  /// flow (same entries, same stats, same eviction sequence) but
-  /// software-prefetches the FlowIndex home buckets a few packets ahead
-  /// and skips the per-call ProcessResult copies.
+  /// flow (same entries, same stats, same eviction sequence) but batch-
+  /// hashes the flow IDs up front and software-prefetches each packet's
+  /// set lanes prefetch_distance() packets ahead of the apply loop.
   void process_batch(std::span<const FlowId> flows, EvictionSink& sink);
 
   /// Dump every occupied entry (paper: executed before the query phase).
@@ -108,11 +132,32 @@ class CacheTable {
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::uint32_t occupied() const noexcept { return occupied_; }
   [[nodiscard]] std::uint32_t num_entries() const noexcept {
-    return static_cast<std::uint32_t>(entries_.size());
+    return num_entries_;
   }
   [[nodiscard]] Count entry_capacity() const noexcept { return capacity_; }
   /// Memory footprint in KB per the paper's formula M*log2(y)/(1024*8).
   [[nodiscard]] double memory_kb() const noexcept;
+
+  // --- set-associative geometry and dispatch introspection ---------------
+  [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
+  [[nodiscard]] std::uint32_t num_sets() const noexcept { return num_sets_; }
+  /// The set `flow` maps to — a pure function of the flow ID and the
+  /// geometry, identical across kernels and batch/per-packet paths.
+  [[nodiscard]] std::uint32_t set_of(FlowId flow) const noexcept {
+    return hash::fastrange32(hash::fmix64(flow), num_sets_);
+  }
+  /// Entries set `set` can hold (== ways() except possibly the last set).
+  [[nodiscard]] std::uint32_t set_capacity(std::uint32_t set) const noexcept {
+    return set + 1 < num_sets_ ? ways_
+                               : num_entries_ - (num_sets_ - 1) * ways_;
+  }
+  /// The probe-kernel tier this table actually runs (after clamping).
+  [[nodiscard]] SimdTier simd_tier() const noexcept { return tier_; }
+  /// Lookahead (in packets) of the batched path's set prefetch; the
+  /// CAESAR_PREFETCH_DIST environment knob, clamped to [1, 256].
+  [[nodiscard]] std::uint32_t prefetch_distance() const noexcept {
+    return prefetch_distance_;
+  }
 
   /// Current cached value of a flow (0 when absent) — test/analysis hook,
   /// not a modeled access.
@@ -120,41 +165,83 @@ class CacheTable {
 
   /// Append this table's instruments to `snapshot` under `prefix`
   /// (e.g. "cache."). Exports the always-on CacheStats — hits, misses,
-  /// and evictions by cause — plus an occupancy gauge; reading them here
-  /// adds nothing to the packet path.
+  /// and evictions by cause — plus occupancy, geometry, the running
+  /// probe-kernel tier (`kernel{tier=...}` = 1), and the prefetch
+  /// distance; reading them here adds nothing to the packet path.
   void collect_metrics(metrics::MetricsSnapshot& snapshot,
                        const std::string& prefix) const;
 
  private:
-  struct Entry {
-    FlowId flow = 0;
-    Count value = 0;
-    std::uint32_t lru_prev = kNil;
-    std::uint32_t lru_next = kNil;
-    bool occupied = false;
+  // Hot per-call state threaded through the kernels by reference so the
+  // batched path can keep it in registers/locals and commit once per
+  // call; the per-packet paths pass the members directly. Totals are
+  // bit-identical either way.
+  struct HotState {
+    CacheStats stats;
+    std::uint64_t tick = 0;
+    std::uint32_t occupied = 0;
   };
-  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
-  void lru_unlink(std::uint32_t slot) noexcept;
-  void lru_push_front(std::uint32_t slot) noexcept;
-  [[nodiscard]] std::uint32_t choose_victim() noexcept;
+  // One packet/weight applied to a known set. Sink needs
+  // push_back(const Eviction&); instantiated only in cache_table.cpp.
+  template <SimdTier Tier, typename Sink>
+  void apply(FlowId flow, std::uint32_t set, Count weight, Sink& sink,
+             HotState& hot);
 
-  // Shared hot path; Sink needs push_back(const Eviction&). Instantiated
-  // only in cache_table.cpp (for EvictionSink and the fixed-size shim).
+  template <SimdTier Tier>
+  void process_batch_impl(std::span<const FlowId> flows, EvictionSink& sink);
+
   template <typename Sink>
   void process_one(FlowId flow, Count weight, Sink& sink);
 
-  std::vector<Entry> entries_;
-  FlowIndex index_;
-  std::vector<std::uint32_t> free_slots_;
+  [[nodiscard]] std::uint32_t victim_way(std::uint32_t set,
+                                         std::uint32_t valid) noexcept;
+  void prefetch_set(std::uint32_t set) const noexcept;
+
+  /// True when probes must AND the occupancy mask: a single-set table
+  /// has no "other set" to borrow sentinel tags from (see the ctor).
+  [[nodiscard]] bool masked() const noexcept { return num_sets_ == 1; }
+  /// The tag an empty/padded way of `set` holds: a value mapping to a
+  /// *different* set, so unmasked probes can never falsely match it.
+  /// 0 for every set but set_of(0), which uses alt_sentinel_.
+  [[nodiscard]] std::uint64_t sentinel(std::uint32_t set) const noexcept {
+    return set_of(0) == set ? alt_sentinel_ : 0;
+  }
+
+  [[nodiscard]] const std::uint64_t* set_tags(
+      std::uint32_t set) const noexcept {
+    return tags_.data() + std::size_t{set} * ways_padded_;
+  }
+
+  // SoA lanes, indexed [set * ways_padded_ + way]; each set's slice of a
+  // lane is cache-line aligned (ways_padded_ is a multiple of 8).
+  AlignedBuffer<std::uint64_t> tags_;
+  AlignedBuffer<Count> values_;
+  AlignedBuffer<std::uint64_t> stamps_;  ///< recency; larger = more recent
+  std::vector<std::uint32_t> occ_;       ///< per-set occupancy bitmask
+
+  std::uint32_t num_entries_;
+  std::uint32_t ways_;
+  std::uint32_t ways_padded_;
+  /// Low ways_padded_ bits set: the unmasked-probe candidate mask
+  /// (sentinels make extra candidates harmless, but the scalar kernel
+  /// must not walk bits beyond the lane).
+  std::uint32_t lane_mask_ = 0;
+  std::uint32_t num_sets_;
+  /// Sentinel for the one set that tag 0 maps into (0 when unused).
+  std::uint64_t alt_sentinel_ = 0;
+  /// Batched-path scratch: precomputed set index per flow.
+  std::vector<std::uint32_t> batch_sets_;
   Count capacity_;
   ReplacementPolicy policy_;
+  SimdTier tier_;
+  std::uint32_t prefetch_distance_;
   Xoshiro256pp rng_;
   CacheStats stats_;
   std::uint32_t occupied_ = 0;
-  std::uint32_t lru_head_ = kNil;  // most recently used
-  std::uint32_t lru_tail_ = kNil;  // least recently used
-  /// Scan position of an in-progress chunked flush; 0 when idle.
+  std::uint64_t tick_ = 0;  ///< monotonic touch counter feeding stamps_
+  /// Scan position (logical slot) of an in-progress chunked flush; 0
+  /// when idle.
   std::uint32_t flush_cursor_ = 0;
 };
 

@@ -1,0 +1,134 @@
+// Vectorized set-probe kernels — the innermost loop of the datapath.
+//
+// A set is a cache-line-aligned lane of `ways_padded` 64-bit tags
+// (ways_padded is a multiple of 8, so the lane is whole cache lines)
+// plus an occupancy bitmask. Probing answers "which occupied way holds
+// this flow?", and since a flow lives in at most one way, every tier
+// must return the same answer:
+//
+//   * scalar — walks the occupancy mask bit by bit (the reference),
+//   * sse2 / neon — 2 tag compares per 128-bit op, mask via movemask
+//     (SSE2 has no 64-bit compare, so two 32-bit compares are fused),
+//   * avx2 — 4 tag compares per 256-bit op.
+//
+// Padded ways beyond the set's valid count hold stale/zero tags; the
+// occupancy mask is ANDed in *after* the compares, so reading them is
+// safe (the lanes are allocated padded) and can never produce a match.
+// Tiers other than the current CPU's are still compiled (subject to the
+// architecture and CAESAR_SIMD gates) so the differential tests can run
+// every supported tier side by side.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "cache/simd_dispatch.hpp"
+#include "common/types.hpp"
+
+#if !defined(CAESAR_SIMD_DISABLED) && (defined(__x86_64__) || defined(_M_X64))
+#define CAESAR_SET_PROBE_X86 1
+#include <immintrin.h>
+#endif
+#if !defined(CAESAR_SIMD_DISABLED) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define CAESAR_SET_PROBE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace caesar::cache::kernels {
+
+/// Reference probe: scan the occupied ways. Returns the way holding
+/// `flow`, or -1.
+inline int probe_scalar(const std::uint64_t* tags, std::uint32_t occupied,
+                        unsigned /*ways_padded*/, FlowId flow) noexcept {
+  while (occupied != 0) {
+    const int w = std::countr_zero(occupied);
+    if (tags[w] == flow) return w;
+    occupied &= occupied - 1;
+  }
+  return -1;
+}
+
+#if defined(CAESAR_SET_PROBE_X86)
+
+inline int probe_sse2(const std::uint64_t* tags, std::uint32_t occupied,
+                      unsigned ways_padded, FlowId flow) noexcept {
+  const __m128i key = _mm_set1_epi64x(static_cast<long long>(flow));
+  std::uint32_t eq_mask = 0;
+  for (unsigned w = 0; w < ways_padded; w += 2) {
+    const __m128i t =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(tags + w));
+    // SSE2 lacks a 64-bit equality compare: compare the 32-bit halves
+    // and AND each half with its sibling so a lane is all-ones only
+    // when both halves matched.
+    const __m128i eq32 = _mm_cmpeq_epi32(t, key);
+    const __m128i eq64 = _mm_and_si128(
+        eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+    eq_mask |= static_cast<std::uint32_t>(
+                   _mm_movemask_pd(_mm_castsi128_pd(eq64)))
+               << w;
+  }
+  eq_mask &= occupied;
+  return eq_mask != 0 ? std::countr_zero(eq_mask) : -1;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((target("avx2"))) inline int probe_avx2(
+    const std::uint64_t* tags, std::uint32_t occupied, unsigned ways_padded,
+    FlowId flow) noexcept {
+  const __m256i key = _mm256_set1_epi64x(static_cast<long long>(flow));
+  std::uint32_t eq_mask = 0;
+  for (unsigned w = 0; w < ways_padded; w += 4) {
+    const __m256i t =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(tags + w));
+    const __m256i eq = _mm256_cmpeq_epi64(t, key);
+    eq_mask |= static_cast<std::uint32_t>(
+                   _mm256_movemask_pd(_mm256_castsi256_pd(eq)))
+               << w;
+  }
+  eq_mask &= occupied;
+  return eq_mask != 0 ? std::countr_zero(eq_mask) : -1;
+}
+#endif  // __GNUC__ || __clang__
+
+#endif  // CAESAR_SET_PROBE_X86
+
+#if defined(CAESAR_SET_PROBE_NEON)
+
+inline int probe_neon(const std::uint64_t* tags, std::uint32_t occupied,
+                      unsigned ways_padded, FlowId flow) noexcept {
+  const uint64x2_t key = vdupq_n_u64(flow);
+  std::uint32_t eq_mask = 0;
+  for (unsigned w = 0; w < ways_padded; w += 2) {
+    const uint64x2_t eq = vceqq_u64(vld1q_u64(tags + w), key);
+    eq_mask |= static_cast<std::uint32_t>(vgetq_lane_u64(eq, 0) & 1) << w;
+    eq_mask |= static_cast<std::uint32_t>(vgetq_lane_u64(eq, 1) & 1)
+               << (w + 1);
+  }
+  eq_mask &= occupied;
+  return eq_mask != 0 ? std::countr_zero(eq_mask) : -1;
+}
+
+#endif  // CAESAR_SET_PROBE_NEON
+
+/// Tier-templated probe. Tiers that are compiled out fall back to the
+/// scalar reference (dispatch never selects them anyway).
+template <SimdTier Tier>
+inline int probe(const std::uint64_t* tags, std::uint32_t occupied,
+                 unsigned ways_padded, FlowId flow) noexcept {
+#if defined(CAESAR_SET_PROBE_X86)
+  if constexpr (Tier == SimdTier::kSse2)
+    return probe_sse2(tags, occupied, ways_padded, flow);
+#if defined(__GNUC__) || defined(__clang__)
+  if constexpr (Tier == SimdTier::kAvx2)
+    return probe_avx2(tags, occupied, ways_padded, flow);
+#endif
+#endif
+#if defined(CAESAR_SET_PROBE_NEON)
+  if constexpr (Tier == SimdTier::kNeon)
+    return probe_neon(tags, occupied, ways_padded, flow);
+#endif
+  return probe_scalar(tags, occupied, ways_padded, flow);
+}
+
+}  // namespace caesar::cache::kernels

@@ -1,0 +1,95 @@
+#include "cache/simd_dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace caesar::cache {
+
+namespace {
+
+#if !defined(CAESAR_SIMD_DISABLED) && (defined(__x86_64__) || defined(_M_X64))
+#define CAESAR_SIMD_X86 1
+#endif
+#if !defined(CAESAR_SIMD_DISABLED) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define CAESAR_SIMD_NEON 1
+#endif
+
+bool cpu_has_avx2() noexcept {
+#if defined(CAESAR_SIMD_X86) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::optional<SimdTier> env_tier() noexcept {
+  const char* v = std::getenv("CAESAR_SIMD");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  if (std::strcmp(v, "scalar") == 0 || std::strcmp(v, "off") == 0)
+    return SimdTier::kScalar;
+  if (std::strcmp(v, "sse2") == 0) return SimdTier::kSse2;
+  if (std::strcmp(v, "neon") == 0) return SimdTier::kNeon;
+  if (std::strcmp(v, "avx2") == 0) return SimdTier::kAvx2;
+  // "auto" and anything unrecognized fall through to detection: an env
+  // typo must not silently pin a deployment to the slow path.
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view tier_name(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kNeon:
+      return "neon";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool tier_supported(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kSse2:
+#if defined(CAESAR_SIMD_X86)
+      return true;  // SSE2 is architectural on x86-64
+#else
+      return false;
+#endif
+    case SimdTier::kNeon:
+#if defined(CAESAR_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case SimdTier::kAvx2:
+      return cpu_has_avx2();
+  }
+  return false;
+}
+
+SimdTier best_supported_tier() noexcept {
+  if (tier_supported(SimdTier::kAvx2)) return SimdTier::kAvx2;
+  if (tier_supported(SimdTier::kNeon)) return SimdTier::kNeon;
+  if (tier_supported(SimdTier::kSse2)) return SimdTier::kSse2;
+  return SimdTier::kScalar;
+}
+
+SimdTier resolve_tier(std::optional<SimdTier> requested) noexcept {
+  const std::optional<SimdTier> want =
+      requested.has_value() ? requested : env_tier();
+  if (!want.has_value()) return best_supported_tier();
+  // Clamp to the best available tier at or below the request; the enum
+  // order (scalar < sse2 < neon < avx2) is the clamp order.
+  auto t = static_cast<int>(*want);
+  while (t > 0 && !tier_supported(static_cast<SimdTier>(t))) --t;
+  return static_cast<SimdTier>(t);
+}
+
+}  // namespace caesar::cache

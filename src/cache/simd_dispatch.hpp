@@ -1,0 +1,53 @@
+// Runtime CPU dispatch for the cache probe kernels.
+//
+// One binary runs everywhere: the set-associative probe kernel is
+// compiled in up to three tiers (scalar reference, 128-bit SSE2/NEON,
+// 256-bit AVX2) and the tier is chosen at CacheTable construction from,
+// in priority order,
+//
+//   1. an explicit Config::simd request (tests pin tiers this way),
+//   2. the CAESAR_SIMD environment variable
+//      ("scalar" | "sse2" | "neon" | "avx2" | "auto"),
+//   3. CPUID / architecture detection.
+//
+// A request for an unavailable tier clamps down to the best available
+// one (never up), so a config captured on an AVX2 box still runs on a
+// machine without it — and `CacheTable::simd_tier()` plus the
+// `cache.kernel{tier=...}` gauge always report what actually runs.
+// Every tier is bit-identical by construction (pinned by
+// tests/cache/simd_kernel_differential_test.cpp); dispatch is therefore
+// purely a performance decision.
+//
+// Building with -DCAESAR_SIMD=OFF (macro CAESAR_SIMD_DISABLED) compiles
+// the vector tiers out entirely; only kScalar reports as available.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace caesar::cache {
+
+enum class SimdTier : std::uint8_t {
+  kScalar = 0,  ///< portable reference path — the semantic oracle
+  kSse2 = 1,    ///< 128-bit x86 path (baseline on x86-64)
+  kNeon = 2,    ///< 128-bit AArch64 path
+  kAvx2 = 3,    ///< 256-bit x86 path
+};
+
+/// Human-readable tier name ("scalar", "sse2", "neon", "avx2").
+[[nodiscard]] std::string_view tier_name(SimdTier tier) noexcept;
+
+/// True when `tier` is compiled in and supported by this CPU.
+[[nodiscard]] bool tier_supported(SimdTier tier) noexcept;
+
+/// The widest supported tier on this machine.
+[[nodiscard]] SimdTier best_supported_tier() noexcept;
+
+/// Resolve the tier a cache should run: an explicit request (clamped to
+/// the best available tier at or below it), else the CAESAR_SIMD
+/// environment override, else the best supported tier.
+[[nodiscard]] SimdTier resolve_tier(
+    std::optional<SimdTier> requested) noexcept;
+
+}  // namespace caesar::cache

@@ -1,0 +1,75 @@
+// Cache-line-aligned, value-initialized flat buffer.
+//
+// The SoA cache lanes (tags / counters / recency stamps) must start on a
+// 64-byte boundary so a set's lane group maps onto whole cache lines and
+// the SIMD kernels can use aligned loads. std::vector gives no alignment
+// guarantee beyond alignof(T), so this is the minimal owning buffer the
+// lanes need: fixed size at construction, zero-initialized, copyable and
+// movable (CacheTable and CaesarSketch are value types).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+
+namespace caesar {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Align = kCacheLineBytes>
+class AlignedBuffer {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+
+ public:
+  AlignedBuffer() noexcept = default;
+
+  explicit AlignedBuffer(std::size_t size) : size_(size) {
+    if (size_ == 0) return;
+    data_ = static_cast<T*>(
+        ::operator new(size_ * sizeof(T), std::align_val_t{Align}));
+    std::fill_n(data_, size_, T{});
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ > 0) std::copy_n(other.data_, size_, data_);
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this == &other) return *this;
+    AlignedBuffer copy(other);
+    swap(copy);
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~AlignedBuffer() {
+    if (data_ != nullptr)
+      ::operator delete(data_, size_ * sizeof(T), std::align_val_t{Align});
+  }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace caesar

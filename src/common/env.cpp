@@ -24,4 +24,20 @@ std::optional<std::string> csv_export_dir() {
   return std::string(v);
 }
 
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "") != 0 &&
+         std::strcmp(v, "false") != 0;
+}
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(v, &end, 10);
+  if (end == v) return std::nullopt;
+  return parsed;
+}
+
 }  // namespace caesar

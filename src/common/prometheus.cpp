@@ -17,6 +17,55 @@ void emit_type(std::ostream& out, const std::string& name,
   out << "# TYPE " << name << ' ' << type << '\n';
 }
 
+bool valid_label_char(char c) noexcept {
+  // Label names allow metric-name characters minus ':'.
+  return valid_name_char(c) && c != ':';
+}
+
+struct ParsedName {
+  std::string base;    ///< sanitized series name (TYPE line target)
+  std::string labels;  ///< inner label list, 'k="v",k2="v2"', or empty
+};
+
+/// Split an optional "{key=value,...}" suffix off an instrument name.
+/// Values may arrive pre-quoted or bare; they re-render quoted with
+/// '\' and '"' escaped. A malformed suffix degrades to sanitizing the
+/// whole raw name (labels empty), never to invalid exposition.
+ParsedName parse_labels(const std::string& raw, std::string_view ns) {
+  const auto brace = raw.find('{');
+  if (brace == std::string::npos || raw.back() != '}')
+    return {prometheus_name(raw, ns), {}};
+  std::string labels;
+  std::string_view rest =
+      std::string_view(raw).substr(brace + 1, raw.size() - brace - 2);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    std::string_view pair = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const auto eq = pair.find('=');
+    if (eq == 0 || eq == std::string_view::npos)
+      return {prometheus_name(raw, ns), {}};
+    std::string_view key = pair.substr(0, eq);
+    std::string_view value = pair.substr(eq + 1);
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"')
+      value = value.substr(1, value.size() - 2);
+    if (!labels.empty()) labels.push_back(',');
+    for (char c : key) labels.push_back(valid_label_char(c) ? c : '_');
+    labels += "=\"";
+    for (char c : value) {
+      if (c == '\\' || c == '"') labels.push_back('\\');
+      labels.push_back(c);
+    }
+    labels.push_back('"');
+  }
+  return {prometheus_name(raw.substr(0, brace), ns), labels};
+}
+
+std::string braced(const std::string& labels) {
+  return labels.empty() ? std::string{} : "{" + labels + "}";
+}
+
 }  // namespace
 
 std::string prometheus_name(std::string_view name, std::string_view ns) {
@@ -36,31 +85,34 @@ std::string prometheus_name(std::string_view name, std::string_view ns) {
 void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& out,
                       std::string_view ns) {
   for (const auto& c : snapshot.counters()) {
-    const std::string name = prometheus_name(c.name, ns);
+    const auto [name, labels] = parse_labels(c.name, ns);
     emit_type(out, name, "counter");
-    out << name << ' ' << c.value << '\n';
+    out << name << braced(labels) << ' ' << c.value << '\n';
   }
   for (const auto& g : snapshot.gauges()) {
-    const std::string name = prometheus_name(g.name, ns);
+    const auto [name, labels] = parse_labels(g.name, ns);
     emit_type(out, name, "gauge");
-    out << name << ' ' << g.value << '\n';
+    out << name << braced(labels) << ' ' << g.value << '\n';
     emit_type(out, name + "_high_water", "gauge");
-    out << name << "_high_water " << g.high_water << '\n';
+    out << name << "_high_water" << braced(labels) << ' ' << g.high_water
+        << '\n';
   }
   for (const auto& h : snapshot.histograms()) {
-    const std::string name = prometheus_name(h.name, ns);
+    const auto [name, labels] = parse_labels(h.name, ns);
     emit_type(out, name, "histogram");
     // The snapshot stores per-bucket counts over inclusive upper edges;
     // Prometheus buckets are cumulative, closed by the +Inf bucket.
+    const std::string le_prefix = labels.empty() ? "" : labels + ",";
     std::uint64_t cumulative = 0;
     for (const auto& [upper, count] : h.buckets) {
       cumulative += count;
-      out << name << "_bucket{le=\"" << upper << "\"} " << cumulative
-          << '\n';
+      out << name << "_bucket{" << le_prefix << "le=\"" << upper << "\"} "
+          << cumulative << '\n';
     }
-    out << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
-    out << name << "_sum " << h.sum << '\n';
-    out << name << "_count " << h.count << '\n';
+    out << name << "_bucket{" << le_prefix << "le=\"+Inf\"} " << h.count
+        << '\n';
+    out << name << "_sum" << braced(labels) << ' ' << h.sum << '\n';
+    out << name << "_count" << braced(labels) << ' ' << h.count << '\n';
   }
 }
 

@@ -9,6 +9,13 @@
 // _bucket/_sum/_count scheme scrapers expect (buckets are emitted
 // cumulatively here — the snapshot stores per-bucket counts).
 //
+// An instrument name may carry a label suffix, "cache.kernel{tier=avx2}"
+// (value quotes optional): the base renders as the series name (one
+// # TYPE line), the labels re-render with quoted, escaped values —
+// caesar_cache_kernel{tier="avx2"} — and merge with the "le" label on
+// histogram buckets. A malformed suffix falls back to whole-name
+// sanitization, so no input can produce an unparsable exposition.
+//
 // Output follows the text exposition format version 0.0.4 (the format
 // every Prometheus-compatible scraper accepts).
 #pragma once

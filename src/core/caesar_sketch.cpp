@@ -19,6 +19,8 @@ cache::CacheTable::Config cache_config(const CaesarConfig& c) {
   cc.entry_capacity = c.entry_capacity;
   cc.policy = c.policy;
   cc.seed = c.seed ^ 0x5bd1e9955bd1e995ULL;
+  cc.ways = c.cache_ways;
+  cc.simd = c.simd;
   return cc;
 }
 }  // namespace

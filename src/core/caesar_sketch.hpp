@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <span>
 #include <vector>
@@ -38,6 +39,14 @@ struct CaesarConfig {
 
   std::size_t k = 3;                      ///< mapped counters per flow
   std::uint64_t seed = 1;
+
+  /// Cache set associativity (CacheTable::Config::ways). Layout/perf
+  /// knob: not serialized and not part of the merge-compatibility check
+  /// (merging needs matching counters, not a matching cache layout).
+  std::uint32_t cache_ways = 8;
+  /// Cache probe-kernel tier override (CacheTable::Config::simd);
+  /// nullopt = env/CPU dispatch. All tiers are bit-identical.
+  std::optional<cache::SimdTier> simd;
 
   /// Eviction spill-queue bound for the batched ingest path: add_batch()
   /// defers eviction spreading into a buffer and drains it in bulk once

@@ -1,0 +1,16 @@
+#include "hash/batch.hpp"
+
+namespace caesar::hash {
+
+void fmix64_batch(std::span<const std::uint64_t> keys,
+                  std::span<std::uint64_t> out) noexcept {
+  for (std::size_t i = 0; i < keys.size(); ++i) out[i] = fmix64(keys[i]);
+}
+
+void bucket_batch(std::span<const std::uint64_t> keys, std::uint32_t range,
+                  std::span<std::uint32_t> out) noexcept {
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    out[i] = fastrange32(fmix64(keys[i]), range);
+}
+
+}  // namespace caesar::hash

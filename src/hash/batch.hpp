@@ -1,0 +1,37 @@
+// Batched hashing of fixed-width keys.
+//
+// The set-associative cache maps a flow to its set with one fmix64 and a
+// multiply-shift range reduction. The batched ingest path hashes a whole
+// chunk of flow IDs up front — the mixes are data-independent, so the
+// compiler can vectorize and the out-of-order core can overlap them —
+// then uses the results both to prefetch the sets and to skip re-hashing
+// at apply time. The single-key helpers here are the same functions the
+// batch loop applies, so batched and per-packet paths agree bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hash/murmur3.hpp"
+
+namespace caesar::hash {
+
+/// Multiply-shift range reduction on the high 32 bits of a 64-bit hash:
+/// maps a well-mixed hash uniformly onto [0, range) without a divide.
+[[nodiscard]] constexpr std::uint32_t fastrange32(std::uint64_t hash,
+                                                  std::uint32_t range)
+    noexcept {
+  return static_cast<std::uint32_t>(((hash >> 32) * std::uint64_t{range}) >>
+                                    32);
+}
+
+/// fmix64 each key into `out` (out.size() >= keys.size()).
+void fmix64_batch(std::span<const std::uint64_t> keys,
+                  std::span<std::uint64_t> out) noexcept;
+
+/// Map each key to a bucket in [0, range): fmix64 then fastrange32.
+/// Element i equals fastrange32(fmix64(keys[i]), range).
+void bucket_batch(std::span<const std::uint64_t> keys, std::uint32_t range,
+                  std::span<std::uint32_t> out) noexcept;
+
+}  // namespace caesar::hash

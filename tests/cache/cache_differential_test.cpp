@@ -1,27 +1,36 @@
-// Differential test: CacheTable (open-addressing index + intrusive LRU)
-// against a deliberately naive reference model (std::map + std::list).
-// Any divergence in eviction identity, eviction value, or cached state
-// across a long random workload is a bug in one of them — and the
-// reference is simple enough to be right by inspection.
+// Differential test: CacheTable (set-associative SoA lanes + SIMD probe)
+// against a deliberately naive reference model (one std::map + std::list
+// LRU per set). Any divergence in eviction identity, eviction value, or
+// cached state across a long random workload is a bug in one of them —
+// and the reference is simple enough to be right by inspection. The
+// reference derives its geometry (set count, ragged last set) and set
+// mapping from the documented formulas independently, so it also checks
+// CacheTable's geometry handling, not just its replacement logic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <list>
 #include <map>
-#include <optional>
 #include <vector>
 
 #include "cache/cache_table.hpp"
 #include "common/random.hpp"
+#include "hash/batch.hpp"
 
 namespace caesar::cache {
 namespace {
 
-/// Naive LRU cache with per-entry capacity, mirroring CacheTable's
-/// contract exactly.
+/// Naive set-associative LRU cache with per-entry capacity, mirroring
+/// CacheTable's contract exactly.
 class ReferenceCache {
  public:
-  ReferenceCache(std::uint32_t entries, Count capacity)
-      : max_entries_(entries), capacity_(capacity) {}
+  ReferenceCache(std::uint32_t entries, Count capacity, std::uint32_t ways)
+      : capacity_(capacity) {
+    ways_ = std::min(ways, entries);
+    num_sets_ = (entries + ways_ - 1) / ways_;
+    last_set_capacity_ = entries - (num_sets_ - 1) * ways_;
+    sets_.resize(num_sets_);
+  }
 
   struct Ev {
     FlowId flow;
@@ -30,23 +39,25 @@ class ReferenceCache {
   };
 
   std::vector<Ev> process(FlowId flow) {
+    const std::uint32_t si = hash::fastrange32(hash::fmix64(flow), num_sets_);
+    const std::uint32_t cap = si + 1 < num_sets_ ? ways_ : last_set_capacity_;
+    Set& set = sets_[si];
     std::vector<Ev> out;
-    auto it = values_.find(flow);
-    if (it == values_.end()) {
-      if (values_.size() == max_entries_) {
-        const FlowId victim = lru_.back();
-        lru_.pop_back();
-        const Count v = values_.at(victim);
-        if (v > 0)
-          out.push_back({victim, v, EvictionCause::kReplacement});
-        values_.erase(victim);
+    auto it = set.values.find(flow);
+    if (it == set.values.end()) {
+      if (set.values.size() == cap) {
+        const FlowId victim = set.lru.back();
+        set.lru.pop_back();
+        const Count v = set.values.at(victim);
+        if (v > 0) out.push_back({victim, v, EvictionCause::kReplacement});
+        set.values.erase(victim);
       }
-      values_[flow] = 0;
-      lru_.push_front(flow);
-      it = values_.find(flow);
+      set.values[flow] = 0;
+      set.lru.push_front(flow);
+      it = set.values.find(flow);
     } else {
-      lru_.remove(flow);
-      lru_.push_front(flow);
+      set.lru.remove(flow);
+      set.lru.push_front(flow);
     }
     if (++it->second >= capacity_) {
       out.push_back({flow, it->second, EvictionCause::kOverflow});
@@ -56,35 +67,43 @@ class ReferenceCache {
   }
 
   [[nodiscard]] Count peek(FlowId flow) const {
-    const auto it = values_.find(flow);
-    return it == values_.end() ? 0 : it->second;
+    const Set& set = sets_[hash::fastrange32(hash::fmix64(flow), num_sets_)];
+    const auto it = set.values.find(flow);
+    return it == set.values.end() ? 0 : it->second;
   }
 
  private:
-  std::uint32_t max_entries_;
+  struct Set {
+    std::map<FlowId, Count> values;
+    std::list<FlowId> lru;  // front = most recent
+  };
   Count capacity_;
-  std::map<FlowId, Count> values_;
-  std::list<FlowId> lru_;  // front = most recent
+  std::uint32_t ways_;
+  std::uint32_t num_sets_;
+  std::uint32_t last_set_capacity_;
+  std::vector<Set> sets_;
 };
 
 struct DiffCase {
   std::uint32_t entries;
   Count capacity;
   std::uint64_t flow_space;
+  std::uint32_t ways;
 };
 
 class CacheDifferential : public ::testing::TestWithParam<DiffCase> {};
 
 TEST_P(CacheDifferential, MatchesReferenceModel) {
-  const auto [entries, capacity, flow_space] = GetParam();
+  const auto [entries, capacity, flow_space, ways] = GetParam();
   CacheTable::Config cfg;
   cfg.num_entries = entries;
   cfg.entry_capacity = capacity;
   cfg.policy = ReplacementPolicy::kLru;
+  cfg.ways = ways;
   CacheTable cache(cfg);
-  ReferenceCache ref(entries, capacity);
+  ReferenceCache ref(entries, capacity, ways);
 
-  Xoshiro256pp rng(entries * 1000003ULL + capacity);
+  Xoshiro256pp rng(entries * 1000003ULL + capacity * 31ULL + ways);
   for (int step = 0; step < 30000; ++step) {
     const FlowId f = rng.below(flow_space) + 1;
     const auto got = cache.process(f);
@@ -105,11 +124,16 @@ TEST_P(CacheDifferential, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(
     Workloads, CacheDifferential,
-    ::testing::Values(DiffCase{4, 3, 10},      // tiny, heavy churn
-                      DiffCase{16, 10, 20},    // moderate pressure
-                      DiffCase{64, 5, 1000},   // mostly misses
-                      DiffCase{32, 1, 100},    // y=1 degenerate mode
-                      DiffCase{128, 54, 96}),  // fits: no replacement
+    ::testing::Values(
+        DiffCase{4, 3, 10, 8},      // tiny: one fully associative set
+        DiffCase{16, 10, 20, 8},    // two sets, moderate pressure
+        DiffCase{64, 5, 1000, 8},   // mostly misses
+        DiffCase{32, 1, 100, 8},    // y=1 degenerate mode
+        DiffCase{128, 54, 96, 8},   // fits: no replacement
+        DiffCase{64, 5, 1000, 4},   // narrower sets, more conflict misses
+        DiffCase{128, 54, 96, 16},  // wider sets
+        DiffCase{33, 7, 500, 5},    // odd ways + ragged last set (33 = 6*5+3)
+        DiffCase{100, 9, 400, 1}),  // direct-mapped degenerate mode
     [](const ::testing::TestParamInfo<DiffCase>& param_info) {
       // Built via append: GCC 12's -O3 -Wrestrict misfires on the
       // char* + string&& overload.
@@ -119,6 +143,8 @@ INSTANTIATE_TEST_SUITE_P(
       name += std::to_string(param_info.param.capacity);
       name += "_F";
       name += std::to_string(param_info.param.flow_space);
+      name += "_W";
+      name += std::to_string(param_info.param.ways);
       return name;
     });
 

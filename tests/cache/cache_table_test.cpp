@@ -355,5 +355,103 @@ TEST(CacheTable, LruOrderSurvivesOverflowEvictions) {
   EXPECT_EQ(evs[0].flow, 2u);
 }
 
+TEST(CacheTable, SetGeometryFollowsConfig) {
+  CacheTable::Config c;
+  c.num_entries = 100;
+  c.ways = 8;
+  CacheTable cache(c);
+  EXPECT_EQ(cache.ways(), 8u);
+  EXPECT_EQ(cache.num_sets(), 13u);  // ceil(100/8)
+  for (std::uint32_t s = 0; s + 1 < cache.num_sets(); ++s)
+    EXPECT_EQ(cache.set_capacity(s), 8u);
+  EXPECT_EQ(cache.set_capacity(12), 4u);  // ragged last set: 100 - 12*8
+}
+
+TEST(CacheTable, SmallTableCollapsesToOneFullyAssociativeSet) {
+  // M <= ways degenerates to the paper's original fully associative
+  // model: one set holding all M entries.
+  CacheTable::Config c;
+  c.num_entries = 4;
+  c.ways = 8;
+  CacheTable cache(c);
+  EXPECT_EQ(cache.ways(), 4u);
+  EXPECT_EQ(cache.num_sets(), 1u);
+  EXPECT_EQ(cache.set_capacity(0), 4u);
+  for (FlowId f = 1; f <= 100; ++f) EXPECT_EQ(cache.set_of(f), 0u);
+}
+
+TEST(CacheTable, SetMappingIsStableAndInRange) {
+  CacheTable::Config c;
+  c.num_entries = 1000;
+  c.ways = 8;
+  CacheTable cache(c);
+  for (FlowId f = 1; f <= 5000; ++f) {
+    const std::uint32_t s = cache.set_of(f);
+    EXPECT_LT(s, cache.num_sets());
+    EXPECT_EQ(s, cache.set_of(f));  // pure function of the flow ID
+  }
+}
+
+TEST(CacheTable, RejectsBadWays) {
+  CacheTable::Config c;
+  c.ways = 0;
+  EXPECT_THROW(CacheTable cache(c), std::invalid_argument);
+  c.ways = 33;
+  EXPECT_THROW(CacheTable cache2(c), std::invalid_argument);
+}
+
+TEST(CacheTable, ConflictMissesEvictWithinTheSetOnly) {
+  // Fill one set beyond its associativity with colliding flows: the
+  // replacement victim must come from that same set, and other sets'
+  // entries must be untouched.
+  CacheTable::Config c;
+  c.num_entries = 64;
+  c.ways = 4;
+  c.entry_capacity = 100;
+  c.policy = ReplacementPolicy::kLru;
+  CacheTable cache(c);
+
+  std::vector<FlowId> colliders;
+  const std::uint32_t target = cache.set_of(1);
+  for (FlowId f = 1; colliders.size() < 6; ++f)
+    if (cache.set_of(f) == target) colliders.push_back(f);
+  FlowId other = 1;
+  while (cache.set_of(other) == target) ++other;
+
+  cache.process(other);
+  for (std::size_t i = 0; i < 4; ++i) cache.process(colliders[i]);
+  EXPECT_EQ(cache.occupied(), 5u);
+  const auto evs = drain(cache.process(colliders[4]));  // set is full
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].flow, colliders[0]);  // LRU of the *set*
+  EXPECT_EQ(evs[0].cause, EvictionCause::kReplacement);
+  EXPECT_EQ(cache.peek(other), 1u);  // bystander set untouched
+}
+
+TEST(CacheTable, ProcessIsIdenticalAcrossKernelTiers) {
+  // Belt-and-braces single-file check (the exhaustive version lives in
+  // simd_kernel_differential_test.cpp): default dispatch vs. pinned
+  // scalar on the same stream.
+  CacheTable::Config c;
+  c.num_entries = 128;
+  c.entry_capacity = 10;
+  CacheTable dispatched(c);
+  c.simd = SimdTier::kScalar;
+  CacheTable scalar(c);
+  Xoshiro256pp rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const FlowId f = rng.below(500) + 1;
+    const auto a = drain(dispatched.process(f));
+    const auto b = drain(scalar.process(f));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t e = 0; e < a.size(); ++e) {
+      ASSERT_EQ(a[e].flow, b[e].flow);
+      ASSERT_EQ(a[e].value, b[e].value);
+    }
+  }
+  EXPECT_EQ(dispatched.occupied(), scalar.occupied());
+  EXPECT_EQ(dispatched.stats().hits, scalar.stats().hits);
+}
+
 }  // namespace
 }  // namespace caesar::cache

@@ -1,0 +1,113 @@
+// Runtime dispatch rules: explicit config beats the CAESAR_SIMD env
+// override beats CPU detection, requests clamp *down* to what the host
+// supports, and the resolved tier is always runnable. Env manipulation
+// keeps these tests single-threaded.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+
+#include "cache/cache_table.hpp"
+#include "cache/simd_dispatch.hpp"
+
+namespace caesar::cache {
+namespace {
+
+class SimdDispatch : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* v = std::getenv("CAESAR_SIMD");
+    saved_ = v == nullptr ? std::optional<std::string>{} : std::string(v);
+  }
+  void TearDown() override {
+    if (saved_.has_value())
+      ::setenv("CAESAR_SIMD", saved_->c_str(), 1);
+    else
+      ::unsetenv("CAESAR_SIMD");
+  }
+  std::optional<std::string> saved_;
+};
+
+TEST_F(SimdDispatch, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(tier_supported(SimdTier::kScalar));
+  EXPECT_TRUE(tier_supported(best_supported_tier()));
+}
+
+TEST_F(SimdDispatch, ResolvedTierIsAlwaysSupported) {
+  for (SimdTier t : {SimdTier::kScalar, SimdTier::kSse2, SimdTier::kNeon,
+                     SimdTier::kAvx2}) {
+    const SimdTier resolved = resolve_tier(t);
+    EXPECT_TRUE(tier_supported(resolved)) << tier_name(t);
+    // Clamp-down: never resolve above the request.
+    EXPECT_LE(static_cast<int>(resolved), static_cast<int>(t));
+    if (tier_supported(t)) EXPECT_EQ(resolved, t);
+  }
+}
+
+TEST_F(SimdDispatch, DefaultResolvesToBestSupported) {
+  ::unsetenv("CAESAR_SIMD");
+  EXPECT_EQ(resolve_tier(std::nullopt), best_supported_tier());
+}
+
+TEST_F(SimdDispatch, EnvOverrideForcesScalar) {
+  ::setenv("CAESAR_SIMD", "scalar", 1);
+  EXPECT_EQ(resolve_tier(std::nullopt), SimdTier::kScalar);
+  CacheTable table({});
+  EXPECT_EQ(table.simd_tier(), SimdTier::kScalar);
+}
+
+TEST_F(SimdDispatch, EnvOffMeansScalar) {
+  ::setenv("CAESAR_SIMD", "off", 1);
+  EXPECT_EQ(resolve_tier(std::nullopt), SimdTier::kScalar);
+}
+
+TEST_F(SimdDispatch, ExplicitConfigBeatsEnv) {
+  ::setenv("CAESAR_SIMD", "scalar", 1);
+  const SimdTier best = best_supported_tier();
+  EXPECT_EQ(resolve_tier(best), best);
+  CacheTable::Config cfg;
+  cfg.simd = best;
+  CacheTable table(cfg);
+  EXPECT_EQ(table.simd_tier(), best);
+}
+
+TEST_F(SimdDispatch, UnknownEnvValueFallsBackToDetection) {
+  ::setenv("CAESAR_SIMD", "quantum", 1);
+  EXPECT_EQ(resolve_tier(std::nullopt), best_supported_tier());
+  ::setenv("CAESAR_SIMD", "auto", 1);
+  EXPECT_EQ(resolve_tier(std::nullopt), best_supported_tier());
+}
+
+TEST_F(SimdDispatch, TierNamesAreStable) {
+  // The names are API: CAESAR_SIMD values and the kernel{tier=...}
+  // metric label both use them.
+  EXPECT_EQ(tier_name(SimdTier::kScalar), "scalar");
+  EXPECT_EQ(tier_name(SimdTier::kSse2), "sse2");
+  EXPECT_EQ(tier_name(SimdTier::kNeon), "neon");
+  EXPECT_EQ(tier_name(SimdTier::kAvx2), "avx2");
+}
+
+TEST_F(SimdDispatch, TableReportsKernelAndPrefetchMetrics) {
+  ::unsetenv("CAESAR_SIMD");
+  CacheTable table({});
+  metrics::MetricsSnapshot snapshot;
+  table.collect_metrics(snapshot, "cache.");
+  bool saw_kernel = false;
+  bool saw_prefetch = false;
+  for (const auto& g : snapshot.gauges()) {
+    if (g.name == std::string("cache.kernel{tier=\"") +
+                      std::string(tier_name(table.simd_tier())) + "\"}") {
+      saw_kernel = true;
+      EXPECT_EQ(g.value, 1);
+    }
+    if (g.name == "cache.prefetch_distance") {
+      saw_prefetch = true;
+      EXPECT_EQ(g.value, table.prefetch_distance());
+    }
+  }
+  EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_prefetch);
+}
+
+}  // namespace
+}  // namespace caesar::cache

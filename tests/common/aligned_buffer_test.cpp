@@ -1,0 +1,65 @@
+#include "common/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace caesar {
+namespace {
+
+bool is_aligned(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(AlignedBuffer, StartsCacheLineAlignedAndZeroed) {
+  AlignedBuffer<std::uint64_t> buf(37);
+  ASSERT_EQ(buf.size(), 37u);
+  EXPECT_TRUE(is_aligned(buf.data(), kCacheLineBytes));
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0u);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsValid) {
+  AlignedBuffer<std::uint64_t> buf;
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.data(), nullptr);
+  AlignedBuffer<std::uint64_t> sized(0);
+  EXPECT_EQ(sized.data(), nullptr);
+  AlignedBuffer<std::uint64_t> copy(buf);
+  EXPECT_EQ(copy.size(), 0u);
+}
+
+TEST(AlignedBuffer, CopyIsDeepAndAligned) {
+  AlignedBuffer<std::uint64_t> a(16);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = i * 3 + 1;
+  AlignedBuffer<std::uint64_t> b(a);
+  EXPECT_TRUE(is_aligned(b.data(), kCacheLineBytes));
+  b[0] = 999;
+  EXPECT_EQ(a[0], 1u);
+  AlignedBuffer<std::uint64_t> c(4);
+  c = a;
+  ASSERT_EQ(c.size(), 16u);
+  EXPECT_EQ(c[5], 16u);
+  c = c;  // self-assignment
+  EXPECT_EQ(c[5], 16u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<std::uint64_t> a(8);
+  a[7] = 42;
+  const std::uint64_t* p = a.data();
+  AlignedBuffer<std::uint64_t> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[7], 42u);
+  AlignedBuffer<std::uint64_t> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+}
+
+TEST(AlignedBuffer, CustomAlignment) {
+  AlignedBuffer<std::uint32_t, 4096> page(3);
+  EXPECT_TRUE(is_aligned(page.data(), 4096));
+}
+
+}  // namespace
+}  // namespace caesar

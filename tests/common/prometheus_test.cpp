@@ -83,6 +83,62 @@ TEST(Prometheus, HistogramBucketsAreCumulative) {
   EXPECT_NE(text.find("caesar_lat_count 6\n"), std::string::npos);
 }
 
+TEST(Prometheus, LabelSuffixRendersAsLabels) {
+  MetricsSnapshot snap;
+  snap.add_gauge("cache.kernel{tier=avx2}", 1, 1);
+  const std::string text = to_prometheus(snap);
+  // One TYPE line for the base series, labels on the samples.
+  EXPECT_NE(text.find("# TYPE caesar_cache_kernel gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("caesar_cache_kernel{tier=\"avx2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("caesar_cache_kernel_high_water{tier=\"avx2\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, LabelValuesMayBePreQuotedAndMultiple) {
+  MetricsSnapshot snap;
+  snap.add_counter("ops{kind=\"probe\",tier=sse2}", 5);
+  const std::string text = to_prometheus(snap);
+  EXPECT_NE(text.find("caesar_ops{kind=\"probe\",tier=\"sse2\"} 5\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, LabelValuesAreEscaped) {
+  MetricsSnapshot snap;
+  snap.add_counter("ops{path=a\"b\\c}", 1);
+  const std::string text = to_prometheus(snap);
+  EXPECT_NE(text.find("caesar_ops{path=\"a\\\"b\\\\c\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, MalformedLabelSuffixFallsBackToSanitization) {
+  MetricsSnapshot snap;
+  snap.add_counter("bad{noequals}", 3);
+  snap.add_counter("worse{", 4);
+  const std::string text = to_prometheus(snap);
+  EXPECT_NE(text.find("caesar_bad_noequals_ 3\n"), std::string::npos);
+  EXPECT_NE(text.find("caesar_worse_ 4\n"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramLabelsMergeWithLe) {
+  MetricsSnapshot snap;
+  Histogram h;
+  h.record(1);
+  snap.add_histogram("lat{shard=2}", h);
+  const std::string text = to_prometheus(snap);
+  if (metrics::kEnabled) {
+    EXPECT_NE(text.find("caesar_lat_bucket{shard=\"2\",le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("caesar_lat_sum{shard=\"2\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("caesar_lat_count{shard=\"2\"} 1\n"),
+              std::string::npos);
+  }
+  EXPECT_NE(text.find("caesar_lat_bucket{shard=\"2\",le=\"+Inf\"} "),
+            std::string::npos);
+}
+
 TEST(Prometheus, EmptySnapshotRendersEmpty) {
   EXPECT_EQ(to_prometheus(MetricsSnapshot{}), "");
 }

@@ -1,0 +1,60 @@
+#include "hash/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "hash/murmur3.hpp"
+
+namespace caesar::hash {
+namespace {
+
+TEST(BatchHash, FastrangeStaysInRange) {
+  Xoshiro256pp rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t h = rng();
+    EXPECT_LT(fastrange32(h, 1u), 1u);
+    EXPECT_LT(fastrange32(h, 7u), 7u);
+    EXPECT_LT(fastrange32(h, 1u << 20), 1u << 20);
+  }
+  // Edge hashes.
+  EXPECT_EQ(fastrange32(0, 12345u), 0u);
+  EXPECT_LT(fastrange32(~std::uint64_t{0}, 12345u), 12345u);
+}
+
+TEST(BatchHash, FastrangeIsRoughlyUniform) {
+  // 64 buckets, 64k well-mixed keys: each bucket expects 1024 ± noise.
+  constexpr std::uint32_t kBuckets = 64;
+  std::vector<int> hist(kBuckets, 0);
+  for (std::uint64_t k = 0; k < 65536; ++k)
+    ++hist[fastrange32(fmix64(k), kBuckets)];
+  for (std::uint32_t b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(hist[b], 800) << "bucket " << b;
+    EXPECT_LT(hist[b], 1250) << "bucket " << b;
+  }
+}
+
+TEST(BatchHash, BatchMatchesSingleKeyHelpers) {
+  Xoshiro256pp rng(99);
+  std::vector<std::uint64_t> keys(1000);
+  for (auto& k : keys) k = rng();
+
+  std::vector<std::uint64_t> mixed(keys.size());
+  fmix64_batch(keys, mixed);
+  std::vector<std::uint32_t> buckets(keys.size());
+  bucket_batch(keys, 12289, buckets);
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(mixed[i], fmix64(keys[i]));
+    EXPECT_EQ(buckets[i], fastrange32(fmix64(keys[i]), 12289));
+  }
+}
+
+TEST(BatchHash, EmptySpansAreFine) {
+  fmix64_batch({}, {});
+  bucket_batch({}, 7, {});
+}
+
+}  // namespace
+}  // namespace caesar::hash

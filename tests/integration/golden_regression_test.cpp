@@ -51,7 +51,12 @@ TEST(GoldenRegression, FixedSeedScenarioIsBitStable) {
     h ^= sketch.sram().peek(i);
     h *= 1099511628211ULL;
   }
-  EXPECT_EQ(h, 14207685532476469884ULL);
+  // Re-harvested for the set-associative cache restructure (see
+  // CHANGELOG): the cache's eviction *pattern* legitimately changed
+  // (per-set LRU instead of global LRU), which shifts when partial
+  // counts reach SRAM. Accuracy is equivalent (ARE moved from 0.1369 to
+  // 0.1356 on this scenario).
+  EXPECT_EQ(h, 5888600782656126434ULL);
 
   EXPECT_NEAR(sketch.estimate_csm(t.id_of(0)), 0.849407, 1e-6);
 
@@ -60,8 +65,8 @@ TEST(GoldenRegression, FixedSeedScenarioIsBitStable) {
   // clamp and stay valid against the raw values.
   const auto e = analysis::evaluate(
       t, [&](FlowId f) { return sketch.estimate_csm_raw(f); });
-  EXPECT_NEAR(e.avg_relative_error, 0.136943, 1e-6);
-  EXPECT_NEAR(e.bias, -0.079592, 1e-6);
+  EXPECT_NEAR(e.avg_relative_error, 0.1356372, 1e-6);
+  EXPECT_NEAR(e.bias, -0.0819925, 1e-6);
 }
 
 }  // namespace
