@@ -37,7 +37,7 @@ int main() {
     const auto ec = bench::evaluate_fn(
         t, [&](FlowId f) { return caesar_sketch.estimate_csm_raw(f); });
     const auto er = bench::evaluate_fn(
-        t, [&](FlowId f) { return rcs_sketch.estimate_csm(f); });
+        t, [&](FlowId f) { return rcs_sketch.estimate_csm_raw(f); });
     table.add_row(
         {std::to_string(cc.num_counters),
          format_double(caesar_sketch.sram().memory_kb(), 1),

@@ -55,16 +55,16 @@ int main() {
   {
     baselines::RcsSketch s(setup.rcs_accuracy);
     bench::feed(t, s);
-    const auto e =
-        bench::evaluate_fn(t, [&](FlowId f) { return s.estimate_csm(f); });
+    const auto e = bench::evaluate_fn(
+        t, [&](FlowId f) { return s.estimate_csm_raw(f); });
     add_row("RCS (lossless)", e, err_ge4(e), s.memory_kb(),
             model.time_ms(s.op_counts()), "per-pkt off-chip");
   }
   {
     baselines::LossyRcs s(setup.rcs_accuracy, 2.0 / 3.0);
     bench::feed(t, s);
-    const auto e =
-        bench::evaluate_fn(t, [&](FlowId f) { return s.estimate_csm(f); });
+    const auto e = bench::evaluate_fn(
+        t, [&](FlowId f) { return s.estimate_csm_raw(f); });
     add_row("RCS (loss 2/3)", e, err_ge4(e), s.sketch().memory_kb(),
             model.time_ms(s.sketch().op_counts()), "realistic loss");
   }

@@ -11,12 +11,14 @@ Compares a fresh BENCH_throughput.json against the committed baseline
 
 Tolerances resolve per path, most specific wins:
 
-  1. --path-tolerance NAME=FRAC or NAME/SHARDS=FRAC (repeatable CLI flag),
+  1. --path-tolerance NAME[@SCHEME][/SHARDS]=FRAC (repeatable CLI flag),
   2. a "tolerance" field on the baseline path entry,
   3. the global --tolerance (default 0.25).
 
-Paths are matched by (name, shards). Paths added since the baseline was
-captured are reported but never gated — refresh the baseline to start
+Paths are matched by (name, scheme, shards); a row without a "scheme"
+field (pre-backend-API baselines) is caesar. Paths added since the
+baseline was captured — including the non-caesar scheme rows on an old
+baseline — are reported but never gated; refresh the baseline to start
 gating them (see CONTRIBUTING.md).
 
 Refreshing: --update-baseline rewrites the baseline file in place from
@@ -38,11 +40,12 @@ def load(path):
 
 
 def path_key(entry):
-    return (entry["name"], entry.get("shards", 1))
+    return (entry["name"], entry.get("scheme", "caesar"),
+            entry.get("shards", 1))
 
 
 def parse_path_tolerances(specs):
-    """'name=0.3' or 'name/shards=0.3' -> {('name', shards|None): 0.3}"""
+    """'name[@scheme][/shards]=0.3' -> {(name, scheme|None, shards|None): 0.3}"""
     out = {}
     for spec in specs or []:
         try:
@@ -50,21 +53,25 @@ def parse_path_tolerances(specs):
             frac = float(frac)
         except ValueError:
             raise SystemExit(f"bad --path-tolerance {spec!r} "
-                             "(want NAME=FRAC or NAME/SHARDS=FRAC)")
+                             "(want NAME[@SCHEME][/SHARDS]=FRAC)")
+        shards = None
         if "/" in target:
-            name, shards = target.rsplit("/", 1)
-            out[(name, int(shards))] = frac
-        else:
-            out[(target, None)] = frac
+            target, shards_str = target.rsplit("/", 1)
+            shards = int(shards_str)
+        scheme = None
+        if "@" in target:
+            target, scheme = target.rsplit("@", 1)
+        out[(target, scheme, shards)] = frac
     return out
 
 
 def tolerance_for(key, entry, cli, default):
-    name, shards = key
-    if (name, shards) in cli:
-        return cli[(name, shards)]
-    if (name, None) in cli:
-        return cli[(name, None)]
+    name, scheme, shards = key
+    # Most specific CLI override first; None is a wildcard component.
+    for probe in ((name, scheme, shards), (name, scheme, None),
+                  (name, None, shards), (name, None, None)):
+        if probe in cli:
+            return cli[probe]
     if "tolerance" in entry:
         return float(entry["tolerance"])
     return default
@@ -86,10 +93,11 @@ def update_baseline(current, baseline_path):
         json.dump(fresh, f, indent=2)
         f.write("\n")
     for p in fresh.get("paths", []):
-        name, shards = path_key(p)
-        prev = old.get((name, shards))
+        name, scheme, shards = path_key(p)
+        prev = old.get((name, scheme, shards))
         prev_mpps = f"{prev['mpps']:.2f}" if prev else "-"
-        print(f"{name:<24} {shards:>6} {prev_mpps:>10} -> {p['mpps']:.2f}")
+        print(f"{name:<24} {scheme:<9} {shards:>6} "
+              f"{prev_mpps:>10} -> {p['mpps']:.2f}")
     print(f"baseline updated: {baseline_path}")
 
 
@@ -107,10 +115,10 @@ def main():
     ap.add_argument(
         "--path-tolerance",
         action="append",
-        metavar="NAME[/SHARDS]=FRAC",
+        metavar="NAME[@SCHEME][/SHARDS]=FRAC",
         help="per-path tolerance override; repeatable "
         "(e.g. --path-tolerance batched=0.15 "
-        "--path-tolerance sharded_streaming/4=0.40)",
+        "--path-tolerance sharded_streaming@countmin/4=0.40)",
     )
     ap.add_argument(
         "--update-baseline",
@@ -145,38 +153,40 @@ def main():
     base_paths = {path_key(p): p for p in baseline.get("paths", [])}
 
     print(
-        f"{'path':<24} {'shards':>6} {'baseline':>10} {'current':>10} "
-        f"{'ratio':>7} {'floor':>6}  status"
+        f"{'path':<24} {'scheme':<9} {'shards':>6} {'baseline':>10} "
+        f"{'current':>10} {'ratio':>7} {'floor':>6}  status"
     )
     for key in sorted(base_paths):
-        name, shards = key
+        name, scheme, shards = key
         entry = base_paths[key]
         base_mpps = entry["mpps"]
         tol = tolerance_for(key, entry, cli_tol, args.tolerance)
         floor_frac = 1.0 - tol
         cur = cur_paths.get(key)
         if cur is None:
-            failures.append(f"path {name} (shards={shards}) missing from run")
-            print(f"{name:<24} {shards:>6} {base_mpps:>10.2f} {'-':>10} "
-                  f"{'-':>7} {'-':>6}  MISSING")
+            failures.append(f"path {name} (scheme={scheme}, shards={shards}) "
+                            "missing from run")
+            print(f"{name:<24} {scheme:<9} {shards:>6} {base_mpps:>10.2f} "
+                  f"{'-':>10} {'-':>7} {'-':>6}  MISSING")
             continue
         cur_mpps = cur["mpps"]
         ratio = cur_mpps / base_mpps if base_mpps > 0 else float("inf")
         ok = ratio >= floor_frac
         print(
-            f"{name:<24} {shards:>6} {base_mpps:>10.2f} {cur_mpps:>10.2f} "
-            f"{ratio:>7.2f} {floor_frac:>6.2f}  {'ok' if ok else 'REGRESSED'}"
+            f"{name:<24} {scheme:<9} {shards:>6} {base_mpps:>10.2f} "
+            f"{cur_mpps:>10.2f} {ratio:>7.2f} {floor_frac:>6.2f}  "
+            f"{'ok' if ok else 'REGRESSED'}"
         )
         if not ok:
             failures.append(
-                f"path {name} (shards={shards}) regressed: "
+                f"path {name} (scheme={scheme}, shards={shards}) regressed: "
                 f"{cur_mpps:.2f} mpps vs baseline {base_mpps:.2f} "
                 f"(floor {floor_frac:.0%})"
             )
     for key in sorted(set(cur_paths) - set(base_paths)):
-        name, shards = key
+        name, scheme, shards = key
         print(
-            f"{name:<24} {shards:>6} {'-':>10} "
+            f"{name:<24} {scheme:<9} {shards:>6} {'-':>10} "
             f"{cur_paths[key]['mpps']:>10.2f} {'-':>7} {'-':>6}  "
             "new (not gated)"
         )

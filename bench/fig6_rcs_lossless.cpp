@@ -19,7 +19,7 @@ int main() {
   baselines::RcsSketch rcs(setup.rcs_accuracy);
   bench::feed(t, rcs);
   const auto csm =
-      bench::evaluate_fn(t, [&](FlowId f) { return rcs.estimate_csm(f); });
+      bench::evaluate_fn(t, [&](FlowId f) { return rcs.estimate_csm_raw(f); });
   bench::print_accuracy_panels("Fig 6(a)/(d) RCS-CSM (lossless)", csm);
 
   // RCS-MLM needs an iterative numeric search per query; time it to show

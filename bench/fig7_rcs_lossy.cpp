@@ -26,7 +26,7 @@ int main() {
     baselines::LossyRcs lossy(setup.rcs_accuracy, rates[i]);
     bench::feed(t, lossy);
     const auto eval = bench::evaluate_fn(
-        t, [&](FlowId f) { return lossy.estimate_csm(f); });
+        t, [&](FlowId f) { return lossy.estimate_csm_raw(f); });
     std::printf("offered=%llu dropped=%llu (%.2f%%)\n",
                 static_cast<unsigned long long>(lossy.offered()),
                 static_cast<unsigned long long>(lossy.dropped()),

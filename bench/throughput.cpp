@@ -15,11 +15,13 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/metrics.hpp"
 #include "common/tracing.hpp"
+#include "core/backend_registry.hpp"
 #include "core/caesar_sketch.hpp"
 #include "core/sharded_caesar.hpp"
 #include "trace/synthetic.hpp"
@@ -31,6 +33,7 @@ using clock_type = std::chrono::steady_clock;
 
 struct PathResult {
   std::string name;
+  std::string scheme = "caesar";
   std::size_t shards = 1;
   double ms = 0.0;
   double mpps = 0.0;
@@ -128,6 +131,32 @@ int main(int argc, char** argv) {
         [&] { sharded->add_parallel(packets, shards); }));
   }
 
+  // Every other registered scheme through the identical sharded
+  // datapath: same workload, same shard fan-out, same generic pipeline.
+  // CAESAR's rows above stay untouched so historical baselines keep
+  // matching; these rows carry their scheme tag in the JSON instead.
+  {
+    core::SchemeTuning tuning;
+    const auto cfg = sketch_config();
+    tuning.seed = cfg.seed;
+    tuning.cache_entries = cfg.cache_entries;
+    tuning.entry_capacity = cfg.entry_capacity;
+    tuning.num_counters = cfg.num_counters;
+    tuning.counter_bits = cfg.counter_bits;
+    tuning.k = cfg.k;
+    constexpr std::size_t kSchemeShards = 4;
+    std::unique_ptr<core::AnyPipeline> pipe;
+    for (const std::string_view scheme : core::registered_schemes()) {
+      if (scheme == "caesar") continue;  // measured above, concretely
+      auto r = measure(
+          "sharded_streaming", kSchemeShards, n, repeats,
+          [&] { pipe = core::make_pipeline(scheme, tuning, kSchemeShards); },
+          [&] { pipe->add_parallel(packets, kSchemeShards); });
+      r.scheme = std::string(scheme);
+      results.push_back(std::move(r));
+    }
+  }
+
   // Correctness guard: the batched path must agree with the per-packet
   // path bit for bit (both un-flushed, spill drained).
   std::uint64_t mismatches = 0;
@@ -136,12 +165,13 @@ int main(int argc, char** argv) {
 
   const double per_packet_mpps = results[0].mpps;
   bool ok = mismatches == 0;
-  std::printf("%-20s %7s %12s %10s %9s\n", "path", "shards", "ms", "Mpps",
-              "speedup");
+  std::printf("%-20s %-9s %7s %12s %10s %9s\n", "path", "scheme", "shards",
+              "ms", "Mpps", "speedup");
   for (const auto& r : results) {
     if (!(r.mpps > 0.0)) ok = false;
-    std::printf("%-20s %7zu %12.1f %10.2f %8.2fx\n", r.name.c_str(),
-                r.shards, r.ms, r.mpps, r.mpps / per_packet_mpps);
+    std::printf("%-20s %-9s %7zu %12.1f %10.2f %8.2fx\n", r.name.c_str(),
+                r.scheme.c_str(), r.shards, r.ms, r.mpps,
+                r.mpps / per_packet_mpps);
   }
   std::printf("batched vs per-packet counter mismatches: %llu (must be 0)\n",
               static_cast<unsigned long long>(mismatches));
@@ -155,8 +185,9 @@ int main(int argc, char** argv) {
       << "  \"paths\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    out << "    {\"name\": \"" << r.name << "\", \"shards\": " << r.shards
-        << ", \"ms\": " << r.ms << ", \"mpps\": " << r.mpps << "}"
+    out << "    {\"name\": \"" << r.name << "\", \"scheme\": \"" << r.scheme
+        << "\", \"shards\": " << r.shards << ", \"ms\": " << r.ms
+        << ", \"mpps\": " << r.mpps << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"speedup_batched_vs_per_packet\": "

@@ -77,11 +77,11 @@ int main(int argc, char** argv) {
       caesar_sketch.memory_kb(), model.time_ms(caesar_sketch.op_counts()));
   row("RCS lossless",
       analysis::evaluate(
-          t, [&](FlowId f) { return rcs_lossless.estimate_csm(f); }),
+          t, [&](FlowId f) { return rcs_lossless.estimate_csm_raw(f); }),
       rcs_lossless.memory_kb(), model.time_ms(rcs_lossless.op_counts()));
   row("RCS loss 2/3",
       analysis::evaluate(
-          t, [&](FlowId f) { return rcs_lossy.estimate_csm(f); }),
+          t, [&](FlowId f) { return rcs_lossy.estimate_csm_raw(f); }),
       rcs_lossy.sketch().memory_kb(),
       model.time_ms(rcs_lossy.sketch().op_counts()));
   row("CASE (1-bit)",

@@ -1,7 +1,8 @@
 // netmon — a miniature measurement plane, composed from the library the
 // way a deployment would use it:
 //
-//   * CAESAR (a ShardedCaesar live session) measures per-flow sizes in
+//   * a sketch backend chosen at runtime (--scheme caesar|rcs|case|
+//     countmin, via core::make_pipeline) measures per-flow sizes in
 //     fixed reporting intervals without ever pausing ingest,
 //   * SpaceSaving tracks heavy-hitter *candidates* online (CAESAR's
 //     offline query needs flow IDs to ask about; the top-k structure
@@ -22,8 +23,8 @@
 // live pipeline. --linger SEC keeps the endpoint up after the last
 // interval (for scraping a finished run, e.g. in CI).
 //
-// Run: ./netmon [--intervals N] [--flows Q] [--seed S]
-//               [--listen PORT] [--linger SEC]
+// Run: ./netmon [--scheme caesar|rcs|case|countmin] [--intervals N]
+//               [--flows Q] [--seed S] [--listen PORT] [--linger SEC]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -38,8 +39,8 @@
 #include "common/table.hpp"
 #include "common/random.hpp"
 #include "common/tracing.hpp"
+#include "core/backend_registry.hpp"
 #include "core/health.hpp"
-#include "core/sharded_caesar.hpp"
 #include "trace/flow_id.hpp"
 #include "trace/synthetic.hpp"
 
@@ -105,14 +106,27 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_u64("seed", 8);
   const bool listen = args.has("listen");
   const std::uint64_t linger_sec = args.get_u64("linger", 0);
+  const std::string scheme = args.get_or("scheme", "caesar");
 
-  core::CaesarConfig cfg;
-  cfg.cache_entries = 2048;
-  cfg.entry_capacity = 40;
-  cfg.num_counters = 3'000'000;
-  cfg.counter_bits = 18;
-  cfg.seed = seed;
-  core::ShardedCaesar mon(cfg, 2);
+  core::SchemeTuning tuning;
+  tuning.cache_entries = 2048;
+  tuning.entry_capacity = 40;
+  tuning.num_counters = 3'000'000;
+  tuning.counter_bits = 18;
+  tuning.seed = seed;
+  std::unique_ptr<core::AnyPipeline> mon_ptr;
+  try {
+    mon_ptr = core::make_pipeline(scheme, tuning, 2);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "netmon: %s\n", e.what());
+    return 2;
+  }
+  core::AnyPipeline& mon = *mon_ptr;
+  const core::BackendCaps caps = mon.capabilities();
+  std::printf("scheme: %.*s (%.*s)\n",
+              static_cast<int>(caps.scheme.size()), caps.scheme.data(),
+              static_cast<int>(caps.description.size()),
+              caps.description.data());
 
   core::LiveOptions live;
   live.max_epochs = 4;  // alerts only look back a few intervals
@@ -177,17 +191,20 @@ int main(int argc, char** argv) {
       // marker happens-before this point: the collection is quiesced.
       metrics::MetricsSnapshot snap;
       mon.collect_metrics(snap);
-      health.on_epoch(*epoch, cfg.cache_entries, &snap);
+      health.on_signals(epoch->health_signals(), &snap);
       hub.publish(std::move(snap));
     }
-    const double est_flows = epoch->estimate_flow_count();
+    // Cardinality is a capability, not a given: cache-free schemes
+    // without a per-flow plane (rcs, case) report no flow count, and
+    // the scan alert stays off for them.
+    const double est_flows = epoch->estimate_flow_count().value_or(0.0);
     const Count interval_packets = epoch->packets();
 
     // Re-rank the candidates with CAESAR's accurate estimates.
     double top_est = 0.0;
     FlowId top_flow = 0;
     for (const auto& entry : candidates.top()) {
-      const double est = epoch->estimate_csm(entry.flow);
+      const double est = epoch->estimate(entry.flow);
       if (est > top_est) {
         top_est = est;
         top_flow = entry.flow;
@@ -206,7 +223,8 @@ int main(int argc, char** argv) {
           100.0 * top_est / static_cast<double>(interval_packets), 1);
       alerts += "% of interval]";
     }
-    if (baseline_flow_count > 0.0 && est_flows > 1.8 * baseline_flow_count) {
+    if (caps.flow_count && baseline_flow_count > 0.0 &&
+        est_flows > 1.8 * baseline_flow_count) {
       alerts += "[CARDINALITY: flow count x";
       alerts += caesar::format_double(est_flows / baseline_flow_count, 1);
       alerts += "]";
@@ -224,7 +242,7 @@ int main(int argc, char** argv) {
 
     // Validate the injected anomalies were caught.
     if (ddos) {
-      const double victim_est = epoch->estimate_csm(traffic.injected_target);
+      const double victim_est = epoch->estimate(traffic.injected_target);
       std::printf("          -> DDoS victim estimated at %.0f packets "
                   "(injected 30000)\n",
                   victim_est);
@@ -251,9 +269,10 @@ int main(int argc, char** argv) {
     server->stop();
     tracing::stop();
   }
-  std::printf("\n(top flows re-ranked by CAESAR estimates from SpaceSaving "
+  std::printf("\n(top flows re-ranked by %.*s estimates from SpaceSaving "
               "candidates; cardinality from linear counting over the "
               "sketch; %llu live queries served during ingest)\n",
+              static_cast<int>(caps.scheme.size()), caps.scheme.data(),
               static_cast<unsigned long long>(live_queries.load()));
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "baselines/case/case_sketch.hpp"
 
+#include <stdexcept>
+
 namespace caesar::baselines {
 
 namespace {
@@ -16,6 +18,21 @@ Count code_capacity(unsigned bits) {
   return bits >= 64 ? ~Count{0} : (Count{1} << bits) - 1;
 }
 }  // namespace
+
+core::BackendCaps CaseSketch::capabilities(const CaseConfig& config) {
+  core::BackendCaps caps;
+  caps.scheme = kSchemeName;
+  caps.description =
+      "CASE: cache-assisted stretchable (DISCO-compressed) counters";
+  caps.cache_assisted = true;
+  caps.cache_entries = config.cache_entries;
+  caps.mergeable = false;  // stochastic codes are not value-additive
+  caps.weighted = false;
+  caps.flow_count = false;
+  caps.serializable = false;
+  caps.intervals = false;
+  return caps;
+}
 
 CaseSketch::CaseSketch(const CaseConfig& config)
     : config_(config),
@@ -35,6 +52,22 @@ void CaseSketch::add(FlowId flow) {
 
 void CaseSketch::flush() {
   for (const auto& ev : cache_.flush()) compress_eviction(ev);
+}
+
+std::size_t CaseSketch::flush_chunk(std::size_t budget) {
+  chunk_scratch_.clear();
+  cache_.flush_chunk(budget, chunk_scratch_);
+  for (const auto& ev : chunk_scratch_) compress_eviction(ev);
+  chunk_scratch_.clear();
+  return cache_.occupied();
+}
+
+CaseSnapshot CaseSketch::finalize() const {
+  if (cache_.occupied() != 0)
+    throw std::logic_error(
+        "CaseSketch::finalize: flush() the cache before finalizing");
+  return CaseSnapshot(codes_, fn_, map_hash_, config_.num_counters,
+                      packets_);
 }
 
 void CaseSketch::compress_eviction(const cache::Eviction& ev) {
@@ -82,6 +115,44 @@ memsim::OpCounts CaseSketch::op_counts() const noexcept {
   // slowest scheme on short runs in the paper's Fig. 8.
   if (packets_ > 0) ops.fixed_cycles = kPipelineSetupCycles;
   return ops;
+}
+
+void CaseSketch::collect_metrics(metrics::MetricsSnapshot& snapshot,
+                                 const std::string& prefix) const {
+  cache_.collect_metrics(snapshot, prefix + "cache.");
+  codes_.collect_metrics(snapshot, prefix + "sram.");
+  snapshot.add_counter(prefix + "packets", packets_);
+}
+
+CaseSnapshot::CaseSnapshot(counters::CounterArray codes, DiscoFunction fn,
+                           const hash::HashFamily& map_hash,
+                           std::uint64_t num_counters, Count packets)
+    : codes_(std::move(codes)),
+      fn_(std::move(fn)),
+      map_hash_(map_hash),
+      num_counters_(num_counters),
+      packets_(packets) {}
+
+double CaseSnapshot::estimate(FlowId flow) const {
+  const std::uint64_t idx = map_hash_.bounded(0, flow, num_counters_);
+  return fn_.value(codes_.peek(idx));
+}
+
+core::CounterStats CaseSnapshot::counter_stats() const {
+  core::CounterStats stats;
+  stats.counters = codes_.size();
+  stats.capacity = static_cast<double>(codes_.capacity());
+  for (std::uint64_t c = 0; c < codes_.size(); ++c) {
+    const Count v = codes_.peek(c);
+    stats.total_value += v;
+    if (v >= codes_.capacity()) ++stats.saturated;
+  }
+  return stats;
+}
+
+void CaseSnapshot::merge(const CaseSnapshot& /*other*/) {
+  throw std::logic_error(
+      "CaseSnapshot::merge: DISCO-compressed codes are not mergeable");
 }
 
 }  // namespace caesar::baselines

@@ -9,13 +9,25 @@
 //   * one counter per flow forces L >= Q, so a fixed SRAM budget leaves
 //     only ~1-2 bits per counter and estimates collapse (paper Fig. 5a);
 //   * the per-unit power operations dominate processing time (Fig. 8).
+//
+// CaseSketch models the core SketchBackend concept (core/backend.hpp)
+// and rides the full sharded live pipeline (`netmon --scheme case`).
+// The decompression f(code) is non-negative by construction, so the
+// clamped and raw queries coincide; snapshots are NOT mergeable
+// (capabilities().mergeable == false) because merging stochastic
+// compression codes is not value-additive.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
+#include <string_view>
 
 #include "baselines/case/disco_counter.hpp"
 #include "cache/cache_table.hpp"
+#include "common/metrics.hpp"
 #include "common/types.hpp"
+#include "core/backend.hpp"
 #include "counters/counter_array.hpp"
 #include "hash/hash_family.hpp"
 #include "memsim/cost_model.hpp"
@@ -37,8 +49,48 @@ struct CaseConfig {
   std::uint64_t seed = 1;
 };
 
+/// A closed CASE measurement window (CaseSketch::finalize()): the frozen
+/// code array plus the stretch function and flow-to-code mapping needed
+/// to decompress queries. Models the core SketchSnapshot concept.
+class CaseSnapshot {
+ public:
+  CaseSnapshot(counters::CounterArray codes, DiscoFunction fn,
+               const hash::HashFamily& map_hash, std::uint64_t num_counters,
+               Count packets);
+
+  /// Decompressed estimate f(code) — non-negative, so clamped and raw
+  /// queries coincide.
+  [[nodiscard]] double estimate(FlowId flow) const;
+  [[nodiscard]] double estimate_raw(FlowId flow) const {
+    return estimate(flow);
+  }
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] const counters::CounterArray& codes() const noexcept {
+    return codes_;
+  }
+  [[nodiscard]] core::CounterStats counter_stats() const;
+
+  /// Always throws std::logic_error: stochastic compression codes are
+  /// not value-additive (capabilities().mergeable == false).
+  void merge(const CaseSnapshot& other);
+
+ private:
+  counters::CounterArray codes_;
+  DiscoFunction fn_;
+  hash::HashFamily map_hash_;
+  std::uint64_t num_counters_;
+  Count packets_;
+};
+
 class CaseSketch {
  public:
+  // --- SketchBackend surface (core/backend.hpp) -------------------------
+  using Config = CaseConfig;
+  using Snapshot = CaseSnapshot;
+  static constexpr std::string_view kSchemeName = "case";
+  [[nodiscard]] static core::BackendCaps capabilities(
+      const CaseConfig& config);
+
   /// Fixed cycle cost of filling the compression pipeline (charged once
   /// in op_counts); sized so the CASE/RCS crossover of the paper's Fig. 8
   /// falls near 10^4 packets under the default CostModel.
@@ -52,8 +104,30 @@ class CaseSketch {
   /// Dump remaining cache contents into the compressed counters.
   void flush();
 
-  /// Decompressed estimate f(code) of the flow's mapped counter.
+  /// Incremental flush: compress up to `budget` occupied cache entries,
+  /// returning the occupied entries still awaiting flush (0 once done).
+  /// Stepping to completion is bit-identical to one flush() call (same
+  /// eviction order, same RNG consumption).
+  std::size_t flush_chunk(std::size_t budget);
+
+  // --- SketchBackend aliases / no-ops -----------------------------------
+  void ingest(FlowId flow) { add(flow); }
+  /// Per-packet semantics, batched call shape (CASE has no deferred
+  /// batch path — trivially bit-identical to per-packet adds).
+  void ingest_batch(std::span<const FlowId> flows) {
+    for (FlowId f : flows) add(f);
+  }
+  void drain_pending() {}  // nothing is ever deferred
+  /// Freeze the current (flushed) state into an offline-queryable
+  /// snapshot. Throws std::logic_error while cache entries are pending.
+  [[nodiscard]] CaseSnapshot finalize() const;
+
+  /// Decompressed estimate f(code) of the flow's mapped counter —
+  /// non-negative by construction, so the raw variant coincides.
   [[nodiscard]] double estimate(FlowId flow) const;
+  [[nodiscard]] double estimate_raw(FlowId flow) const {
+    return estimate(flow);
+  }
 
   [[nodiscard]] const cache::CacheStats& cache_stats() const noexcept {
     return cache_.stats();
@@ -63,10 +137,17 @@ class CaseSketch {
   }
   [[nodiscard]] const DiscoFunction& function() const noexcept { return fn_; }
   [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] const CaseConfig& config() const noexcept { return config_; }
   [[nodiscard]] double memory_kb() const noexcept {
     return cache_.memory_kb() + codes_.memory_kb();
   }
   [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+  /// "<prefix>cache.*" + "<prefix>sram.*" (the code array) + packets —
+  /// the same tree shape as CAESAR, so the health plane's suffix sums
+  /// (cache.packets, cache.evictions.replacement) work unchanged.
+  void collect_metrics(metrics::MetricsSnapshot& snapshot,
+                       const std::string& prefix = "") const;
 
  private:
   void compress_eviction(const cache::Eviction& ev);
@@ -81,6 +162,8 @@ class CaseSketch {
   std::uint64_t power_ops_ = 0;
   std::uint64_t hash_ops_ = 0;
   std::uint64_t evictions_ = 0;
+  /// flush_chunk scratch (kept across calls to avoid reallocation).
+  cache::EvictionSink chunk_scratch_;
 };
 
 }  // namespace caesar::baselines

@@ -1,0 +1,161 @@
+#include "baselines/countmin/count_min.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace caesar::baselines {
+
+namespace {
+/// Count-mean-min correction shared by sketch and snapshot: subtract
+/// the expected collision mass of the other flows from each row value
+/// and take the minimum. Signed.
+double corrected_min(std::span<const Count> values, std::uint64_t width,
+                     Count packets) {
+  const double n = static_cast<double>(packets);
+  const double w = static_cast<double>(width);
+  double best = std::numeric_limits<double>::infinity();
+  for (Count v : values) {
+    const double value = static_cast<double>(v);
+    const double corrected =
+        width > 1 ? value - (n - value) / (w - 1.0) : value;
+    best = std::min(best, corrected);
+  }
+  return best;
+}
+}  // namespace
+
+core::BackendCaps CountMinSketch::capabilities(const CountMinConfig& config) {
+  core::BackendCaps caps;
+  caps.scheme = kSchemeName;
+  caps.description =
+      "Count-min sketch (count-mean-min corrected point queries)";
+  caps.cache_assisted = false;
+  caps.cache_entries = 0;
+  caps.mergeable = !config.conservative_update;
+  caps.weighted = true;
+  caps.flow_count = true;
+  caps.serializable = false;
+  caps.intervals = false;
+  return caps;
+}
+
+CountMinSketch::CountMinSketch(const CountMinConfig& config)
+    : config_(config),
+      rows_(config.width * config.depth, config.counter_bits),
+      hashes_(config.depth, config.seed) {
+  if (config.width == 0 || config.depth == 0)
+    throw std::invalid_argument(
+        "CountMinSketch: width and depth must be nonzero");
+  if (config.depth > 64)
+    throw std::invalid_argument("CountMinSketch: depth must be <= 64");
+}
+
+void CountMinSketch::add_weighted(FlowId flow, Count weight) {
+  packets_ += weight;
+  hash_ops_ += config_.depth;
+  if (!config_.conservative_update) {
+    for (std::size_t r = 0; r < config_.depth; ++r)
+      rows_.add(index_of(r, flow), weight);
+    return;
+  }
+  // Conservative update: raise each row only as far as min + weight —
+  // rows already above the target carry other flows' collisions and
+  // would only inflate the overestimate.
+  Count min_value = ~Count{0};
+  std::uint64_t idx[64];  // depth is tiny (hash family bounds it anyway)
+  for (std::size_t r = 0; r < config_.depth; ++r) {
+    idx[r] = index_of(r, flow);
+    min_value = std::min(min_value, rows_.peek(idx[r]));
+  }
+  const Count target = min_value + weight;
+  for (std::size_t r = 0; r < config_.depth; ++r) {
+    const Count v = rows_.peek(idx[r]);
+    if (v < target) rows_.add(idx[r], target - v);
+  }
+}
+
+double CountMinSketch::estimate_raw(FlowId flow) const {
+  std::vector<Count> values(config_.depth);
+  for (std::size_t r = 0; r < config_.depth; ++r)
+    values[r] = rows_.read(index_of(r, flow));
+  return corrected_min(values, config_.width, packets_);
+}
+
+double CountMinSketch::estimate_min(FlowId flow) const {
+  Count best = ~Count{0};
+  for (std::size_t r = 0; r < config_.depth; ++r)
+    best = std::min(best, rows_.read(index_of(r, flow)));
+  return static_cast<double>(best);
+}
+
+memsim::OpCounts CountMinSketch::op_counts() const noexcept {
+  memsim::OpCounts ops;
+  ops.sram_accesses = rows_.writes();
+  // One flow-ID hash per packet plus the d row hashes per packet; there
+  // is no cache to amortize them.
+  ops.hashes = packets_ + hash_ops_;
+  return ops;
+}
+
+void CountMinSketch::collect_metrics(metrics::MetricsSnapshot& snapshot,
+                                     const std::string& prefix) const {
+  rows_.collect_metrics(snapshot, prefix + "sram.");
+  snapshot.add_counter(prefix + "packets", packets_);
+}
+
+CountMinSnapshot::CountMinSnapshot(counters::CounterArray rows,
+                                   const CountMinConfig& config,
+                                   Count packets)
+    : rows_(std::move(rows)),
+      config_(config),
+      hashes_(config.depth, config.seed),
+      packets_(packets) {}
+
+double CountMinSnapshot::estimate_raw(FlowId flow) const {
+  std::vector<Count> values(config_.depth);
+  for (std::size_t r = 0; r < config_.depth; ++r)
+    values[r] = rows_.peek(static_cast<std::uint64_t>(r) * config_.width +
+                           hashes_.bounded(r, flow, config_.width));
+  return corrected_min(values, config_.width, packets_);
+}
+
+double CountMinSnapshot::estimate_flow_count() const {
+  // Row 0 is a width-w array where each flow marks exactly one counter:
+  // linear counting, Q_hat = -w * ln(zeros / w).
+  const double w = static_cast<double>(config_.width);
+  std::uint64_t zeros = 0;
+  for (std::uint64_t c = 0; c < config_.width; ++c)
+    if (rows_.peek(c) == 0) ++zeros;
+  if (zeros == 0) return std::numeric_limits<double>::infinity();
+  return -w * std::log(static_cast<double>(zeros) / w);
+}
+
+core::CounterStats CountMinSnapshot::counter_stats() const {
+  core::CounterStats stats;
+  stats.counters = rows_.size();
+  stats.capacity = static_cast<double>(rows_.capacity());
+  for (std::uint64_t c = 0; c < rows_.size(); ++c) {
+    const Count v = rows_.peek(c);
+    stats.total_value += v;
+    if (v >= rows_.capacity()) ++stats.saturated;
+  }
+  return stats;
+}
+
+void CountMinSnapshot::merge(const CountMinSnapshot& other) {
+  if (config_.conservative_update || other.config_.conservative_update)
+    throw std::logic_error(
+        "CountMinSnapshot::merge: conservative-update sketches are not "
+        "value-additive");
+  if (config_.width != other.config_.width ||
+      config_.depth != other.config_.depth ||
+      config_.counter_bits != other.config_.counter_bits ||
+      config_.seed != other.config_.seed)
+    throw std::invalid_argument(
+        "CountMinSnapshot::merge: configurations must match (incl. seed)");
+  rows_.merge(other.rows_);
+  packets_ += other.packets_;
+}
+
+}  // namespace caesar::baselines

@@ -1,0 +1,153 @@
+// Count-Min sketch (Cormode & Muthukrishnan 2005) — the classic d×w
+// counter matrix, here as a SketchBackend so it rides the production
+// sharded live pipeline (`netmon --scheme countmin`) next to CAESAR,
+// RCS and CASE.
+//
+// Layout: `depth` rows of `width` counters in one CounterArray; each
+// packet of flow f increments counter h_r(f) in every row r. The point
+// query applies the count-mean-min noise correction per row —
+//   c_r = v_r − (n − v_r) / (width − 1)
+// (subtracting the mean collision mass of the other flows) — and takes
+// the row minimum, which can go negative for absent/tiny flows; the
+// clamped estimate() reports max(raw, 0), preserving the repo-wide
+// estimate == max(estimate_raw, 0) convention.
+//
+// The optional conservative update (Estan & Varghese) only increments
+// the rows currently at the minimum, tightening the overestimate at the
+// cost of mergeability: plain count-min counters are value-additive
+// (merge is bit-exact), conservative ones are not, so
+// capabilities().mergeable tracks the flag and merge() throws when it
+// was built conservatively.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+#include "core/backend.hpp"
+#include "counters/counter_array.hpp"
+#include "hash/hash_family.hpp"
+#include "memsim/cost_model.hpp"
+
+namespace caesar::baselines {
+
+struct CountMinConfig {
+  std::uint64_t width = 50'000;  ///< counters per row (w)
+  std::size_t depth = 3;         ///< rows (d), one hash each
+  unsigned counter_bits = 15;    ///< per-counter capacity log2(l)
+  /// Conservative update: increment only the rows at the current
+  /// minimum. Tighter estimates, but the sketch stops being mergeable.
+  bool conservative_update = false;
+  std::uint64_t seed = 1;
+};
+
+/// A closed count-min window (CountMinSketch::finalize()). Models the
+/// core SketchSnapshot concept.
+class CountMinSnapshot {
+ public:
+  CountMinSnapshot(counters::CounterArray rows, const CountMinConfig& config,
+                   Count packets);
+
+  [[nodiscard]] double estimate(FlowId flow) const {
+    return std::max(estimate_raw(flow), 0.0);
+  }
+  /// Count-mean-min row minimum — signed; negative for absent flows.
+  [[nodiscard]] double estimate_raw(FlowId flow) const;
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  /// Distinct-flow estimate: linear counting over row 0's untouched
+  /// counters, Q_hat = -w * ln(zeros/w) (each flow marks exactly one
+  /// counter per row). +inf when row 0 has no zero counter.
+  [[nodiscard]] double estimate_flow_count() const;
+  [[nodiscard]] core::CounterStats counter_stats() const;
+
+  /// Merge a snapshot of a different traffic slice (identical config,
+  /// plain update only): counters are value-additive, so the merge is
+  /// bit-exact. Throws std::logic_error for conservative sketches.
+  void merge(const CountMinSnapshot& other);
+
+  [[nodiscard]] const counters::CounterArray& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  counters::CounterArray rows_;
+  CountMinConfig config_;
+  hash::HashFamily hashes_;
+  Count packets_;
+};
+
+class CountMinSketch {
+ public:
+  // --- SketchBackend surface (core/backend.hpp) -------------------------
+  using Config = CountMinConfig;
+  using Snapshot = CountMinSnapshot;
+  static constexpr std::string_view kSchemeName = "countmin";
+  [[nodiscard]] static core::BackendCaps capabilities(
+      const CountMinConfig& config);
+
+  explicit CountMinSketch(const CountMinConfig& config);
+
+  /// Account one packet of `flow` (d hashes, d counter updates; fewer
+  /// writes under conservative update).
+  void add(FlowId flow) { add_weighted(flow, 1); }
+  /// Account `weight` units at once.
+  void add_weighted(FlowId flow, Count weight);
+
+  // --- SketchBackend aliases / no-ops -----------------------------------
+  void ingest(FlowId flow) { add(flow); }
+  /// Per-packet semantics, batched call shape (count-min defers
+  /// nothing — trivially bit-identical to per-packet adds).
+  void ingest_batch(std::span<const FlowId> flows) {
+    for (FlowId f : flows) add(f);
+  }
+  void drain_pending() {}  // nothing is ever deferred
+  void flush() {}          // cache-free: ingest completes synchronously
+  std::size_t flush_chunk(std::size_t /*budget*/) { return 0; }
+  [[nodiscard]] CountMinSnapshot finalize() const {
+    return CountMinSnapshot(rows_, config_, packets_);
+  }
+
+  // --- queries ----------------------------------------------------------
+  [[nodiscard]] double estimate(FlowId flow) const {
+    return std::max(estimate_raw(flow), 0.0);
+  }
+  [[nodiscard]] double estimate_raw(FlowId flow) const;
+  /// Classic (uncorrected) count-min row minimum — the overestimate the
+  /// literature's error bound n*e/w applies to.
+  [[nodiscard]] double estimate_min(FlowId flow) const;
+
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] const CountMinConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const counters::CounterArray& rows() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] double memory_kb() const noexcept {
+    return rows_.memory_kb();
+  }
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+  /// "<prefix>sram.*" (the counter matrix) plus the packet total.
+  void collect_metrics(metrics::MetricsSnapshot& snapshot,
+                       const std::string& prefix = "") const;
+
+ private:
+  /// Row-r counter index of `flow`.
+  [[nodiscard]] std::uint64_t index_of(std::size_t row, FlowId flow) const {
+    return static_cast<std::uint64_t>(row) * config_.width +
+           hashes_.bounded(row, flow, config_.width);
+  }
+
+  CountMinConfig config_;
+  counters::CounterArray rows_;  ///< depth * width counters, row-major
+  hash::HashFamily hashes_;
+  Count packets_ = 0;
+  std::uint64_t hash_ops_ = 0;
+};
+
+}  // namespace caesar::baselines

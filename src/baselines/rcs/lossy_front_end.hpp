@@ -19,8 +19,19 @@ class LossyRcs {
   void add(FlowId flow);
 
   [[nodiscard]] const RcsSketch& sketch() const noexcept { return sketch_; }
+  // Clamped / signed passthroughs, mirroring the wrapped sketch's
+  // query convention (evaluation code wants the unbiased raw value).
   [[nodiscard]] double estimate_csm(FlowId flow) const {
     return sketch_.estimate_csm(flow);
+  }
+  [[nodiscard]] double estimate_csm_raw(FlowId flow) const {
+    return sketch_.estimate_csm_raw(flow);
+  }
+  [[nodiscard]] double estimate(FlowId flow) const {
+    return sketch_.estimate(flow);
+  }
+  [[nodiscard]] double estimate_raw(FlowId flow) const {
+    return sketch_.estimate_raw(flow);
   }
   [[nodiscard]] std::uint64_t offered() const noexcept {
     return dropper_.offered();

@@ -3,10 +3,65 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/mathutil.hpp"
 
 namespace caesar::baselines {
+
+namespace detail {
+
+double rcs_csm_raw(std::span<const Count> w, const RcsConfig& config,
+                   Count packets) {
+  double sum = 0.0;
+  for (Count v : w) sum += static_cast<double>(v);
+  const double noise = static_cast<double>(config.k) *
+                       static_cast<double>(packets) /
+                       static_cast<double>(config.num_counters);
+  return sum - noise;
+}
+
+double rcs_mlm_raw(std::span<const Count> w, const RcsConfig& config,
+                   Count packets) {
+  const auto k = static_cast<double>(config.k);
+  const double n = static_cast<double>(packets);
+  const double l = static_cast<double>(config.num_counters);
+  // Per-counter model: W_r ~= B(x, 1/k) + Poisson-like noise of mean and
+  // variance n/L; Gaussian approximation of both terms.
+  const double noise_mean = n / l;
+  const double noise_var = n / l;
+  auto log_likelihood = [&](double x) {
+    const double mu = x / k + noise_mean;
+    const double var = std::max(x / k * (1.0 - 1.0 / k) + noise_var, 1e-9);
+    double ll = 0.0;
+    for (Count v : w) {
+      const double d = static_cast<double>(v) - mu;
+      ll += -0.5 * std::log(var) - d * d / (2.0 * var);
+    }
+    return ll;
+  };
+  double max_w = 0.0;
+  for (Count v : w) max_w = std::max(max_w, static_cast<double>(v));
+  const double hi = std::max(k * max_w, 1.0);
+  return golden_section_max(log_likelihood, 0.0, hi, 1e-3);
+}
+
+}  // namespace detail
+
+core::BackendCaps RcsSketch::capabilities(const RcsConfig& /*config*/) {
+  core::BackendCaps caps;
+  caps.scheme = kSchemeName;
+  caps.description =
+      "RCS: randomized counter sharing, one counter update per packet";
+  caps.cache_assisted = false;
+  caps.cache_entries = 0;
+  caps.mergeable = true;
+  caps.weighted = true;
+  caps.flow_count = false;
+  caps.serializable = false;
+  caps.intervals = false;
+  return caps;
+}
 
 RcsSketch::RcsSketch(const RcsConfig& config)
     : config_(config),
@@ -32,39 +87,12 @@ std::vector<Count> RcsSketch::counter_values(FlowId flow) const {
   return w;
 }
 
-double RcsSketch::estimate_csm(FlowId flow) const {
-  const auto w = counter_values(flow);
-  double sum = 0.0;
-  for (Count v : w) sum += static_cast<double>(v);
-  const double noise = static_cast<double>(config_.k) *
-                       static_cast<double>(packets_) /
-                       static_cast<double>(config_.num_counters);
-  return sum - noise;
+double RcsSketch::estimate_csm_raw(FlowId flow) const {
+  return detail::rcs_csm_raw(counter_values(flow), config_, packets_);
 }
 
 double RcsSketch::estimate_mlm(FlowId flow) const {
-  const auto w = counter_values(flow);
-  const auto k = static_cast<double>(config_.k);
-  const double n = static_cast<double>(packets_);
-  const double l = static_cast<double>(config_.num_counters);
-  // Per-counter model: W_r ~= B(x, 1/k) + Poisson-like noise of mean and
-  // variance n/L; Gaussian approximation of both terms.
-  const double noise_mean = n / l;
-  const double noise_var = n / l;
-  auto log_likelihood = [&](double x) {
-    const double mu = x / k + noise_mean;
-    const double var = std::max(x / k * (1.0 - 1.0 / k) + noise_var, 1e-9);
-    double ll = 0.0;
-    for (Count v : w) {
-      const double d = static_cast<double>(v) - mu;
-      ll += -0.5 * std::log(var) - d * d / (2.0 * var);
-    }
-    return ll;
-  };
-  double max_w = 0.0;
-  for (Count v : w) max_w = std::max(max_w, static_cast<double>(v));
-  const double hi = std::max(k * max_w, 1.0);
-  return golden_section_max(log_likelihood, 0.0, hi, 1e-3);
+  return detail::rcs_mlm_raw(counter_values(flow), config_, packets_);
 }
 
 memsim::OpCounts RcsSketch::op_counts() const noexcept {
@@ -75,6 +103,57 @@ memsim::OpCounts RcsSketch::op_counts() const noexcept {
   // to amortize it.
   ops.hashes = packets_ + hash_ops_;
   return ops;
+}
+
+void RcsSketch::collect_metrics(metrics::MetricsSnapshot& snapshot,
+                                const std::string& prefix) const {
+  sram_.collect_metrics(snapshot, prefix + "sram.");
+  snapshot.add_counter(prefix + "packets", packets_);
+}
+
+RcsSnapshot::RcsSnapshot(counters::CounterArray sram,
+                         const RcsConfig& config, Count packets)
+    : sram_(std::move(sram)),
+      config_(config),
+      selector_(config.k, config.num_counters, config.seed),
+      packets_(packets) {}
+
+std::vector<Count> RcsSnapshot::counter_values(FlowId flow) const {
+  std::array<std::uint64_t, hash::KIndexSelector::kMaxK> idx{};
+  selector_.select(flow, std::span<std::uint64_t>(idx.data(), config_.k));
+  std::vector<Count> w(config_.k);
+  for (std::size_t r = 0; r < config_.k; ++r) w[r] = sram_.peek(idx[r]);
+  return w;
+}
+
+double RcsSnapshot::estimate_raw(FlowId flow) const {
+  return detail::rcs_csm_raw(counter_values(flow), config_, packets_);
+}
+
+double RcsSnapshot::estimate_mlm(FlowId flow) const {
+  return detail::rcs_mlm_raw(counter_values(flow), config_, packets_);
+}
+
+core::CounterStats RcsSnapshot::counter_stats() const {
+  core::CounterStats stats;
+  stats.counters = sram_.size();
+  stats.capacity = static_cast<double>(sram_.capacity());
+  for (std::uint64_t c = 0; c < sram_.size(); ++c) {
+    const Count v = sram_.peek(c);
+    stats.total_value += v;
+    if (v >= sram_.capacity()) ++stats.saturated;
+  }
+  return stats;
+}
+
+void RcsSnapshot::merge(const RcsSnapshot& other) {
+  if (config_.num_counters != other.config_.num_counters ||
+      config_.counter_bits != other.config_.counter_bits ||
+      config_.k != other.config_.k || config_.seed != other.config_.seed)
+    throw std::invalid_argument(
+        "RcsSnapshot::merge: configurations must match (incl. seed)");
+  sram_.merge(other.sram_);
+  packets_ += other.packets_;
 }
 
 }  // namespace caesar::baselines

@@ -7,13 +7,23 @@
 // error comes from other flows sharing counters. Because each packet is a
 // direct off-chip access, a line-rate deployment drops packets — see
 // LossyFrontEnd and memsim::PacketDropper.
+//
+// RcsSketch models the core SketchBackend concept (core/backend.hpp), so
+// it rides the full sharded live pipeline (`netmon --scheme rcs`). Being
+// cache-free, its flush surface is trivial: ingest is complete the
+// moment add() returns, so flush()/flush_chunk()/drain_pending() are
+// no-ops and finalize() may run at any packet boundary.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/random.hpp"
 #include "common/types.hpp"
+#include "core/backend.hpp"
 #include "core/estimators.hpp"
 #include "counters/counter_array.hpp"
 #include "hash/index_selector.hpp"
@@ -28,8 +38,72 @@ struct RcsConfig {
   std::uint64_t seed = 1;
 };
 
+namespace detail {
+/// RCS CSM de-noising, shared by the sketch and its snapshot: sum of
+/// the k counters minus the expected noise k*n/L. (The noise term is k
+/// times CAESAR's because whole packets, not 1/k shares, land in each
+/// counter.) Signed — small flows can come out negative.
+[[nodiscard]] double rcs_csm_raw(std::span<const Count> w,
+                                 const RcsConfig& config, Count packets);
+/// RCS MLM via numeric maximization of the Gaussian-approximated
+/// log-likelihood over x >= 0 (the reason the paper's Fig. 6 omits
+/// RCS-MLM as "extremely slow"). Non-negative by construction.
+[[nodiscard]] double rcs_mlm_raw(std::span<const Count> w,
+                                 const RcsConfig& config, Count packets);
+}  // namespace detail
+
+/// A closed RCS measurement window (RcsSketch::finalize()): the counter
+/// array plus the packet total the de-noising needs. Models the core
+/// SketchSnapshot concept.
+class RcsSnapshot {
+ public:
+  RcsSnapshot(counters::CounterArray sram, const RcsConfig& config,
+              Count packets);
+
+  /// Clamped / signed CSM queries (the scheme's default estimator).
+  [[nodiscard]] double estimate(FlowId flow) const {
+    return std::max(estimate_raw(flow), 0.0);
+  }
+  [[nodiscard]] double estimate_raw(FlowId flow) const;
+  [[nodiscard]] double estimate_csm(FlowId flow) const {
+    return estimate(flow);
+  }
+  [[nodiscard]] double estimate_csm_raw(FlowId flow) const {
+    return estimate_raw(flow);
+  }
+  [[nodiscard]] double estimate_mlm(FlowId flow) const;
+  [[nodiscard]] double estimate_mlm_raw(FlowId flow) const {
+    return estimate_mlm(flow);
+  }
+
+  [[nodiscard]] Count packets() const noexcept { return packets_; }
+  [[nodiscard]] const counters::CounterArray& sram() const noexcept {
+    return sram_;
+  }
+  [[nodiscard]] core::CounterStats counter_stats() const;
+
+  /// Merge a snapshot of a different traffic slice (identical config
+  /// required — counters and packet totals add, like CAESAR's).
+  void merge(const RcsSnapshot& other);
+
+ private:
+  [[nodiscard]] std::vector<Count> counter_values(FlowId flow) const;
+
+  counters::CounterArray sram_;
+  RcsConfig config_;
+  hash::KIndexSelector selector_;
+  Count packets_;
+};
+
 class RcsSketch {
  public:
+  // --- SketchBackend surface (core/backend.hpp) -------------------------
+  using Config = RcsConfig;
+  using Snapshot = RcsSnapshot;
+  static constexpr std::string_view kSchemeName = "rcs";
+  [[nodiscard]] static core::BackendCaps capabilities(
+      const RcsConfig& config);
+
   explicit RcsSketch(const RcsConfig& config);
 
   /// Account one packet: increment one random counter of the flow's k-set
@@ -41,15 +115,43 @@ class RcsSketch {
   /// the one-access-per-packet property.
   void add_weighted(FlowId flow, Count weight);
 
-  /// CSM estimate: sum of the k counters minus the expected noise k*n/L.
-  /// (RCS paper's CSM; note the noise term is k times CAESAR's because
-  /// whole packets, not 1/k shares, land in each counter.)
-  [[nodiscard]] double estimate_csm(FlowId flow) const;
+  // --- SketchBackend aliases / no-ops -----------------------------------
+  void ingest(FlowId flow) { add(flow); }
+  /// Per-packet semantics, batched call shape. RCS defers nothing, so
+  /// this is trivially bit-identical to per-packet adds.
+  void ingest_batch(std::span<const FlowId> flows) {
+    for (FlowId f : flows) add(f);
+  }
+  void drain_pending() {}  // nothing is ever deferred
+  void flush() {}          // cache-free: no construction-phase state
+  std::size_t flush_chunk(std::size_t /*budget*/) { return 0; }
+  /// Freeze the current state into an offline-queryable snapshot.
+  [[nodiscard]] RcsSnapshot finalize() const {
+    return RcsSnapshot(sram_, config_, packets_);
+  }
 
-  /// MLM estimate via numeric maximization of the Gaussian-approximated
-  /// log-likelihood (the RCS paper's MLM needs an iterative search — the
-  /// reason the paper's Fig. 6 omits RCS-MLM as "extremely slow").
+  // --- query phase ------------------------------------------------------
+  // Clamped-at-zero like the core schemes; *_raw keeps the signed value
+  // for evaluation code (clamping would bias error measurements).
+  /// CSM estimate, clamped at zero.
+  [[nodiscard]] double estimate_csm(FlowId flow) const {
+    return std::max(estimate_csm_raw(flow), 0.0);
+  }
+  /// Unclamped CSM estimate — possibly negative; use for bias analysis.
+  [[nodiscard]] double estimate_csm_raw(FlowId flow) const;
+  /// MLM estimate (non-negative by construction; the _raw variant
+  /// exists for API symmetry).
   [[nodiscard]] double estimate_mlm(FlowId flow) const;
+  [[nodiscard]] double estimate_mlm_raw(FlowId flow) const {
+    return estimate_mlm(flow);
+  }
+  /// Generic (SketchBackend) spellings — the CSM estimator.
+  [[nodiscard]] double estimate(FlowId flow) const {
+    return estimate_csm(flow);
+  }
+  [[nodiscard]] double estimate_raw(FlowId flow) const {
+    return estimate_csm_raw(flow);
+  }
 
   [[nodiscard]] std::vector<Count> counter_values(FlowId flow) const;
   [[nodiscard]] const counters::CounterArray& sram() const noexcept {
@@ -59,6 +161,10 @@ class RcsSketch {
   [[nodiscard]] const RcsConfig& config() const noexcept { return config_; }
   [[nodiscard]] double memory_kb() const noexcept { return sram_.memory_kb(); }
   [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
+
+  /// "<prefix>sram.*" plus the packet total.
+  void collect_metrics(metrics::MetricsSnapshot& snapshot,
+                       const std::string& prefix = "") const;
 
  private:
   RcsConfig config_;

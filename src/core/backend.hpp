@@ -1,0 +1,219 @@
+// SketchBackend — the narrow concept every measurement scheme implements
+// to ride the production datapath.
+//
+// The sharded SPSC pipeline, live epoch rotation, snapshot store, health
+// grading and metrics plane (core/sharded_pipeline.hpp) are written
+// against this concept, not against CaesarSketch: a backend supplies
+// batched ingest, bounded-budget flushing, an immutable Snapshot type and
+// clamped/raw point queries, and in return gets the full streaming
+// machinery — `netmon --scheme {caesar,rcs,case,countmin}` swaps schemes
+// under identical live load.
+//
+// Contract highlights (docs/DESIGN.md "The backend bit-identity
+// contract" spells them out):
+//   * ingest_batch() may defer work; drain_pending() completes it. The
+//     combined effect must be bit-identical to per-packet ingest() in
+//     the same order.
+//   * flush_chunk(budget) steps the cache dump incrementally; stepping
+//     to completion must equal one flush() call bit for bit.
+//   * finalize() is only called on a flushed backend and must not
+//     mutate it; the returned Snapshot answers estimate()/estimate_raw()
+//     exactly as the backend would at that instant.
+//   * estimate(f) == max(estimate_raw(f), 0) — production queries are
+//     clamped, evaluation code uses the signed raw value.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+#include "hash/murmur3.hpp"
+
+namespace caesar::core {
+
+/// Aggregate counter-plane statistics a Snapshot exposes for health
+/// grading (core/health.hpp) without the grader knowing the scheme's
+/// counter layout.
+struct CounterStats {
+  std::uint64_t counters = 0;         ///< total counters across the plane
+  std::uint64_t saturated = 0;        ///< counters pinned at capacity
+  std::uint64_t total_value = 0;      ///< sum of all counter values
+  double capacity = 0.0;              ///< per-counter capacity l
+
+  void merge(const CounterStats& other) noexcept {
+    counters += other.counters;
+    saturated += other.saturated;
+    total_value += other.total_value;
+    capacity = other.capacity > capacity ? other.capacity : capacity;
+  }
+};
+
+/// Capability/config introspection: what a backend can do, so generic
+/// callers (netmon, bench, the conformance suite) gate features instead
+/// of hard-coding scheme names.
+struct BackendCaps {
+  std::string_view scheme;       ///< canonical --scheme name
+  std::string_view description;  ///< one-line description
+  bool cache_assisted = false;   ///< has an on-chip cache stage
+  /// Per-shard cache entries M when cache_assisted (drives the health
+  /// plane's cache-pressure signal); 0 for cache-free schemes.
+  std::uint64_t cache_entries = 0;
+  bool mergeable = true;      ///< Snapshot::merge supported
+  bool weighted = false;      ///< add_weighted available
+  bool flow_count = false;    ///< Snapshot::estimate_flow_count meaningful
+  bool serializable = false;  ///< save/load round-trip supported
+  bool intervals = false;     ///< confidence-interval queries available
+};
+
+/// A closed, immutable measurement window of one backend shard.
+template <typename S>
+concept SketchSnapshot =
+    std::movable<S> && requires(const S cs, S s, FlowId flow) {
+      { cs.estimate(flow) } -> std::convertible_to<double>;
+      { cs.estimate_raw(flow) } -> std::convertible_to<double>;
+      { cs.packets() } -> std::convertible_to<Count>;
+      { cs.counter_stats() } -> std::same_as<CounterStats>;
+      // Union-merge of a different traffic slice (may throw
+      // std::logic_error when BackendCaps::mergeable is false).
+      s.merge(cs);
+    };
+
+/// The backend concept itself. `Config` must carry a `seed` the pipeline
+/// can re-derive per shard; everything else about the configuration is
+/// the scheme's own business.
+template <typename B>
+concept SketchBackend =
+    std::movable<B> && SketchSnapshot<typename B::Snapshot> &&
+    std::constructible_from<B, const typename B::Config&> &&
+    requires(B b, const B cb, typename B::Config cfg,
+             std::span<const FlowId> flows, FlowId flow, std::size_t budget,
+             metrics::MetricsSnapshot& ms, const std::string& prefix) {
+      { B::kSchemeName } -> std::convertible_to<std::string_view>;
+      { B::capabilities(cfg) } -> std::same_as<BackendCaps>;
+      { cfg.seed } -> std::convertible_to<std::uint64_t>;
+      cfg.seed = std::uint64_t{};
+      b.ingest(flow);
+      b.ingest_batch(flows);
+      b.drain_pending();
+      b.flush();
+      { b.flush_chunk(budget) } -> std::same_as<std::size_t>;
+      { cb.finalize() } -> std::same_as<typename B::Snapshot>;
+      { cb.estimate(flow) } -> std::convertible_to<double>;
+      { cb.estimate_raw(flow) } -> std::convertible_to<double>;
+      { cb.packets() } -> std::convertible_to<Count>;
+      { cb.memory_kb() } -> std::convertible_to<double>;
+      { cb.config() } -> std::convertible_to<const typename B::Config&>;
+      cb.collect_metrics(ms, prefix);
+    };
+
+/// A closed epoch of a sharded pipeline: one backend Snapshot per shard
+/// plus the routing hash, so per-flow queries route to the owning shard
+/// exactly as live ingest did. Immutable once constructed — this is the
+/// "quiesced snapshot" the concurrent query API hands out.
+template <SketchSnapshot S>
+class ShardedSnapshot {
+ public:
+  using Shard = S;
+
+  ShardedSnapshot(std::uint64_t seq, std::uint64_t route_seed,
+                  std::vector<S> shards)
+      : seq_(seq), route_seed_(route_seed), shards_(std::move(shards)) {}
+
+  /// Rotation sequence number (0 for the first epoch closed).
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] const S& shard(std::size_t index) const noexcept {
+    return shards_[index];
+  }
+  [[nodiscard]] std::size_t shard_of(FlowId flow) const noexcept {
+    // Must match ShardedPipeline::shard_of bit for bit: queries against a
+    // snapshot ask the shard that ingested the flow.
+    return static_cast<std::size_t>(
+        (static_cast<__uint128_t>(hash::fmix64(flow ^ route_seed_)) *
+         shards_.size()) >>
+        64);
+  }
+
+  /// Clamped point query, routed to the owning shard.
+  [[nodiscard]] double estimate(FlowId flow) const {
+    return shards_[shard_of(flow)].estimate(flow);
+  }
+  /// Signed (possibly negative) query for evaluation code.
+  [[nodiscard]] double estimate_raw(FlowId flow) const {
+    return shards_[shard_of(flow)].estimate_raw(flow);
+  }
+
+  /// Packets across all shards.
+  [[nodiscard]] Count packets() const noexcept {
+    Count total = 0;
+    for (const auto& shard : shards_) total += shard.packets();
+    return total;
+  }
+
+  /// Counter-plane stats aggregated over shards (health input).
+  [[nodiscard]] CounterStats counter_stats() const {
+    CounterStats stats;
+    for (const auto& shard : shards_) stats.merge(shard.counter_stats());
+    return stats;
+  }
+
+  /// Distinct-flow estimate: flows are partitioned across shards, so the
+  /// per-shard estimates sum (+inf if any shard is saturated). Present
+  /// only when the shard snapshot supports it.
+  [[nodiscard]] double estimate_flow_count() const
+    requires requires(const S& s) { s.estimate_flow_count(); }
+  {
+    double total = 0.0;
+    for (const auto& shard : shards_) total += shard.estimate_flow_count();
+    return total;
+  }
+
+  /// Merge a snapshot of a *different traffic slice* measured with an
+  /// identical configuration (same shard count, same routing seed):
+  /// counters add shard-wise, queries afterwards see the union traffic.
+  void merge(const ShardedSnapshot& other) {
+    if (shards_.size() != other.shards_.size() ||
+        route_seed_ != other.route_seed_)
+      throw std::invalid_argument(
+          "ShardedSnapshot::merge: shard layout / routing seed mismatch");
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      shards_[s].merge(other.shards_[s]);
+  }
+
+  // --- scheme-specific forwards, present when the shard supports them ---
+  // (Keeps ShardedEpochSnapshot's historical CSM/MLM query surface on the
+  // CAESAR instantiation without the generic code knowing about it.)
+  [[nodiscard]] double estimate_csm(FlowId flow) const
+    requires requires(const S& s) { s.estimate_csm(flow); }
+  {
+    return shards_[shard_of(flow)].estimate_csm(flow);
+  }
+  [[nodiscard]] double estimate_mlm(FlowId flow) const
+    requires requires(const S& s) { s.estimate_mlm(flow); }
+  {
+    return shards_[shard_of(flow)].estimate_mlm(flow);
+  }
+  [[nodiscard]] double estimate_csm_raw(FlowId flow) const
+    requires requires(const S& s) { s.estimate_csm_raw(flow); }
+  {
+    return shards_[shard_of(flow)].estimate_csm_raw(flow);
+  }
+  [[nodiscard]] double estimate_mlm_raw(FlowId flow) const
+    requires requires(const S& s) { s.estimate_mlm_raw(flow); }
+  {
+    return shards_[shard_of(flow)].estimate_mlm_raw(flow);
+  }
+
+ private:
+  std::uint64_t seq_;
+  std::uint64_t route_seed_;
+  std::vector<S> shards_;
+};
+
+}  // namespace caesar::core

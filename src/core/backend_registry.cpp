@@ -1,0 +1,213 @@
+#include "core/backend_registry.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/case/case_sketch.hpp"
+#include "baselines/countmin/count_min.hpp"
+#include "baselines/rcs/rcs_sketch.hpp"
+#include "core/caesar_sketch.hpp"
+#include "core/epoch_manager.hpp"
+
+namespace caesar::core {
+
+namespace {
+
+/// ShardedSnapshot<S> behind the AnyEpoch vtable. Holds a shared_ptr to
+/// the published epoch, so wrapping is cheap and the underlying snapshot
+/// outlives every erased handle.
+template <SketchBackend B>
+class EpochWrapper final : public AnyEpoch {
+ public:
+  using Epoch = typename ShardedPipeline<B>::Epoch;
+
+  EpochWrapper(std::shared_ptr<const Epoch> epoch,
+               std::uint64_t cache_entries)
+      : epoch_(std::move(epoch)), cache_entries_(cache_entries) {}
+
+  std::uint64_t seq() const noexcept override { return epoch_->seq(); }
+  Count packets() const noexcept override { return epoch_->packets(); }
+  double estimate(FlowId flow) const override {
+    return epoch_->estimate(flow);
+  }
+  double estimate_raw(FlowId flow) const override {
+    return epoch_->estimate_raw(flow);
+  }
+  CounterStats counter_stats() const override {
+    return epoch_->counter_stats();
+  }
+  std::optional<double> estimate_flow_count() const override {
+    if constexpr (requires { epoch_->estimate_flow_count(); })
+      return epoch_->estimate_flow_count();
+    else
+      return std::nullopt;
+  }
+  HealthSignals health_signals() const override {
+    return snapshot_signals(*epoch_, cache_entries_);
+  }
+
+ private:
+  std::shared_ptr<const Epoch> epoch_;
+  std::uint64_t cache_entries_;  ///< per-shard M (0 for cache-free)
+};
+
+template <SketchBackend B>
+class PipelineWrapper final : public AnyPipeline {
+ public:
+  PipelineWrapper(const typename B::Config& config, std::size_t shards)
+      : pipeline_(config, shards) {}
+
+  std::string_view scheme() const noexcept override {
+    return ShardedPipeline<B>::scheme();
+  }
+  BackendCaps capabilities() const override {
+    return pipeline_.capabilities();
+  }
+  std::size_t shards() const noexcept override {
+    return pipeline_.shards();
+  }
+
+  void add(FlowId flow) override { pipeline_.add(flow); }
+  void add_parallel(std::span<const FlowId> flows,
+                    std::size_t threads) override {
+    pipeline_.add_parallel(flows, threads);
+  }
+  void flush() override { pipeline_.flush(); }
+
+  void start_live(const LiveOptions& options) override {
+    pipeline_.start_live(options);
+  }
+  void feed(std::span<const FlowId> flows) override {
+    pipeline_.feed(flows);
+  }
+  std::uint64_t rotate_live() override { return pipeline_.rotate_live(); }
+  void stop_live() override { pipeline_.stop_live(); }
+  bool live() const noexcept override { return pipeline_.live(); }
+
+  std::shared_ptr<const AnyEpoch> rotate() override {
+    return wrap(pipeline_.rotate());
+  }
+  std::shared_ptr<const AnyEpoch> snapshot_epoch(
+      std::uint64_t seq) const override {
+    return wrap(pipeline_.snapshot_epoch(seq));
+  }
+  std::shared_ptr<const AnyEpoch> latest_epoch() const override {
+    return wrap(pipeline_.latest_snapshot());
+  }
+  std::shared_ptr<const AnyEpoch> wait_epoch(
+      std::uint64_t seq) const override {
+    return wrap(pipeline_.wait_epoch(seq));
+  }
+  std::uint64_t epochs_closed() const override {
+    return pipeline_.epochs_closed();
+  }
+  std::uint64_t flush_backlog() const noexcept override {
+    return pipeline_.flush_backlog();
+  }
+  double query_live(FlowId flow) const override {
+    return pipeline_.query_live(flow);
+  }
+
+  double estimate(FlowId flow) const override {
+    return pipeline_.estimate(flow);
+  }
+  double estimate_raw(FlowId flow) const override {
+    return pipeline_.estimate_raw(flow);
+  }
+  Count packets() const noexcept override { return pipeline_.packets(); }
+  double memory_kb() const noexcept override {
+    return pipeline_.memory_kb();
+  }
+
+  void collect_metrics(metrics::MetricsSnapshot& snapshot,
+                       const std::string& prefix) const override {
+    pipeline_.collect_metrics(snapshot, prefix);
+  }
+  HealthReport assess(const HealthThresholds& thresholds) const override {
+    return assess_live(pipeline_, thresholds);
+  }
+
+ private:
+  std::shared_ptr<const AnyEpoch> wrap(
+      std::shared_ptr<const typename ShardedPipeline<B>::Epoch> epoch)
+      const {
+    if (!epoch) return nullptr;
+    return std::make_shared<const EpochWrapper<B>>(
+        std::move(epoch), pipeline_.capabilities().cache_entries);
+  }
+
+  ShardedPipeline<B> pipeline_;
+};
+
+constexpr std::array<std::string_view, 4> kSchemes = {
+    CaesarSketch::kSchemeName, baselines::RcsSketch::kSchemeName,
+    baselines::CaseSketch::kSchemeName,
+    baselines::CountMinSketch::kSchemeName};
+
+}  // namespace
+
+std::span<const std::string_view> registered_schemes() { return kSchemes; }
+
+std::unique_ptr<AnyPipeline> make_pipeline(std::string_view scheme,
+                                           const SchemeTuning& tuning,
+                                           std::size_t shards) {
+  if (scheme == CaesarSketch::kSchemeName) {
+    CaesarConfig cfg;
+    cfg.cache_entries = tuning.cache_entries;
+    cfg.entry_capacity = tuning.entry_capacity;
+    cfg.num_counters = tuning.num_counters;
+    cfg.counter_bits = tuning.counter_bits;
+    cfg.k = tuning.k;
+    cfg.seed = tuning.seed;
+    return std::make_unique<PipelineWrapper<CaesarSketch>>(cfg, shards);
+  }
+  if (scheme == baselines::RcsSketch::kSchemeName) {
+    baselines::RcsConfig cfg;
+    cfg.num_counters = tuning.num_counters;
+    cfg.counter_bits = tuning.counter_bits;
+    cfg.k = tuning.k;
+    cfg.seed = tuning.seed;
+    return std::make_unique<PipelineWrapper<baselines::RcsSketch>>(cfg,
+                                                                   shards);
+  }
+  if (scheme == baselines::CaseSketch::kSchemeName) {
+    baselines::CaseConfig cfg;
+    cfg.cache_entries = tuning.cache_entries;
+    cfg.entry_capacity = tuning.entry_capacity;
+    cfg.num_counters = tuning.num_counters;
+    cfg.counter_bits = tuning.counter_bits;
+    // Stretch codes of `counter_bits` each must still cover the largest
+    // flow a counter of that many plain bits would (with headroom for
+    // the compression to matter).
+    cfg.max_flow_size =
+        tuning.counter_bits >= 40
+            ? 1e12
+            : static_cast<double>(Count{4} << tuning.counter_bits);
+    cfg.seed = tuning.seed;
+    return std::make_unique<PipelineWrapper<baselines::CaseSketch>>(cfg,
+                                                                    shards);
+  }
+  if (scheme == baselines::CountMinSketch::kSchemeName) {
+    baselines::CountMinConfig cfg;
+    const std::size_t depth = tuning.depth == 0 ? 1 : tuning.depth;
+    cfg.depth = depth;
+    cfg.width = tuning.num_counters / depth;
+    if (cfg.width == 0) cfg.width = 1;
+    cfg.counter_bits = tuning.counter_bits;
+    cfg.seed = tuning.seed;
+    return std::make_unique<PipelineWrapper<baselines::CountMinSketch>>(
+        cfg, shards);
+  }
+  std::string msg = "make_pipeline: unknown scheme \"";
+  msg += scheme;
+  msg += "\" (registered:";
+  for (std::string_view s : kSchemes) {
+    msg += ' ';
+    msg += s;
+  }
+  msg += ')';
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace caesar::core

@@ -25,6 +25,21 @@ cache::CacheTable::Config cache_config(const CaesarConfig& c) {
 }
 }  // namespace
 
+BackendCaps CaesarSketch::capabilities(const CaesarConfig& config) {
+  BackendCaps caps;
+  caps.scheme = kSchemeName;
+  caps.description =
+      "CAESAR: cache-assisted randomized sharing counters (CSM/MLM)";
+  caps.cache_assisted = true;
+  caps.cache_entries = config.cache_entries;
+  caps.mergeable = true;
+  caps.weighted = true;
+  caps.flow_count = true;
+  caps.serializable = true;
+  caps.intervals = true;
+  return caps;
+}
+
 CaesarSketch::CaesarSketch(const CaesarConfig& config)
     : config_(config),
       cache_(cache_config(config)),
@@ -224,14 +239,20 @@ double CaesarSketch::memory_kb() const noexcept {
 }
 
 namespace {
-constexpr std::uint64_t kSketchMagic = 0x4341455341523031ULL;  // CAESAR01
-}
+// Version 1 ("CAESAR01") ends the config block at `seed`. Version 2
+// ("CAESAR02") appends cache_ways (u32) and a SIMD-tier sentinel (u32:
+// 0 = no override, otherwise tier + 1) so a loaded sketch reconstructs
+// the exact cache geometry/kernel selection. load() accepts both;
+// v1 streams get the pre-v2 defaults (ways = 8, dispatch by env/CPU).
+constexpr std::uint64_t kSketchMagicV1 = 0x4341455341523031ULL;  // CAESAR01
+constexpr std::uint64_t kSketchMagicV2 = 0x4341455341523032ULL;  // CAESAR02
+}  // namespace
 
 void CaesarSketch::save(std::ostream& out) const {
   if (cache_.occupied() != 0 || !spill_.empty())
     throw std::logic_error(
         "CaesarSketch::save: flush() the cache before saving");
-  put_u64(out, kSketchMagic);
+  put_u64(out, kSketchMagicV2);
   put_u32(out, config_.cache_entries);
   put_u64(out, config_.entry_capacity);
   put_u64(out, config_.num_counters);
@@ -240,6 +261,10 @@ void CaesarSketch::save(std::ostream& out) const {
   put_u32(out,
           config_.policy == cache::ReplacementPolicy::kLru ? 0u : 1u);
   put_u64(out, config_.seed);
+  put_u32(out, config_.cache_ways);
+  put_u32(out, config_.simd
+                   ? static_cast<std::uint32_t>(*config_.simd) + 1u
+                   : 0u);
   put_u64(out, packets_);
   put_u64(out, sram_packets_);
   put_u64(out, hash_ops_);
@@ -247,7 +272,8 @@ void CaesarSketch::save(std::ostream& out) const {
 }
 
 CaesarSketch CaesarSketch::load(std::istream& in) {
-  if (get_u64(in) != kSketchMagic)
+  const std::uint64_t magic = get_u64(in);
+  if (magic != kSketchMagicV1 && magic != kSketchMagicV2)
     throw std::runtime_error("CaesarSketch::load: bad magic");
   CaesarConfig cfg;
   cfg.cache_entries = get_u32(in);
@@ -258,6 +284,11 @@ CaesarSketch CaesarSketch::load(std::istream& in) {
   cfg.policy = get_u32(in) == 0 ? cache::ReplacementPolicy::kLru
                                 : cache::ReplacementPolicy::kRandom;
   cfg.seed = get_u64(in);
+  if (magic == kSketchMagicV2) {
+    cfg.cache_ways = get_u32(in);
+    if (const std::uint32_t tier = get_u32(in); tier != 0)
+      cfg.simd = static_cast<cache::SimdTier>(tier - 1);
+  }
   const Count packets = get_u64(in);
   const Count sram_packets = get_u64(in);
   const std::uint64_t hash_ops = get_u64(in);

@@ -20,12 +20,15 @@
 #include "cache/cache_table.hpp"
 #include "common/metrics.hpp"
 #include "common/types.hpp"
+#include "core/backend.hpp"
 #include "core/estimators.hpp"
 #include "counters/counter_array.hpp"
 #include "hash/index_selector.hpp"
 #include "memsim/cost_model.hpp"
 
 namespace caesar::core {
+
+class EpochSnapshot;  // core/epoch_manager.hpp — CaesarSketch::Snapshot
 
 struct CaesarConfig {
   // --- on-chip cache (paper: 97.66 KB = 100,000 8-bit entries) ----------
@@ -41,11 +44,14 @@ struct CaesarConfig {
   std::uint64_t seed = 1;
 
   /// Cache set associativity (CacheTable::Config::ways). Layout/perf
-  /// knob: not serialized and not part of the merge-compatibility check
+  /// knob: serialized (v2 format) so a loaded sketch reconstructs the
+  /// same cache geometry, but not part of the merge-compatibility check
   /// (merging needs matching counters, not a matching cache layout).
   std::uint32_t cache_ways = 8;
   /// Cache probe-kernel tier override (CacheTable::Config::simd);
-  /// nullopt = env/CPU dispatch. All tiers are bit-identical.
+  /// nullopt = env/CPU dispatch. All tiers are bit-identical. Serialized
+  /// (v2); a load on a host without the saved tier clamps down at
+  /// dispatch as usual.
   std::optional<cache::SimdTier> simd;
 
   /// Eviction spill-queue bound for the batched ingest path: add_batch()
@@ -58,6 +64,16 @@ struct CaesarConfig {
 
 class CaesarSketch {
  public:
+  // --- SketchBackend surface (core/backend.hpp) -------------------------
+  // CaesarSketch is the concept's reference implementation: the generic
+  // names below alias the historical CAESAR API one-to-one, so the
+  // sharded pipeline drives this class through the concept while every
+  // existing caller keeps the domain names.
+  using Config = CaesarConfig;
+  using Snapshot = EpochSnapshot;
+  static constexpr std::string_view kSchemeName = "caesar";
+  [[nodiscard]] static BackendCaps capabilities(const CaesarConfig& config);
+
   explicit CaesarSketch(const CaesarConfig& config);
 
   /// Online phase: account one packet of `flow`.
@@ -103,6 +119,29 @@ class CaesarSketch {
   /// counters. No add()/add_batch() calls may be interleaved before the
   /// flush completes.
   std::size_t flush_step(std::size_t budget);
+
+  // --- SketchBackend aliases --------------------------------------------
+  /// Concept spelling of add().
+  void ingest(FlowId flow) { add(flow); }
+  /// Concept spelling of add_batch().
+  void ingest_batch(std::span<const FlowId> flows) { add_batch(flows); }
+  /// Concept spelling of drain_spill().
+  void drain_pending() { drain_spill(); }
+  /// Concept spelling of flush_step().
+  std::size_t flush_chunk(std::size_t budget) { return flush_step(budget); }
+  /// Freeze the current (flushed) state into an offline-queryable
+  /// EpochSnapshot. Read-only; throws std::logic_error if the cache or
+  /// spill queue still hold packets. Defined in epoch_manager.cpp where
+  /// EpochSnapshot is complete.
+  [[nodiscard]] EpochSnapshot finalize() const;
+  /// Generic clamped query — the CSM estimator (the paper's default).
+  [[nodiscard]] double estimate(FlowId flow) const {
+    return estimate_csm(flow);
+  }
+  /// Generic signed query for evaluation code.
+  [[nodiscard]] double estimate_raw(FlowId flow) const {
+    return estimate_csm_raw(flow);
+  }
 
   // --- offline query phase ----------------------------------------------
   // Flow sizes are non-negative, so the query API clamps at zero: the

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "hash/murmur3.hpp"
 
@@ -50,46 +51,33 @@ double EpochSnapshot::estimate_flow_count() const {
   return std::log(static_cast<double>(zeros) / l) / std::log(p_untouched);
 }
 
-ShardedEpochSnapshot::ShardedEpochSnapshot(std::uint64_t seq,
-                                           std::uint64_t route_seed,
-                                           std::vector<EpochSnapshot> shards)
-    : seq_(seq), route_seed_(route_seed), shards_(std::move(shards)) {}
-
-std::size_t ShardedEpochSnapshot::shard_of(FlowId flow) const noexcept {
-  // Must match ShardedCaesar::shard_of bit for bit: queries against a
-  // snapshot ask the shard that ingested the flow.
-  return static_cast<std::size_t>(
-      (static_cast<__uint128_t>(hash::fmix64(flow ^ route_seed_)) *
-       shards_.size()) >>
-      64);
+CounterStats EpochSnapshot::counter_stats() const {
+  CounterStats stats;
+  stats.counters = sram_.size();
+  stats.capacity = static_cast<double>(sram_.capacity());
+  for (std::uint64_t c = 0; c < sram_.size(); ++c) {
+    const Count v = sram_.peek(c);
+    stats.total_value += v;
+    if (v >= sram_.capacity()) ++stats.saturated;
+  }
+  return stats;
 }
 
-double ShardedEpochSnapshot::estimate_csm(FlowId flow) const {
-  return shards_[shard_of(flow)].estimate_csm(flow);
+void EpochSnapshot::merge(const EpochSnapshot& other) {
+  if (params_.k != other.params_.k ||
+      params_.num_counters != other.params_.num_counters ||
+      params_.entry_capacity != other.params_.entry_capacity)
+    throw std::invalid_argument(
+        "EpochSnapshot::merge: estimator parameters must match");
+  sram_.merge(other.sram_);
+  params_.total_packets += other.params_.total_packets;
 }
 
-double ShardedEpochSnapshot::estimate_mlm(FlowId flow) const {
-  return shards_[shard_of(flow)].estimate_mlm(flow);
-}
-
-double ShardedEpochSnapshot::estimate_csm_raw(FlowId flow) const {
-  return shards_[shard_of(flow)].estimate_csm_raw(flow);
-}
-
-double ShardedEpochSnapshot::estimate_mlm_raw(FlowId flow) const {
-  return shards_[shard_of(flow)].estimate_mlm_raw(flow);
-}
-
-Count ShardedEpochSnapshot::packets() const noexcept {
-  Count total = 0;
-  for (const auto& shard : shards_) total += shard.packets();
-  return total;
-}
-
-double ShardedEpochSnapshot::estimate_flow_count() const {
-  double total = 0.0;
-  for (const auto& shard : shards_) total += shard.estimate_flow_count();
-  return total;
+EpochSnapshot CaesarSketch::finalize() const {
+  if (cache_table().occupied() != 0 || spill_size() != 0)
+    throw std::logic_error(
+        "CaesarSketch::finalize: flush() the cache before finalizing");
+  return EpochSnapshot(sram(), estimator_params(), config());
 }
 
 EpochManager::EpochManager(const CaesarConfig& config, std::size_t max_epochs)

@@ -10,11 +10,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/caesar_sketch.hpp"
 
 namespace caesar::core {
 
 /// A closed epoch: everything needed to run the offline query phase.
+/// Models the SketchSnapshot concept (core/backend.hpp) — this is
+/// CaesarSketch::Snapshot, what CaesarSketch::finalize() returns.
 class EpochSnapshot {
  public:
   EpochSnapshot(counters::CounterArray sram, EstimatorParams params,
@@ -26,6 +29,13 @@ class EpochSnapshot {
   [[nodiscard]] double estimate_mlm(FlowId flow) const;
   [[nodiscard]] double estimate_csm_raw(FlowId flow) const;
   [[nodiscard]] double estimate_mlm_raw(FlowId flow) const;
+  /// Generic (SketchSnapshot) spellings — the CSM estimator.
+  [[nodiscard]] double estimate(FlowId flow) const {
+    return estimate_csm(flow);
+  }
+  [[nodiscard]] double estimate_raw(FlowId flow) const {
+    return estimate_csm_raw(flow);
+  }
   /// Distinct flows recorded in this epoch — linear counting over the
   /// snapshot's untouched counters (same semantics and caveats as
   /// CaesarSketch::estimate_flow_count; +inf when no counter is zero).
@@ -37,6 +47,15 @@ class EpochSnapshot {
     return sram_;
   }
 
+  /// Counter-plane aggregates for health grading: one O(L) scan.
+  [[nodiscard]] CounterStats counter_stats() const;
+
+  /// Merge a snapshot of a different traffic slice measured with an
+  /// identical configuration (same seed — the snapshot cannot verify the
+  /// seed itself; ShardedSnapshot::merge checks the routing seed, and
+  /// CaesarSketch::merge the full config). Counters and totals add.
+  void merge(const EpochSnapshot& other);
+
  private:
   [[nodiscard]] std::vector<Count> counter_values(FlowId flow) const;
 
@@ -45,45 +64,11 @@ class EpochSnapshot {
   hash::KIndexSelector selector_;
 };
 
-/// A closed epoch of a ShardedCaesar: one EpochSnapshot per shard plus
-/// the routing hash, so per-flow queries route to the owning shard
-/// exactly as live ingest did. Immutable once constructed — this is the
-/// "quiesced snapshot" the concurrent query API hands out (every cache
-/// entry flushed, spill drained, no writer can ever touch it again).
-class ShardedEpochSnapshot {
- public:
-  ShardedEpochSnapshot(std::uint64_t seq, std::uint64_t route_seed,
-                       std::vector<EpochSnapshot> shards);
-
-  /// Rotation sequence number (0 for the first epoch closed).
-  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
-  [[nodiscard]] std::size_t shards() const noexcept {
-    return shards_.size();
-  }
-  [[nodiscard]] const EpochSnapshot& shard(std::size_t index) const noexcept {
-    return shards_[index];
-  }
-  [[nodiscard]] std::size_t shard_of(FlowId flow) const noexcept;
-
-  // Per-flow queries route to the owning shard (clamped / raw as in
-  // EpochSnapshot).
-  [[nodiscard]] double estimate_csm(FlowId flow) const;
-  [[nodiscard]] double estimate_mlm(FlowId flow) const;
-  [[nodiscard]] double estimate_csm_raw(FlowId flow) const;
-  [[nodiscard]] double estimate_mlm_raw(FlowId flow) const;
-
-  /// Packets across all shards.
-  [[nodiscard]] Count packets() const noexcept;
-  /// Distinct-flow estimate: flows are partitioned across shards, so the
-  /// per-shard linear-counting estimates sum (+inf if any shard is
-  /// saturated).
-  [[nodiscard]] double estimate_flow_count() const;
-
- private:
-  std::uint64_t seq_;
-  std::uint64_t route_seed_;
-  std::vector<EpochSnapshot> shards_;
-};
+/// A closed epoch of a sharded CAESAR pipeline — the historical name for
+/// the generic ShardedSnapshot over CAESAR's per-shard EpochSnapshot.
+/// The CSM/MLM query surface survives via ShardedSnapshot's constrained
+/// forwards.
+using ShardedEpochSnapshot = ShardedSnapshot<EpochSnapshot>;
 
 class EpochManager {
  public:

@@ -47,9 +47,18 @@ void grade(double value, double degraded, double saturated,
   reasons.push_back(describe(name, value, degraded, consequence));
 }
 
+/// Instrument name with any "{label...}" suffix stripped — the aggregate
+/// pipeline/live series carry a {backend=...} dimension that must not
+/// defeat suffix matching.
+std::string_view base_name(std::string_view name) noexcept {
+  const auto brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
 bool ends_with(std::string_view name, std::string_view suffix) noexcept {
   // A suffix match at a prefix boundary: "cache.packets" matches both
   // the bare name and "shard3.cache.packets", never "xcache.packets".
+  name = base_name(name);
   if (name == suffix) return true;
   if (name.size() <= suffix.size()) return false;
   return name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
@@ -73,9 +82,35 @@ std::uint64_t sum_gauges(const metrics::MetricsSnapshot& snapshot,
   return total;
 }
 
-/// Shared classification over the signal set.
-HealthReport classify(HealthSignals signals,
-                      const HealthThresholds& thresholds) {
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // +inf: estimator saturated
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char esc[8];
+      std::snprintf(esc, sizeof esc, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += esc;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+HealthReport classify_signals(const HealthSignals& signals,
+                              const HealthThresholds& thresholds) {
   HealthReport report;
   report.signals = signals;
   if (!signals.has_epoch) return report;  // nothing measured yet: ok
@@ -109,64 +144,6 @@ HealthReport classify(HealthSignals signals,
   return report;
 }
 
-HealthSignals snapshot_signals(const ShardedEpochSnapshot& snapshot,
-                               std::uint64_t cache_entries_per_shard) {
-  HealthSignals s;
-  s.has_epoch = true;
-  s.epoch_seq = snapshot.seq();
-  std::uint64_t total_value = 0;
-  double capacity = 0.0;
-  for (std::size_t i = 0; i < snapshot.shards(); ++i) {
-    const auto& sram = snapshot.shard(i).sram();
-    capacity = static_cast<double>(sram.capacity());
-    s.counters += sram.size();
-    for (std::uint64_t c = 0; c < sram.size(); ++c) {
-      const Count v = sram.peek(c);
-      total_value += v;
-      if (v >= sram.capacity()) ++s.saturated_counters;
-    }
-  }
-  if (s.counters > 0) {
-    s.saturation = static_cast<double>(s.saturated_counters) /
-                   static_cast<double>(s.counters);
-    if (capacity > 0.0)
-      s.noise_load = static_cast<double>(total_value) /
-                     (static_cast<double>(s.counters) * capacity);
-  }
-  const double m = static_cast<double>(cache_entries_per_shard) *
-                   static_cast<double>(snapshot.shards());
-  if (m > 0.0)
-    s.cache_pressure = snapshot.estimate_flow_count() / m;  // may be +inf
-  return s;
-}
-
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";  // +inf: estimator saturated
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.6g", v);
-  return buf;
-}
-
-void append_json_string(std::string& out, std::string_view s) {
-  out += '"';
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char esc[8];
-      std::snprintf(esc, sizeof esc, "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(c)));
-      out += esc;
-    } else {
-      out += c;
-    }
-  }
-  out += '"';
-}
-
-}  // namespace
-
 std::string HealthReport::to_json() const {
   std::string out = "{\"status\": \"";
   out += to_string(status);
@@ -195,32 +172,8 @@ std::string HealthReport::to_json() const {
   return out;
 }
 
-HealthReport assess_snapshot(const ShardedEpochSnapshot& snapshot,
-                             std::uint64_t cache_entries_per_shard,
-                             const HealthThresholds& thresholds) {
-  return classify(snapshot_signals(snapshot, cache_entries_per_shard),
-                  thresholds);
-}
-
-HealthReport assess_live(const ShardedCaesar& sharded,
-                         const HealthThresholds& thresholds) {
-  const auto snapshot = sharded.latest_snapshot();
-  HealthSignals signals;
-  // per_shard_config() — not shard(0).config() — because the shard
-  // objects belong to the workers/finalizer during a live session.
-  if (snapshot)
-    signals = snapshot_signals(
-        *snapshot, sharded.per_shard_config().cache_entries);
-  signals.flush_backlog = sharded.flush_backlog();
-  return classify(signals, thresholds);
-}
-
-HealthReport HealthMonitor::on_epoch(
-    const ShardedEpochSnapshot& snapshot,
-    std::uint64_t cache_entries_per_shard,
-    const metrics::MetricsSnapshot* runtime) {
-  HealthSignals signals =
-      snapshot_signals(snapshot, cache_entries_per_shard);
+HealthReport HealthMonitor::on_signals(
+    HealthSignals signals, const metrics::MetricsSnapshot* runtime) {
   std::lock_guard<std::mutex> lock(mu_);
   if (runtime != nullptr) {
     const std::uint64_t replacement =
@@ -239,7 +192,7 @@ HealthReport HealthMonitor::on_epoch(
     signals.flush_backlog = sum_gauges(*runtime, "live.flush_backlog");
     signals.spill_depth = sum_gauges(*runtime, "spill.depth");
   }
-  last_ = classify(signals, thresholds_);
+  last_ = classify_signals(signals, thresholds_);
   return last_;
 }
 

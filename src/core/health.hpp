@@ -13,9 +13,15 @@
 // module derives them per closed epoch and folds them into one
 // HealthReport that /healthz serves.
 //
+// The grading is backend-generic: signals derive from the
+// CounterStats / estimate_flow_count surface of any ShardedSnapshot
+// (core/backend.hpp), so every scheme riding ShardedPipeline gets the
+// same health plane. Cache-free schemes simply report zero cache
+// pressure (their capabilities() carry cache_entries == 0).
+//
 // Health assessment reads only quiesced data: a published
-// ShardedEpochSnapshot (immutable by construction) plus atomic gauges.
-// It never touches the sketches the ingest workers are writing, so it is
+// ShardedSnapshot (immutable by construction) plus atomic gauges. It
+// never touches the backends the ingest workers are writing, so it is
 // safe from any thread during a live session — and, like metrics and
 // tracing, it cannot perturb results.
 #pragma once
@@ -27,8 +33,8 @@
 #include <vector>
 
 #include "common/metrics_server.hpp"
-#include "core/epoch_manager.hpp"
-#include "core/sharded_caesar.hpp"
+#include "core/backend.hpp"
+#include "core/sharded_pipeline.hpp"
 
 namespace caesar::core {
 
@@ -97,22 +103,72 @@ struct HealthReport {
   [[nodiscard]] std::string to_json() const;
 };
 
-/// Assess one quiesced epoch snapshot. `cache_entries_per_shard` is the
-/// M of the configuration that produced it (the snapshot itself only
-/// carries the SRAM geometry). Pure function; scans the snapshot's
-/// counters once (O(L)).
-[[nodiscard]] HealthReport assess_snapshot(
-    const ShardedEpochSnapshot& snapshot,
-    std::uint64_t cache_entries_per_shard,
-    const HealthThresholds& thresholds = {});
+/// Grade a signal set against the thresholds — the pure classification
+/// step every assessment path shares.
+[[nodiscard]] HealthReport classify_signals(
+    const HealthSignals& signals, const HealthThresholds& thresholds);
 
-/// Assess a live (or serial) ShardedCaesar from its latest *published*
+/// Derive the per-epoch signals from any quiesced sharded snapshot.
+/// `cache_entries_per_shard` is the M of the configuration that
+/// produced it — pass capabilities().cache_entries (0 for cache-free
+/// schemes, which then report zero cache pressure). One
+/// counter_stats() scan (O(L)).
+template <SketchSnapshot S>
+[[nodiscard]] HealthSignals snapshot_signals(
+    const ShardedSnapshot<S>& snapshot,
+    std::uint64_t cache_entries_per_shard) {
+  HealthSignals s;
+  s.has_epoch = true;
+  s.epoch_seq = snapshot.seq();
+  const CounterStats stats = snapshot.counter_stats();
+  s.counters = stats.counters;
+  s.saturated_counters = stats.saturated;
+  if (s.counters > 0) {
+    s.saturation = static_cast<double>(s.saturated_counters) /
+                   static_cast<double>(s.counters);
+    if (stats.capacity > 0.0)
+      s.noise_load = static_cast<double>(stats.total_value) /
+                     (static_cast<double>(s.counters) * stats.capacity);
+  }
+  if constexpr (requires { snapshot.estimate_flow_count(); }) {
+    const double m = static_cast<double>(cache_entries_per_shard) *
+                     static_cast<double>(snapshot.shards());
+    if (m > 0.0)
+      s.cache_pressure = snapshot.estimate_flow_count() / m;  // may be +inf
+  }
+  return s;
+}
+
+/// Assess one quiesced epoch snapshot. Pure function; scans the
+/// snapshot's counters once (O(L)).
+template <SketchSnapshot S>
+[[nodiscard]] HealthReport assess_snapshot(
+    const ShardedSnapshot<S>& snapshot,
+    std::uint64_t cache_entries_per_shard,
+    const HealthThresholds& thresholds = {}) {
+  return classify_signals(
+      snapshot_signals(snapshot, cache_entries_per_shard), thresholds);
+}
+
+/// Assess a live (or serial) pipeline from its latest *published*
 /// snapshot plus its atomic backlog gauge — never from the shard
-/// sketches themselves, so this is safe from any thread mid-session.
+/// backends themselves, so this is safe from any thread mid-session.
 /// Before the first closed epoch the report is kOk with
 /// signals.has_epoch == false.
-[[nodiscard]] HealthReport assess_live(const ShardedCaesar& sharded,
-                                       const HealthThresholds& thresholds = {});
+template <SketchBackend B>
+[[nodiscard]] HealthReport assess_live(
+    const ShardedPipeline<B>& pipeline,
+    const HealthThresholds& thresholds = {}) {
+  const auto snapshot = pipeline.latest_snapshot();
+  HealthSignals signals;
+  // capabilities() — not shard(0).config() — because the shard objects
+  // belong to the workers/finalizer during a live session.
+  if (snapshot)
+    signals = snapshot_signals(*snapshot,
+                               pipeline.capabilities().cache_entries);
+  signals.flush_backlog = pipeline.flush_backlog();
+  return classify_signals(signals, thresholds);
+}
 
 /// Stateful wrapper for serving /healthz: re-assess per closed epoch
 /// (from the session thread), read the latest report from any thread.
@@ -127,10 +183,21 @@ class HealthMonitor {
   /// eviction/backlog series: the sum of "*.cache.evictions.replacement"
   /// and "*.cache.packets" counters drives the trend, the
   /// "live.flush_backlog" gauge and "*.spill.depth" gauges the backlog
-  /// signals. Thread-safe.
-  HealthReport on_epoch(const ShardedEpochSnapshot& snapshot,
+  /// signals (instrument names are matched with any {label} suffix
+  /// stripped). Thread-safe.
+  template <SketchSnapshot S>
+  HealthReport on_epoch(const ShardedSnapshot<S>& snapshot,
                         std::uint64_t cache_entries_per_shard,
-                        const metrics::MetricsSnapshot* runtime = nullptr);
+                        const metrics::MetricsSnapshot* runtime = nullptr) {
+    return on_signals(snapshot_signals(snapshot, cache_entries_per_shard),
+                      runtime);
+  }
+
+  /// Type-erased entry point (AnyEpoch::health_signals feeds this):
+  /// fold pre-derived per-epoch signals plus the optional runtime
+  /// series. Thread-safe.
+  HealthReport on_signals(HealthSignals signals,
+                          const metrics::MetricsSnapshot* runtime = nullptr);
 
   /// Latest report (default-constructed kOk before the first on_epoch).
   [[nodiscard]] HealthReport last() const;

@@ -1,222 +1,65 @@
-// Sharded CAESAR — scale-out across cores (or measurement pipelines).
+// Sharded CAESAR — the production datapath instantiated for the paper's
+// scheme. All of the machinery (SPSC streaming ingest, live epoch
+// rotation, concurrent snapshot queries, metrics) lives in the generic
+// ShardedPipeline<B> (core/sharded_pipeline.hpp); this class pins B =
+// CaesarSketch and adds the CSM/MLM-specific query surface that the
+// generic concept does not know about (estimator-variant selection,
+// confidence intervals, the memsim op-count roll-up).
 //
-// Flows are partitioned by a hash of the flow ID into S independent
-// CaesarSketch shards. Because every packet of a flow lands in exactly
-// one shard, per-flow queries route to a single shard and no cross-shard
-// merging is needed; each shard's de-noising uses its own packet count.
-// add_parallel() ingests a packet batch with a streaming pipeline: the
-// calling thread routes packets into per-shard SPSC rings while shard
-// workers consume them concurrently through the batched ingest fast
-// path. The single router preserves the batch order within every shard,
-// so every counter value is bit-identical to a sequential run (verified
-// by the tests).
-//
-// Live epoch rotation (start_live/feed/rotate_live) keeps that pipeline
-// resident: persistent shard workers consume from per-shard SPSC rings
-// while rotate_live() injects an in-band epoch marker into every ring.
-// Each worker, on popping the marker, hands its shard's sketch to a
-// background finalizer (which flushes it and publishes an immutable
-// ShardedEpochSnapshot) and swaps in a pre-built standby sketch — the
-// ingest thread stalls only for the marker pushes, never for the flush.
-// Queries (query_live / snapshot_epoch / wait_epoch) read published
-// snapshots through a SnapshotStore and never block the workers. Because
-// markers travel the same FIFO rings as packets, every packet lands in
-// exactly the epoch it was fed in, and each closed epoch is bit-identical
-// to a stop-the-world rotate() at the same packet boundary (pinned by
-// tests/core/live_rotation_test.cpp).
+// ShardedCaesar is the zero-regression reference instantiation: its
+// results are bit-identical to the pre-refactor monolithic
+// implementation (same per-shard seed derivation, routing hash, ring
+// constants, and RNG ordering — pinned by the golden tests and
+// tests/core/backend_conformance_test.cpp).
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <span>
-#include <vector>
-
-#include "common/snapshot_store.hpp"
 #include "core/caesar_sketch.hpp"
 #include "core/epoch_manager.hpp"
+#include "core/sharded_pipeline.hpp"
+#include "memsim/cost_model.hpp"
 
 namespace caesar::core {
 
-namespace detail {
-struct LiveState;  // persistent pipeline internals (live_rotation.cpp)
-}  // namespace detail
-
-/// Tuning knobs for a live rotation session.
-struct LiveOptions {
-  std::size_t threads = 0;      ///< shard workers; 0 = one per shard
-  std::size_t max_epochs = 8;   ///< retained snapshots; 0 = unbounded
-  std::size_t ring_capacity = 8192;   ///< per-shard SPSC ring size
-  std::size_t flush_chunk = 2048;     ///< finalizer flush budget per step
-};
-
-class ShardedCaesar {
+class ShardedCaesar : public ShardedPipeline<CaesarSketch> {
  public:
   /// `shards` independent sketches, each built from `per_shard` with a
   /// distinct derived seed. The aggregate SRAM is shards * L counters.
-  ShardedCaesar(const CaesarConfig& per_shard, std::size_t shards);
-  ~ShardedCaesar();  // stops a live session if one is active
+  using ShardedPipeline<CaesarSketch>::ShardedPipeline;
 
-  // Worker threads hold references into this object during a live
-  // session, and the snapshot store owns synchronization primitives;
-  // neither copying nor moving is meaningful.
-  ShardedCaesar(const ShardedCaesar&) = delete;
-  ShardedCaesar& operator=(const ShardedCaesar&) = delete;
-
-  [[nodiscard]] std::size_t shards() const noexcept {
-    return shards_.size();
+  // Clamped-at-zero query API; *_raw forwards keep the signed values
+  // for evaluation code (see CaesarSketch's header note). The generic
+  // estimate()/estimate_raw() from ShardedPipeline select CSM.
+  [[nodiscard]] double estimate_csm(FlowId flow) const {
+    return shard(shard_of(flow)).estimate_csm(flow);
   }
-  [[nodiscard]] std::size_t shard_of(FlowId flow) const noexcept;
-
-  /// Sequential ingest of one packet.
-  void add(FlowId flow);
-
-  /// Parallel ingest of a packet batch: this thread routes packets to
-  /// per-shard lock-free queues while up to `threads` workers consume
-  /// them concurrently (deterministic, identical to sequential ingest).
-  /// threads == 0 picks the shard count.
-  void add_parallel(std::span<const FlowId> flows, std::size_t threads = 0);
-
-  void flush();
-
-  // --- live epoch rotation ------------------------------------------------
-  // A live session turns the per-call streaming pipeline into a resident
-  // one. feed() and rotate_live() must be called from the thread that
-  // called start_live() (it is the single producer of every ring); the
-  // query API below may be called from any number of other threads.
-
-  /// Start the resident pipeline: spawn shard workers, the background
-  /// finalizer, and pre-build one standby sketch per shard. Throws
-  /// std::logic_error if a session is already active.
-  void start_live(const LiveOptions& options = {});
-  /// Route a packet batch into the shard rings (non-blocking except for
-  /// ring backpressure). Packets fed before a rotate_live() call belong
-  /// to the epoch it closes; packets fed after belong to the next one.
-  void feed(std::span<const FlowId> flows);
-  /// Close the current epoch *without stopping ingest*: flushes the
-  /// router staging buffers, then pushes an epoch marker into every
-  /// shard ring. Each worker swaps in its standby sketch at the marker;
-  /// the closed sketches are flushed and published by the finalizer.
-  /// Returns the epoch's sequence number (pass to snapshot_epoch /
-  /// wait_epoch). The caller stalls only for the marker pushes.
-  std::uint64_t rotate_live();
-  /// Drain the rings, retire the workers and finalizer (publishing any
-  /// epoch still in flight), and return to serial mode. The current
-  /// (unrotated) epoch stays in the shards: flush()/rotate()/queries work
-  /// as usual afterwards. No-op when no session is active.
-  void stop_live();
-  [[nodiscard]] bool live() const noexcept { return live_ != nullptr; }
-
-  /// Stop-the-world rotation (the serial baseline): flush every shard,
-  /// snapshot, reset, publish. Ingest is blocked for the duration —
-  /// bench/rotation_pause.cpp measures exactly this pause against
-  /// rotate_live(). Not callable during a live session (logic_error);
-  /// snapshots published here and by live sessions share one sequence.
-  std::shared_ptr<const ShardedEpochSnapshot> rotate();
-
-  // Concurrent query API — served from published (quiesced) snapshots,
-  // never from the sketches the workers are writing. Safe from any
-  // thread, during or outside a live session; never blocks the workers.
-  /// CSM estimate from the most recent closed epoch (0.0 before any
-  /// epoch has closed).
-  [[nodiscard]] double query_live(FlowId flow) const;
-  /// Snapshot of epoch `seq`; nullptr when unpublished or evicted by the
-  /// retention bound.
-  [[nodiscard]] std::shared_ptr<const ShardedEpochSnapshot> snapshot_epoch(
-      std::uint64_t seq) const;
-  /// Most recent closed epoch; nullptr before the first rotation.
-  [[nodiscard]] std::shared_ptr<const ShardedEpochSnapshot> latest_snapshot()
-      const;
-  /// Block until epoch `seq` is published (nullptr if the session stops
-  /// first or retention already evicted it).
-  [[nodiscard]] std::shared_ptr<const ShardedEpochSnapshot> wait_epoch(
-      std::uint64_t seq) const;
-  /// Epochs closed so far (live and stop-the-world combined).
-  [[nodiscard]] std::uint64_t epochs_closed() const {
-    return store_.published();
+  [[nodiscard]] double estimate_mlm(FlowId flow) const {
+    return shard(shard_of(flow)).estimate_mlm(flow);
   }
-  /// Cache entries awaiting a finalizer flush (the live.flush_backlog
-  /// gauge; 0 outside a live session or with metrics compiled out).
-  /// Relaxed-atomic read, safe from any thread.
-  [[nodiscard]] std::uint64_t flush_backlog() const noexcept {
-    return live_metrics_.flush_backlog.value();
+  [[nodiscard]] double estimate_csm_raw(FlowId flow) const {
+    return shard(shard_of(flow)).estimate_csm_raw(flow);
   }
-
-  // Clamped-at-zero query API; *_raw forwards keep the signed values for
-  // evaluation code (see CaesarSketch's header note).
-  [[nodiscard]] double estimate_csm(FlowId flow) const;
-  [[nodiscard]] double estimate_mlm(FlowId flow) const;
-  [[nodiscard]] double estimate_csm_raw(FlowId flow) const;
-  [[nodiscard]] double estimate_mlm_raw(FlowId flow) const;
+  [[nodiscard]] double estimate_mlm_raw(FlowId flow) const {
+    return shard(shard_of(flow)).estimate_mlm_raw(flow);
+  }
   [[nodiscard]] ConfidenceInterval interval_csm(FlowId flow,
-                                                double alpha) const;
+                                                double alpha) const {
+    return shard(shard_of(flow)).interval_csm(flow, alpha);
+  }
   [[nodiscard]] ConfidenceInterval interval_mlm(FlowId flow,
-                                                double alpha) const;
-  [[nodiscard]] ConfidenceInterval interval_csm_empirical(FlowId flow,
-                                                          double alpha) const;
-
-  [[nodiscard]] Count packets() const noexcept;
-  [[nodiscard]] double memory_kb() const noexcept;
-  [[nodiscard]] memsim::OpCounts op_counts() const noexcept;
-
-  [[nodiscard]] const CaesarSketch& shard(std::size_t index) const noexcept {
-    return shards_[index];
+                                                double alpha) const {
+    return shard(shard_of(flow)).interval_mlm(flow, alpha);
+  }
+  [[nodiscard]] ConfidenceInterval interval_csm_empirical(
+      FlowId flow, double alpha) const {
+    return shard(shard_of(flow)).interval_csm_empirical(flow, alpha);
   }
 
-  /// The base per-shard configuration (shard seeds are derived from it).
-  /// Immutable after construction, so — unlike shard() — it is safe to
-  /// read from any thread during a live session.
-  [[nodiscard]] const CaesarConfig& per_shard_config() const noexcept {
-    return per_shard_config_;
+  /// Operation counts for the timing model (construction phase only).
+  [[nodiscard]] memsim::OpCounts op_counts() const noexcept {
+    memsim::OpCounts total;
+    for (std::size_t s = 0; s < shards(); ++s) total += shard(s).op_counts();
+    return total;
   }
-
-  /// Append pipeline + per-shard instruments to `snapshot`:
-  /// "pipeline.*" (parallel batches, routed packets, ring backpressure,
-  /// worker pop-batch sizes) and "shard<i>.*" (each shard's full
-  /// CaesarSketch tree). Call between (not during) add_parallel() calls.
-  void collect_metrics(metrics::MetricsSnapshot& snapshot,
-                       const std::string& prefix = "") const;
-
- private:
-  // Streaming-pipeline observability, aggregated over add_parallel()
-  // calls. Worker-side instruments are sharded (each shard is owned by
-  // exactly one worker per call) and atomic, so the roll-up is race-free.
-  struct ShardIngestMetrics {
-    metrics::Counter packets_routed;     ///< packets staged to this shard
-    metrics::Counter ring_backpressure;  ///< full-ring push observations
-    metrics::Counter worker_batches;     ///< non-empty pops by the worker
-    metrics::Histogram batch_size;       ///< packets per non-empty pop
-  };
-
-  // Live rotation observability. Workers and the finalizer write these
-  // through relaxed atomics, so reading them from collect_metrics() is
-  // race-free at any time (values are advisory mid-session, exact after
-  // stop_live()).
-  struct LiveMetrics {
-    metrics::Counter rotations;        ///< snapshots published
-    metrics::Counter standby_miss;     ///< marker found no prebuilt sketch
-    metrics::Counter packets_fed;      ///< packets routed by feed()
-    metrics::Counter queries;          ///< query_live() calls served
-    metrics::Counter ring_backpressure;  ///< full-ring pushes (live rings)
-    metrics::Histogram rotate_call_us;   ///< ingest stall per rotate_live()
-    metrics::Histogram rotation_latency_us;  ///< marker -> snapshot publish
-    metrics::Gauge flush_backlog;      ///< cache entries awaiting flush
-    metrics::Gauge snapshots_retained;
-  };
-
-  /// Build a snapshot of one closed, flushed shard sketch.
-  [[nodiscard]] static EpochSnapshot snapshot_shard(const CaesarSketch& shard);
-
-  std::vector<CaesarSketch> shards_;
-  std::vector<ShardIngestMetrics> ingest_metrics_;
-  metrics::Counter parallel_batches_;
-  CaesarConfig per_shard_config_;
-  std::uint64_t route_seed_;
-
-  /// Published epochs; retention defaults to LiveOptions::max_epochs and
-  /// is re-armed by every start_live().
-  SnapshotStore<const ShardedEpochSnapshot> store_{LiveOptions{}.max_epochs};
-  std::unique_ptr<detail::LiveState> live_;
-  mutable LiveMetrics live_metrics_;
 };
 
 }  // namespace caesar::core

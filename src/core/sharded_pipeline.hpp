@@ -1,0 +1,798 @@
+// ShardedPipeline<B> — the production datapath, generic over any
+// SketchBackend (core/backend.hpp).
+//
+// Flows are partitioned by a hash of the flow ID into S independent
+// backend shards. Because every packet of a flow lands in exactly one
+// shard, per-flow queries route to a single shard and no cross-shard
+// merging is needed. add_parallel() ingests a packet batch with a
+// streaming pipeline: the calling thread routes packets into per-shard
+// SPSC rings while shard workers consume them concurrently through the
+// backend's batched ingest fast path. The single router preserves the
+// batch order within every shard, so every counter value is
+// bit-identical to a sequential run (verified by the tests).
+//
+// Live epoch rotation (start_live/feed/rotate_live) keeps that pipeline
+// resident: persistent shard workers consume from per-shard SPSC rings
+// while rotate_live() injects an in-band epoch marker into every ring.
+// Each worker, on popping the marker, hands its shard's backend to a
+// background finalizer (which flushes it in bounded chunks, finalize()s
+// it and publishes an immutable ShardedSnapshot) and swaps in a
+// pre-built standby — the ingest thread stalls only for the marker
+// pushes, never for the flush. Queries (query_live / snapshot_epoch /
+// wait_epoch) read published snapshots through a SnapshotStore and
+// never block the workers. Because markers travel the same FIFO rings
+// as packets, every packet lands in exactly the epoch it was fed in,
+// and each closed epoch is bit-identical to a stop-the-world rotate()
+// at the same packet boundary (pinned for every backend by
+// tests/core/backend_conformance_test.cpp, and exhaustively for CAESAR
+// by tests/core/live_rotation_test.cpp).
+//
+// This file is the verbatim generalization of the pre-refactor
+// ShardedCaesar + live rotation implementation: same constants, same
+// per-shard seed derivation, same RNG and eviction ordering. CAESAR
+// results through ShardedPipeline<CaesarSketch> match the pre-refactor
+// golden pins bit for bit (DESIGN.md "The backend bit-identity
+// contract").
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/snapshot_store.hpp"
+#include "common/spsc_ring.hpp"
+#include "common/tracing.hpp"
+#include "core/backend.hpp"
+#include "hash/murmur3.hpp"
+
+namespace caesar::core {
+
+/// Tuning knobs for a live rotation session.
+struct LiveOptions {
+  std::size_t threads = 0;      ///< shard workers; 0 = one per shard
+  std::size_t max_epochs = 8;   ///< retained snapshots; 0 = unbounded
+  std::size_t ring_capacity = 8192;   ///< per-shard SPSC ring size
+  std::size_t flush_chunk = 2048;     ///< finalizer flush budget per step
+};
+
+template <SketchBackend B>
+class ShardedPipeline {
+ public:
+  using Backend = B;
+  using Config = typename B::Config;
+  using ShardSnapshot = typename B::Snapshot;
+  /// The published epoch type: one backend Snapshot per shard.
+  using Epoch = ShardedSnapshot<ShardSnapshot>;
+
+  /// `shards` independent backends, each built from `per_shard` with a
+  /// distinct derived seed.
+  ShardedPipeline(const Config& per_shard, std::size_t shards) {
+    if (shards == 0)
+      throw std::invalid_argument(
+          "ShardedPipeline: need at least one shard");
+    shards_.reserve(shards);
+    shard_configs_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      Config cfg = per_shard;
+      cfg.seed = per_shard.seed ^ (0x9e3779b97f4a7c15ULL * (s + 1));
+      shard_configs_.push_back(cfg);
+      shards_.emplace_back(cfg);
+    }
+    ingest_metrics_ = std::vector<ShardIngestMetrics>(shards);
+    per_shard_config_ = per_shard;
+    // The routing hash must be independent of every in-shard hash;
+    // derive it from the base seed with a distinct tweak.
+    route_seed_ = per_shard.seed ^ 0x517cc1b727220a95ULL;
+  }
+
+  ~ShardedPipeline() { stop_live(); }
+
+  // Worker threads hold references into this object during a live
+  // session, and the snapshot store owns synchronization primitives;
+  // neither copying nor moving is meaningful.
+  ShardedPipeline(const ShardedPipeline&) = delete;
+  ShardedPipeline& operator=(const ShardedPipeline&) = delete;
+
+  /// Scheme identity / capabilities of the configured backend.
+  [[nodiscard]] static constexpr std::string_view scheme() noexcept {
+    return B::kSchemeName;
+  }
+  [[nodiscard]] BackendCaps capabilities() const {
+    return B::capabilities(per_shard_config_);
+  }
+
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_of(FlowId flow) const noexcept {
+    return static_cast<std::size_t>(
+        (static_cast<__uint128_t>(hash::fmix64(flow ^ route_seed_)) *
+         shards_.size()) >>
+        64);
+  }
+
+  /// Sequential ingest of one packet.
+  void add(FlowId flow) {
+    if (live_)
+      throw std::logic_error(
+          "ShardedPipeline::add: shards are owned by live workers during "
+          "a live session; use feed()");
+    shards_[shard_of(flow)].ingest(flow);
+  }
+
+  /// Parallel ingest of a packet batch: this thread routes packets to
+  /// per-shard lock-free queues while up to `threads` workers consume
+  /// them concurrently (deterministic, identical to sequential ingest).
+  /// threads == 0 picks the shard count.
+  void add_parallel(std::span<const FlowId> flows,
+                    std::size_t threads = 0) {
+    if (live_)
+      throw std::logic_error(
+          "ShardedPipeline::add_parallel: shards are owned by live "
+          "workers during a live session; use feed()");
+    if (threads == 0) threads = shards_.size();
+    threads = std::min(threads, shards_.size());
+    // Tiny batches don't amortize thread start-up; the result is
+    // identical either way.
+    if (threads <= 1 || flows.size() <= 4096) {
+      for (FlowId f : flows) add(f);
+      return;
+    }
+    // Streaming pipeline: this thread routes packets into one SPSC ring
+    // per shard while `threads` workers consume them concurrently
+    // through the batched ingest fast path — routing and shard
+    // processing overlap instead of being separated by a
+    // radix-partition barrier. The single router preserves batch order
+    // within every shard, and ingest_batch() is bit-identical to
+    // per-packet ingest, so the final counters match a sequential run
+    // exactly.
+    const std::size_t num_shards = shards_.size();
+    parallel_batches_.inc();
+    constexpr std::size_t kRingCapacity = 8192;
+    constexpr std::size_t kRouteChunk = 256;   // router staging per shard
+    constexpr std::size_t kWorkerChunk = 2048; // worker-side pop batch
+
+    std::vector<std::unique_ptr<SpscRing<FlowId>>> rings;
+    rings.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s)
+      rings.push_back(std::make_unique<SpscRing<FlowId>>(kRingCapacity));
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      workers.emplace_back([this, &rings, &done, w, threads, num_shards] {
+        std::vector<FlowId> buf(kWorkerChunk);
+        auto drain_pass = [&] {
+          bool any = false;
+          for (std::size_t s = w; s < num_shards; s += threads) {
+            const std::size_t n =
+                rings[s]->try_pop_bulk(std::span<FlowId>(buf));
+            if (n > 0) {
+              tracing::TraceSpan span("pipeline.pop_batch");
+              span.arg(n);
+              shards_[s].ingest_batch(
+                  std::span<const FlowId>(buf.data(), n));
+              ingest_metrics_[s].worker_batches.inc();
+              ingest_metrics_[s].batch_size.record(n);
+              any = true;
+            }
+          }
+          return any;
+        };
+        for (;;) {
+          if (drain_pass()) continue;
+          if (done.load(std::memory_order_acquire)) {
+            // The router has stopped, so an empty pass after observing
+            // `done` means the owned rings are drained for good.
+            if (!drain_pass()) break;
+          } else {
+            std::this_thread::yield();
+          }
+        }
+        for (std::size_t s = w; s < num_shards; s += threads)
+          shards_[s].drain_pending();
+      });
+    }
+
+    // Route with small per-shard staging buffers so ring traffic is
+    // bulk pushes, not per-packet atomics.
+    std::vector<std::vector<FlowId>> staged(num_shards);
+    for (auto& b : staged) b.reserve(kRouteChunk);
+    const auto flush_staged = [&](std::size_t s) {
+      ingest_metrics_[s].packets_routed.add(staged[s].size());
+      std::span<const FlowId> pending(staged[s]);
+      while (!pending.empty()) {
+        pending = pending.subspan(rings[s]->try_push_bulk(pending));
+        if (!pending.empty()) std::this_thread::yield();  // backpressure
+      }
+      staged[s].clear();
+    };
+    for (FlowId f : flows) {
+      const std::size_t s = shard_of(f);
+      staged[s].push_back(f);
+      if (staged[s].size() >= kRouteChunk) flush_staged(s);
+    }
+    for (std::size_t s = 0; s < num_shards; ++s) flush_staged(s);
+    done.store(true, std::memory_order_release);
+    for (auto& worker : workers) worker.join();
+    // The rings die with this call; fold their backpressure counts into
+    // the per-shard aggregates first (workers have joined, so the reads
+    // are exact).
+    for (std::size_t s = 0; s < num_shards; ++s)
+      ingest_metrics_[s].ring_backpressure.add(
+          rings[s]->push_backpressure());
+  }
+
+  void flush() {
+    for (auto& shard : shards_) shard.flush();
+  }
+
+  // --- live epoch rotation ----------------------------------------------
+  // A live session turns the per-call streaming pipeline into a
+  // resident one. feed() and rotate_live() must be called from the
+  // thread that called start_live() (it is the single producer of every
+  // ring); the query API below may be called from any number of other
+  // threads.
+
+  /// Start the resident pipeline: spawn shard workers, the background
+  /// finalizer, and pre-build one standby backend per shard. Throws
+  /// std::logic_error if a session is already active.
+  void start_live(const LiveOptions& options = {}) {
+    if (live_)
+      throw std::logic_error(
+          "ShardedPipeline: live session already active");
+    if (options.ring_capacity == 0)
+      throw std::invalid_argument(
+          "ShardedPipeline::start_live: ring_capacity must be nonzero");
+    const std::size_t num_shards = shards_.size();
+    auto st = std::make_unique<LiveState>();
+    st->options = options;
+    if (st->options.flush_chunk == 0) st->options.flush_chunk = 1;
+    st->threads = options.threads == 0
+                      ? num_shards
+                      : std::min(options.threads, num_shards);
+    st->rings.reserve(num_shards);
+    st->standby.reserve(num_shards);
+    st->staged.resize(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      st->rings.push_back(
+          std::make_unique<SpscRing<LiveItem>>(options.ring_capacity));
+      auto slot = std::make_unique<StandbySlot>();
+      slot->sketch = std::make_unique<B>(shard_configs_[s]);
+      st->standby.push_back(std::move(slot));
+      st->staged[s].reserve(kLiveRouteChunk);
+    }
+    st->next_marker_seq = store_.published();
+    store_.set_retention(options.max_epochs);
+    store_.open();
+
+    LiveState* state = st.get();
+    live_ = std::move(st);
+
+    state->finalizer = std::thread([this, state] {
+      const std::size_t shards = shards_.size();
+      // Per-epoch reassembly: a slot per shard, published when
+      // complete. Markers reach shard s in rotation order and the
+      // finalizer pops in arrival order, so epochs complete (and
+      // publish) in sequence.
+      std::map<std::uint64_t, std::vector<std::unique_ptr<B>>> pending;
+      std::map<std::uint64_t, std::size_t> arrived;
+      for (;;) {
+        ClosedShard item;
+        {
+          std::unique_lock<std::mutex> lock(state->fq_mu);
+          state->fq_cv.wait(
+              lock, [&] { return !state->fq.empty() || state->fq_done; });
+          if (state->fq.empty()) break;  // fq_done and drained
+          item = std::move(state->fq.front());
+          state->fq.pop_front();
+        }
+        // Refill this shard's standby first: the next rotation should
+        // find a prebuilt backend even while we are still flushing this
+        // one.
+        {
+          auto& slot = *state->standby[item.shard];
+          std::lock_guard<std::mutex> lock(slot.mu);
+          if (!slot.sketch)
+            slot.sketch = std::make_unique<B>(shard_configs_[item.shard]);
+        }
+        auto& epoch_shards = pending[item.seq];
+        if (epoch_shards.empty()) epoch_shards.resize(shards);
+        epoch_shards[item.shard] = std::move(item.sketch);
+        if (++arrived[item.seq] < shards) continue;
+
+        // Epoch complete: flush every shard in bounded chunks
+        // (reporting backlog between steps), finalize, publish.
+        tracing::TraceSpan finalize_span("live.finalize_epoch");
+        finalize_span.arg(item.seq);
+        std::vector<ShardSnapshot> snaps;
+        snaps.reserve(shards);
+        for (auto& sketch : epoch_shards) {
+          std::size_t remaining;
+          do {
+            remaining = sketch->flush_chunk(state->options.flush_chunk);
+            live_metrics_.flush_backlog.set(remaining);
+          } while (remaining > 0);
+          snaps.push_back(sketch->finalize());
+        }
+        auto snap = std::make_shared<const Epoch>(item.seq, route_seed_,
+                                                  std::move(snaps));
+        store_.publish(snap);
+        live_metrics_.rotations.inc();
+        live_metrics_.snapshots_retained.set(store_.retained());
+        if constexpr (metrics::kEnabled || tracing::kEnabled) {
+          clock_type::time_point t0;
+          {
+            std::lock_guard<std::mutex> lock(state->fq_mu);
+            t0 = state->marker_times[item.seq];
+            state->marker_times.erase(item.seq);
+          }
+          const std::uint64_t us = elapsed_us(t0);
+          live_metrics_.rotation_latency_us.record(us);
+          if (tracing::active()) {
+            // The marker was injected on the ingest thread; reconstruct
+            // the span end-anchored so it lands on this (finalizer)
+            // timeline.
+            const std::uint64_t end = tracing::now_ns();
+            tracing::emit("live.rotation_latency", end - us * 1000, end,
+                          item.seq);
+          }
+        }
+        pending.erase(item.seq);
+        arrived.erase(item.seq);
+      }
+    });
+
+    for (std::size_t w = 0; w < state->threads; ++w) {
+      state->workers.emplace_back([this, state, w] {
+        const std::size_t threads = state->threads;
+        const std::size_t num_shards_w = shards_.size();
+        std::vector<LiveItem> buf(kLiveWorkerChunk);
+        std::vector<FlowId> batch;
+        batch.reserve(kLiveWorkerChunk);
+
+        const auto rotate_shard = [&](std::size_t s, std::uint64_t seq) {
+          std::unique_ptr<B> fresh;
+          {
+            auto& slot = *state->standby[s];
+            std::lock_guard<std::mutex> lock(slot.mu);
+            fresh = std::move(slot.sketch);
+          }
+          if (!fresh) {
+            // Rotation outpaced the finalizer's refill: build inline
+            // (the stall the standby_miss series flags).
+            live_metrics_.standby_miss.inc();
+            fresh = std::make_unique<B>(shard_configs_[s]);
+          }
+          auto closed = std::make_unique<B>(std::move(shards_[s]));
+          shards_[s] = std::move(*fresh);
+          {
+            std::lock_guard<std::mutex> lock(state->fq_mu);
+            state->fq.push_back(ClosedShard{seq, s, std::move(closed)});
+          }
+          state->fq_cv.notify_one();
+        };
+
+        const auto process_items = [&](std::size_t s,
+                                       std::span<const LiveItem> items) {
+          batch.clear();
+          for (const auto& item : items) {
+            if (item.marker_seq_plus_1 == 0) {
+              batch.push_back(item.flow);
+              continue;
+            }
+            // Packets before the marker close out the current epoch.
+            if (!batch.empty()) {
+              shards_[s].ingest_batch(batch);
+              batch.clear();
+            }
+            rotate_shard(s, item.marker_seq_plus_1 - 1);
+          }
+          if (!batch.empty()) shards_[s].ingest_batch(batch);
+        };
+
+        const auto drain_pass = [&] {
+          bool any = false;
+          for (std::size_t s = w; s < num_shards_w; s += threads) {
+            const std::size_t n =
+                state->rings[s]->try_pop_bulk(std::span<LiveItem>(buf));
+            if (n > 0) {
+              tracing::TraceSpan span("live.pop_batch");
+              span.arg(n);
+              process_items(s,
+                            std::span<const LiveItem>(buf.data(), n));
+              ingest_metrics_[s].worker_batches.inc();
+              ingest_metrics_[s].batch_size.record(n);
+              any = true;
+            }
+          }
+          return any;
+        };
+
+        std::size_t idle_passes = 0;
+        for (;;) {
+          if (drain_pass()) {
+            idle_passes = 0;
+            continue;
+          }
+          if (state->ingest_done.load(std::memory_order_acquire)) {
+            // The router has stopped; an empty pass after observing the
+            // flag means the owned rings are drained for good.
+            if (!drain_pass()) break;
+            idle_passes = 0;
+          } else if (++idle_passes < 64) {
+            std::this_thread::yield();
+          } else {
+            // Long idle (live sessions are bursty): back off so
+            // spinning workers do not starve the ingest thread on small
+            // machines.
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+        }
+        for (std::size_t s = w; s < num_shards_w; s += threads)
+          shards_[s].drain_pending();
+      });
+    }
+  }
+
+  /// Route a packet batch into the shard rings (non-blocking except for
+  /// ring backpressure). Packets fed before a rotate_live() call belong
+  /// to the epoch it closes; packets fed after belong to the next one.
+  void feed(std::span<const FlowId> flows) {
+    if (!live_)
+      throw std::logic_error("ShardedPipeline::feed: no live session");
+    LiveState* st = live_.get();
+    live_metrics_.packets_fed.add(flows.size());
+    const auto flush_staged = [&](std::size_t s) {
+      auto& buf = st->staged[s];
+      if (buf.empty()) return;
+      ingest_metrics_[s].packets_routed.add(buf.size());
+      std::span<const LiveItem> pending(buf);
+      while (!pending.empty()) {
+        pending = pending.subspan(st->rings[s]->try_push_bulk(pending));
+        if (!pending.empty()) std::this_thread::yield();  // backpressure
+      }
+      buf.clear();
+    };
+    for (FlowId f : flows) {
+      const std::size_t s = shard_of(f);
+      st->staged[s].push_back(LiveItem{f, 0});
+      if (st->staged[s].size() >= kLiveRouteChunk) flush_staged(s);
+    }
+    // Leave nothing staged: when feed() returns, every packet is in its
+    // ring and a following rotate_live() marker cannot overtake it.
+    for (std::size_t s = 0; s < shards_.size(); ++s) flush_staged(s);
+  }
+
+  /// Close the current epoch *without stopping ingest*: flushes the
+  /// router staging buffers, then pushes an epoch marker into every
+  /// shard ring. Each worker swaps in its standby backend at the
+  /// marker; the closed backends are flushed and published by the
+  /// finalizer. Returns the epoch's sequence number (pass to
+  /// snapshot_epoch / wait_epoch). The caller stalls only for the
+  /// marker pushes.
+  std::uint64_t rotate_live() {
+    if (!live_)
+      throw std::logic_error(
+          "ShardedPipeline::rotate_live: no live session (use rotate())");
+    LiveState* st = live_.get();
+    const auto t0 = clock_type::now();
+    const std::uint64_t seq = st->next_marker_seq++;
+    tracing::TraceSpan span("live.rotate_call");
+    span.arg(seq);
+    if constexpr (metrics::kEnabled || tracing::kEnabled) {
+      std::lock_guard<std::mutex> lock(st->fq_mu);
+      st->marker_times[seq] = t0;
+    }
+    // feed() leaves the staging buffers empty, so the marker is the
+    // next item every shard sees after the epoch's final packet.
+    const LiveItem marker{0, seq + 1};
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      while (!st->rings[s]->try_push(marker)) std::this_thread::yield();
+    }
+    live_metrics_.rotate_call_us.record(elapsed_us(t0));
+    return seq;
+  }
+
+  /// Drain the rings, retire the workers and finalizer (publishing any
+  /// epoch still in flight), and return to serial mode. The current
+  /// (unrotated) epoch stays in the shards: flush()/rotate()/queries
+  /// work as usual afterwards. No-op when no session is active.
+  void stop_live() {
+    if (!live_) return;
+    LiveState* st = live_.get();
+    st->ingest_done.store(true, std::memory_order_release);
+    for (auto& worker : st->workers) worker.join();
+    {
+      std::lock_guard<std::mutex> lock(st->fq_mu);
+      st->fq_done = true;
+    }
+    st->fq_cv.notify_all();
+    st->finalizer.join();
+    // The rings die with the session; fold their backpressure counts
+    // into the session aggregate first (all threads have joined, so the
+    // reads are exact).
+    for (const auto& ring : st->rings)
+      live_metrics_.ring_backpressure.add(ring->push_backpressure());
+    store_.close();
+    live_.reset();
+  }
+
+  [[nodiscard]] bool live() const noexcept { return live_ != nullptr; }
+
+  /// Stop-the-world rotation (the serial baseline): flush every shard,
+  /// finalize, reset, publish. Ingest is blocked for the duration —
+  /// bench/rotation_pause.cpp measures exactly this pause against
+  /// rotate_live(). Not callable during a live session (logic_error);
+  /// snapshots published here and by live sessions share one sequence.
+  std::shared_ptr<const Epoch> rotate() {
+    if (live_)
+      throw std::logic_error(
+          "ShardedPipeline::rotate: stop-the-world rotation is not "
+          "available during a live session; use rotate_live()");
+    const auto t0 = clock_type::now();
+    std::vector<ShardSnapshot> snaps;
+    snaps.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s].flush();
+      snaps.push_back(shards_[s].finalize());
+      shards_[s] = B(shard_configs_[s]);
+    }
+    auto snap = std::make_shared<const Epoch>(store_.published(),
+                                              route_seed_,
+                                              std::move(snaps));
+    store_.publish(snap);
+    live_metrics_.rotations.inc();
+    live_metrics_.snapshots_retained.set(store_.retained());
+    live_metrics_.rotate_call_us.record(elapsed_us(t0));
+    return snap;
+  }
+
+  // Concurrent query API — served from published (quiesced) snapshots,
+  // never from the backends the workers are writing. Safe from any
+  // thread, during or outside a live session; never blocks the workers.
+  /// Clamped estimate from the most recent closed epoch (0.0 before any
+  /// epoch has closed).
+  [[nodiscard]] double query_live(FlowId flow) const {
+    live_metrics_.queries.inc();
+    const auto snap = store_.latest();
+    return snap ? snap->estimate(flow) : 0.0;
+  }
+  /// Snapshot of epoch `seq`; nullptr when unpublished or evicted by
+  /// the retention bound.
+  [[nodiscard]] std::shared_ptr<const Epoch> snapshot_epoch(
+      std::uint64_t seq) const {
+    return store_.get(seq);
+  }
+  /// Most recent closed epoch; nullptr before the first rotation.
+  [[nodiscard]] std::shared_ptr<const Epoch> latest_snapshot() const {
+    return store_.latest();
+  }
+  /// Block until epoch `seq` is published (nullptr if the session stops
+  /// first or retention already evicted it).
+  [[nodiscard]] std::shared_ptr<const Epoch> wait_epoch(
+      std::uint64_t seq) const {
+    return store_.wait(seq);
+  }
+  /// Epochs closed so far (live and stop-the-world combined).
+  [[nodiscard]] std::uint64_t epochs_closed() const {
+    return store_.published();
+  }
+  /// Counter-plane units awaiting a finalizer flush (the
+  /// live.flush_backlog gauge; 0 outside a live session or with metrics
+  /// compiled out). Relaxed-atomic read, safe from any thread.
+  [[nodiscard]] std::uint64_t flush_backlog() const noexcept {
+    return live_metrics_.flush_backlog.value();
+  }
+
+  // Clamped-at-zero query API; *_raw forwards keep the signed values
+  // for evaluation code (see the backend contract in core/backend.hpp).
+  [[nodiscard]] double estimate(FlowId flow) const {
+    return shards_[shard_of(flow)].estimate(flow);
+  }
+  [[nodiscard]] double estimate_raw(FlowId flow) const {
+    return shards_[shard_of(flow)].estimate_raw(flow);
+  }
+
+  [[nodiscard]] Count packets() const noexcept {
+    Count total = 0;
+    for (const auto& shard : shards_) total += shard.packets();
+    return total;
+  }
+  [[nodiscard]] double memory_kb() const noexcept {
+    double total = 0.0;
+    for (const auto& shard : shards_) total += shard.memory_kb();
+    return total;
+  }
+
+  [[nodiscard]] const B& shard(std::size_t index) const noexcept {
+    return shards_[index];
+  }
+
+  /// The base per-shard configuration (shard seeds are derived from
+  /// it). Immutable after construction, so — unlike shard() — it is
+  /// safe to read from any thread during a live session.
+  [[nodiscard]] const Config& per_shard_config() const noexcept {
+    return per_shard_config_;
+  }
+
+  /// Append pipeline + per-shard instruments to `snapshot`: the
+  /// aggregate "pipeline.*" and "live.*" series carry a
+  /// {backend=<scheme>} label (rendered as a Prometheus label by the
+  /// exporter) since every scheme emits them; the per-shard
+  /// "shard<i>.*" trees stay scheme-shaped and unlabeled. Call between
+  /// (not during) add_parallel() calls.
+  void collect_metrics(metrics::MetricsSnapshot& snapshot,
+                       const std::string& prefix = "") const {
+    const std::string label =
+        std::string("{backend=") + std::string(B::kSchemeName) + "}";
+    snapshot.add_counter(prefix + "pipeline.parallel_batches" + label,
+                         parallel_batches_);
+    metrics::Counter routed_total, backpressure_total, batches_total;
+    metrics::Histogram batch_size_total;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const auto& m = ingest_metrics_[s];
+      std::string shard_prefix = prefix;
+      shard_prefix += "shard";
+      shard_prefix += std::to_string(s);
+      shard_prefix += ".";
+      snapshot.add_counter(shard_prefix + "pipeline.packets_routed",
+                           m.packets_routed);
+      snapshot.add_counter(shard_prefix + "pipeline.ring_backpressure",
+                           m.ring_backpressure);
+      snapshot.add_counter(shard_prefix + "pipeline.worker_batches",
+                           m.worker_batches);
+      snapshot.add_histogram(shard_prefix + "pipeline.batch_size",
+                             m.batch_size);
+      shards_[s].collect_metrics(snapshot, shard_prefix);
+      routed_total.add(m.packets_routed.value());
+      backpressure_total.add(m.ring_backpressure.value());
+      batches_total.add(m.worker_batches.value());
+      batch_size_total.merge(m.batch_size);
+    }
+    snapshot.add_counter(prefix + "pipeline.packets_routed" + label,
+                         routed_total);
+    snapshot.add_counter(prefix + "pipeline.ring_backpressure" + label,
+                         backpressure_total);
+    snapshot.add_counter(prefix + "pipeline.worker_batches" + label,
+                         batches_total);
+    snapshot.add_histogram(prefix + "pipeline.batch_size" + label,
+                           batch_size_total);
+    // Live rotation series. All instruments are relaxed atomics, so the
+    // roll-up is race-free mid-session; ring backpressure is folded in
+    // at stop_live(), so it (alone) is exact only after the session
+    // ends.
+    snapshot.add_counter(prefix + "live.rotations" + label,
+                         live_metrics_.rotations);
+    snapshot.add_counter(prefix + "live.standby_miss" + label,
+                         live_metrics_.standby_miss);
+    snapshot.add_counter(prefix + "live.packets_fed" + label,
+                         live_metrics_.packets_fed);
+    snapshot.add_counter(prefix + "live.queries" + label,
+                         live_metrics_.queries);
+    snapshot.add_counter(prefix + "live.ring_backpressure" + label,
+                         live_metrics_.ring_backpressure);
+    snapshot.add_histogram(prefix + "live.rotate_call_us" + label,
+                           live_metrics_.rotate_call_us);
+    snapshot.add_histogram(prefix + "live.rotation_latency_us" + label,
+                           live_metrics_.rotation_latency_us);
+    snapshot.add_gauge(prefix + "live.flush_backlog" + label,
+                       live_metrics_.flush_backlog);
+    snapshot.add_gauge(prefix + "live.snapshots_retained" + label,
+                       live_metrics_.snapshots_retained);
+  }
+
+ protected:
+  using clock_type = std::chrono::steady_clock;
+
+  static constexpr std::size_t kLiveRouteChunk = 256;  ///< staging/shard
+  static constexpr std::size_t kLiveWorkerChunk = 2048;  ///< pop batch
+
+  static std::uint64_t elapsed_us(clock_type::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            clock_type::now() - t0)
+            .count());
+  }
+
+  /// One ring element: a packet, or an epoch marker sequencing a
+  /// rotation.
+  struct LiveItem {
+    FlowId flow = 0;
+    std::uint64_t marker_seq_plus_1 = 0;  ///< 0 = packet, else seq + 1
+  };
+
+  /// A shard backend handed from its worker to the finalizer at a
+  /// marker.
+  struct ClosedShard {
+    std::uint64_t seq = 0;
+    std::size_t shard = 0;
+    std::unique_ptr<B> sketch;
+  };
+
+  /// Pre-built fresh backend for one shard's next epoch. The worker
+  /// takes it at a marker; the finalizer refills it off the hot path.
+  /// The mutex is uncontended except in the instant of a rotation.
+  struct StandbySlot {
+    std::mutex mu;
+    std::unique_ptr<B> sketch;
+  };
+
+  struct LiveState {
+    LiveOptions options;
+    std::size_t threads = 0;
+    std::vector<std::unique_ptr<SpscRing<LiveItem>>> rings;
+    std::vector<std::unique_ptr<StandbySlot>> standby;
+    std::vector<std::vector<LiveItem>> staged;  ///< router-side staging
+    std::vector<std::thread> workers;
+    std::thread finalizer;
+    std::atomic<bool> ingest_done{false};
+
+    // Worker -> finalizer hand-off queue.
+    std::mutex fq_mu;
+    std::condition_variable fq_cv;
+    std::deque<ClosedShard> fq;
+    bool fq_done = false;
+
+    /// Marker-injection timestamps for the rotation-latency series
+    /// (guarded by fq_mu; only touched when metrics are enabled).
+    std::map<std::uint64_t, clock_type::time_point> marker_times;
+
+    std::uint64_t next_marker_seq = 0;  ///< router thread only
+  };
+
+  // Streaming-pipeline observability, aggregated over add_parallel()
+  // calls. Worker-side instruments are sharded (each shard is owned by
+  // exactly one worker per call) and atomic, so the roll-up is
+  // race-free.
+  struct ShardIngestMetrics {
+    metrics::Counter packets_routed;     ///< packets staged to shard
+    metrics::Counter ring_backpressure;  ///< full-ring push observations
+    metrics::Counter worker_batches;     ///< non-empty pops by worker
+    metrics::Histogram batch_size;       ///< packets per non-empty pop
+  };
+
+  // Live rotation observability. Workers and the finalizer write these
+  // through relaxed atomics, so reading them from collect_metrics() is
+  // race-free at any time (values are advisory mid-session, exact after
+  // stop_live()).
+  struct LiveMetrics {
+    metrics::Counter rotations;        ///< snapshots published
+    metrics::Counter standby_miss;     ///< marker found no prebuilt one
+    metrics::Counter packets_fed;      ///< packets routed by feed()
+    metrics::Counter queries;          ///< query_live() calls served
+    metrics::Counter ring_backpressure;  ///< full-ring pushes (live)
+    metrics::Histogram rotate_call_us;   ///< ingest stall per rotate
+    metrics::Histogram rotation_latency_us;  ///< marker -> publish
+    metrics::Gauge flush_backlog;      ///< units awaiting flush
+    metrics::Gauge snapshots_retained;
+  };
+
+  std::vector<B> shards_;
+  std::vector<Config> shard_configs_;  ///< derived per-shard configs
+  std::vector<ShardIngestMetrics> ingest_metrics_;
+  metrics::Counter parallel_batches_;
+  Config per_shard_config_{};
+  std::uint64_t route_seed_ = 0;
+
+  /// Published epochs; retention defaults to LiveOptions::max_epochs
+  /// and is re-armed by every start_live().
+  SnapshotStore<const Epoch> store_{LiveOptions{}.max_epochs};
+  std::unique_ptr<LiveState> live_;
+  mutable LiveMetrics live_metrics_;
+};
+
+}  // namespace caesar::core

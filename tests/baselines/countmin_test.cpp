@@ -1,0 +1,156 @@
+#include "baselines/countmin/count_min.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace caesar::baselines {
+namespace {
+
+CountMinConfig small_config() {
+  CountMinConfig c;
+  c.width = 2000;
+  c.depth = 3;
+  c.counter_bits = 16;
+  c.seed = 9;
+  return c;
+}
+
+TEST(CountMin, ExactForIsolatedFlow) {
+  // One flow alone in the sketch: every row holds exactly its count, and
+  // the count-mean-min correction subtracts (n - v)/(w-1) == 0.
+  CountMinSketch sketch(small_config());
+  for (int i = 0; i < 1234; ++i) sketch.add(42);
+  EXPECT_DOUBLE_EQ(sketch.estimate_min(42), 1234.0);
+  EXPECT_NEAR(sketch.estimate(42), 1234.0, 1.0);
+  EXPECT_EQ(sketch.packets(), 1234u);
+}
+
+TEST(CountMin, MinIsAlwaysAnOverestimate) {
+  // The classic guarantee: the uncorrected row minimum never
+  // underestimates any flow.
+  CountMinSketch sketch(small_config());
+  Xoshiro256pp rng(4);
+  std::vector<Count> truth(300, 0);
+  for (int i = 0; i < 60'000; ++i) {
+    const FlowId f = rng.below(truth.size());
+    ++truth[f];
+    sketch.add(f);
+  }
+  for (FlowId f = 0; f < truth.size(); ++f)
+    EXPECT_GE(sketch.estimate_min(f), static_cast<double>(truth[f])) << f;
+}
+
+TEST(CountMin, MeanMinCorrectionReducesCollisionBias) {
+  // Under heavy collision pressure the corrected estimate must carry
+  // less aggregate bias than the raw row minimum.
+  CountMinConfig cfg = small_config();
+  cfg.width = 300;  // force collisions
+  CountMinSketch sketch(cfg);
+  Xoshiro256pp rng(5);
+  std::vector<Count> truth(2000, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    const FlowId f = rng.below(truth.size());
+    ++truth[f];
+    sketch.add(f);
+  }
+  double bias_min = 0.0, bias_corrected = 0.0;
+  for (FlowId f = 0; f < truth.size(); ++f) {
+    bias_min += sketch.estimate_min(f) - static_cast<double>(truth[f]);
+    bias_corrected +=
+        sketch.estimate_raw(f) - static_cast<double>(truth[f]);
+  }
+  EXPECT_LT(std::abs(bias_corrected), std::abs(bias_min));
+}
+
+TEST(CountMin, ConservativeUpdateNeverLoosensEstimates) {
+  CountMinConfig plain_cfg = small_config();
+  plain_cfg.width = 500;
+  CountMinConfig cu_cfg = plain_cfg;
+  cu_cfg.conservative_update = true;
+  CountMinSketch plain(plain_cfg);
+  CountMinSketch cu(cu_cfg);
+  Xoshiro256pp rng(6);
+  for (int i = 0; i < 50'000; ++i) {
+    const FlowId f = rng.below(800);
+    plain.add(f);
+    cu.add(f);
+  }
+  for (FlowId f = 0; f < 800; ++f)
+    EXPECT_LE(cu.estimate_min(f), plain.estimate_min(f)) << f;
+}
+
+TEST(CountMin, WeightedAddMatchesRepeatedAdd) {
+  CountMinSketch weighted(small_config());
+  CountMinSketch repeated(small_config());
+  weighted.add_weighted(7, 500);
+  for (int i = 0; i < 500; ++i) repeated.add(7);
+  EXPECT_DOUBLE_EQ(weighted.estimate_raw(7), repeated.estimate_raw(7));
+  EXPECT_EQ(weighted.packets(), repeated.packets());
+}
+
+TEST(CountMin, PlainMergeIsBitExact) {
+  // Plain counters are value-additive: merging two disjoint halves must
+  // equal one sketch that saw both streams (bit for bit).
+  const auto cfg = small_config();
+  CountMinSketch a(cfg), b(cfg), both(cfg);
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 20'000; ++i) {
+    const FlowId f = rng.below(400);
+    if (i % 2 == 0)
+      a.add(f);
+    else
+      b.add(f);
+    both.add(f);
+  }
+  auto sa = a.finalize();
+  sa.merge(b.finalize());
+  const auto sboth = both.finalize();
+  EXPECT_EQ(sa.packets(), sboth.packets());
+  for (FlowId f = 0; f < 400; ++f)
+    EXPECT_DOUBLE_EQ(sa.estimate_raw(f), sboth.estimate_raw(f)) << f;
+}
+
+TEST(CountMin, ConservativeMergeThrows) {
+  CountMinConfig cfg = small_config();
+  cfg.conservative_update = true;
+  CountMinSketch a(cfg), b(cfg);
+  a.add(1);
+  b.add(2);
+  auto sa = a.finalize();
+  EXPECT_THROW(sa.merge(b.finalize()), std::logic_error);
+  EXPECT_FALSE(CountMinSketch::capabilities(cfg).mergeable);
+}
+
+TEST(CountMin, MergeRejectsMismatchedConfig) {
+  CountMinConfig other = small_config();
+  other.seed = 99;
+  CountMinSketch a(small_config()), b(other);
+  auto sa = a.finalize();
+  EXPECT_THROW(sa.merge(b.finalize()), std::invalid_argument);
+}
+
+TEST(CountMin, FlowCountTracksDistinctFlows) {
+  CountMinSketch sketch(small_config());
+  Xoshiro256pp rng(8);
+  constexpr std::uint64_t kFlows = 300;
+  for (int i = 0; i < 30'000; ++i) sketch.add(rng.below(kFlows) + 1);
+  const double est = sketch.finalize().estimate_flow_count();
+  EXPECT_NEAR(est, static_cast<double>(kFlows), 0.15 * kFlows);
+}
+
+TEST(CountMin, RejectsDegenerateConfigs) {
+  CountMinConfig zero_width = small_config();
+  zero_width.width = 0;
+  EXPECT_THROW(CountMinSketch{zero_width}, std::invalid_argument);
+  CountMinConfig deep = small_config();
+  deep.depth = 65;
+  EXPECT_THROW(CountMinSketch{deep}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace caesar::baselines

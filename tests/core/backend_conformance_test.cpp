@@ -1,0 +1,272 @@
+// Backend-conformance suite: every SketchBackend must honor the concept
+// contract (core/backend.hpp) the generic datapath is written against.
+// One typed suite runs the identical battery over all four registered
+// schemes, so porting a new backend means adding one traits
+// specialization here and watching the contract hold:
+//
+//   * ingest_batch() + drain_pending() == per-packet ingest(), bit for bit
+//   * flush_chunk() stepped to completion == one flush() call
+//   * finalize() answers exactly as the flushed backend does
+//   * estimate(f) == max(estimate_raw(f), 0) everywhere
+//   * Snapshot::merge adds packets/counter mass when
+//     BackendCaps::mergeable, throws std::logic_error when not
+//   * live rotation through ShardedPipeline<B> is bit-identical to
+//     stop-the-world rotate() at the same packet boundaries
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/case/case_sketch.hpp"
+#include "baselines/countmin/count_min.hpp"
+#include "baselines/rcs/rcs_sketch.hpp"
+#include "common/random.hpp"
+#include "core/backend.hpp"
+#include "core/caesar_sketch.hpp"
+#include "core/epoch_manager.hpp"
+#include "core/sharded_pipeline.hpp"
+
+namespace caesar::core {
+namespace {
+
+// Small configurations: big enough to exercise eviction/flush paths,
+// small enough that the typed battery stays fast under TSan.
+template <typename B>
+struct BackendTraits;
+
+template <>
+struct BackendTraits<CaesarSketch> {
+  static CaesarConfig config(std::uint64_t seed) {
+    CaesarConfig c;
+    c.cache_entries = 256;
+    c.entry_capacity = 8;
+    c.num_counters = 4096;
+    c.counter_bits = 14;
+    c.k = 3;
+    c.seed = seed;
+    return c;
+  }
+};
+
+template <>
+struct BackendTraits<baselines::RcsSketch> {
+  static baselines::RcsConfig config(std::uint64_t seed) {
+    baselines::RcsConfig c;
+    c.num_counters = 4096;
+    c.counter_bits = 14;
+    c.k = 3;
+    c.seed = seed;
+    return c;
+  }
+};
+
+template <>
+struct BackendTraits<baselines::CaseSketch> {
+  static baselines::CaseConfig config(std::uint64_t seed) {
+    baselines::CaseConfig c;
+    c.cache_entries = 256;
+    c.entry_capacity = 8;
+    c.num_counters = 4096;
+    c.counter_bits = 6;
+    c.max_flow_size = 50'000.0;
+    c.seed = seed;
+    return c;
+  }
+};
+
+template <>
+struct BackendTraits<baselines::CountMinSketch> {
+  static baselines::CountMinConfig config(std::uint64_t seed) {
+    baselines::CountMinConfig c;
+    c.width = 1365;
+    c.depth = 3;
+    c.counter_bits = 14;
+    c.seed = seed;
+    return c;
+  }
+};
+
+std::vector<FlowId> test_packets(std::uint64_t seed, std::size_t n = 30'000,
+                                 std::uint64_t flows = 500) {
+  Xoshiro256pp rng(seed);
+  std::vector<FlowId> packets;
+  packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) packets.push_back(rng.below(flows) + 1);
+  return packets;
+}
+
+template <typename B>
+class BackendConformance : public ::testing::Test {
+ protected:
+  using Traits = BackendTraits<B>;
+};
+
+using Backends = ::testing::Types<CaesarSketch, baselines::RcsSketch,
+                                  baselines::CaseSketch,
+                                  baselines::CountMinSketch>;
+TYPED_TEST_SUITE(BackendConformance, Backends);
+
+TYPED_TEST(BackendConformance, CapabilitiesAreConsistent) {
+  const auto cfg = TestFixture::Traits::config(7);
+  const BackendCaps caps = TypeParam::capabilities(cfg);
+  EXPECT_EQ(caps.scheme, TypeParam::kSchemeName);
+  EXPECT_FALSE(caps.description.empty());
+  if (caps.cache_assisted)
+    EXPECT_GT(caps.cache_entries, 0u);
+  else
+    EXPECT_EQ(caps.cache_entries, 0u);
+}
+
+TYPED_TEST(BackendConformance, BatchedIngestMatchesPerPacket) {
+  const auto cfg = TestFixture::Traits::config(11);
+  const auto packets = test_packets(42);
+  TypeParam per_packet(cfg);
+  TypeParam batched(cfg);
+  for (FlowId f : packets) per_packet.ingest(f);
+  // Uneven chunk sizes so batch boundaries land mid-eviction-burst.
+  std::span<const FlowId> rest(packets);
+  std::size_t chunk = 1;
+  while (!rest.empty()) {
+    const std::size_t n = std::min(chunk, rest.size());
+    batched.ingest_batch(rest.subspan(0, n));
+    rest = rest.subspan(n);
+    chunk = chunk * 3 + 1;
+  }
+  batched.drain_pending();
+  per_packet.flush();
+  batched.flush();
+  EXPECT_EQ(per_packet.packets(), batched.packets());
+  for (FlowId f = 0; f <= 501; ++f)
+    EXPECT_EQ(per_packet.estimate_raw(f), batched.estimate_raw(f)) << f;
+}
+
+TYPED_TEST(BackendConformance, ChunkedFlushMatchesFlush) {
+  const auto cfg = TestFixture::Traits::config(13);
+  const auto packets = test_packets(43);
+  TypeParam whole(cfg);
+  TypeParam chunked(cfg);
+  whole.ingest_batch(packets);
+  whole.drain_pending();
+  chunked.ingest_batch(packets);
+  chunked.drain_pending();
+
+  whole.flush();
+  std::size_t steps = 0;
+  while (chunked.flush_chunk(17) > 0) ++steps;
+  (void)steps;  // cache-free backends legitimately finish in zero steps
+
+  for (FlowId f = 0; f <= 501; ++f)
+    EXPECT_EQ(whole.estimate_raw(f), chunked.estimate_raw(f)) << f;
+  // Flushing is idempotent once drained.
+  EXPECT_EQ(chunked.flush_chunk(17), 0u);
+}
+
+TYPED_TEST(BackendConformance, FinalizeMatchesBackendQueries) {
+  const auto cfg = TestFixture::Traits::config(17);
+  TypeParam backend(cfg);
+  backend.ingest_batch(test_packets(44));
+  backend.drain_pending();
+  backend.flush();
+  const auto snap = backend.finalize();
+  EXPECT_EQ(snap.packets(), backend.packets());
+  for (FlowId f = 0; f <= 501; ++f) {
+    EXPECT_EQ(snap.estimate(f), backend.estimate(f)) << f;
+    EXPECT_EQ(snap.estimate_raw(f), backend.estimate_raw(f)) << f;
+  }
+  const CounterStats stats = snap.counter_stats();
+  EXPECT_GT(stats.counters, 0u);
+  EXPECT_GT(stats.capacity, 0.0);
+  EXPECT_GT(stats.total_value, 0u);  // 30k packets left *some* counter mass
+}
+
+TYPED_TEST(BackendConformance, EstimateIsClampedRaw) {
+  const auto cfg = TestFixture::Traits::config(19);
+  TypeParam backend(cfg);
+  backend.ingest_batch(test_packets(45));
+  backend.drain_pending();
+  backend.flush();
+  const auto snap = backend.finalize();
+  // Present flows (1..500) and absent ones (the raw estimate of an
+  // absent flow is where de-noising schemes go negative).
+  for (FlowId f = 0; f <= 700; ++f) {
+    EXPECT_EQ(backend.estimate(f), std::max(backend.estimate_raw(f), 0.0))
+        << f;
+    EXPECT_EQ(snap.estimate(f), std::max(snap.estimate_raw(f), 0.0)) << f;
+  }
+}
+
+TYPED_TEST(BackendConformance, MergeFollowsCapability) {
+  const auto cfg = TestFixture::Traits::config(23);
+  const BackendCaps caps = TypeParam::capabilities(cfg);
+  TypeParam a(cfg);
+  TypeParam b(cfg);
+  a.ingest_batch(test_packets(46));
+  b.ingest_batch(test_packets(47));
+  a.drain_pending();
+  b.drain_pending();
+  a.flush();
+  b.flush();
+  auto sa = a.finalize();
+  const auto sb = b.finalize();
+  if (!caps.mergeable) {
+    EXPECT_THROW(sa.merge(sb), std::logic_error);
+    return;
+  }
+  const Count packets_a = sa.packets();
+  const auto stats_a = sa.counter_stats();
+  const auto stats_b = sb.counter_stats();
+  sa.merge(sb);
+  EXPECT_EQ(sa.packets(), packets_a + sb.packets());
+  EXPECT_EQ(sa.counter_stats().total_value,
+            stats_a.total_value + stats_b.total_value);
+}
+
+// Live rotation through the generic pipeline must close every epoch
+// bit-identically to stop-the-world rotate() at the same packet
+// boundaries — for every backend, not just CAESAR (whose exhaustive
+// version lives in live_rotation_test.cpp).
+TYPED_TEST(BackendConformance, LiveRotationMatchesSerialRotate) {
+  const auto cfg = TestFixture::Traits::config(29);
+  constexpr std::size_t kShards = 2;
+  constexpr std::uint64_t kEpochs = 3;
+
+  ShardedPipeline<TypeParam> live_pipe(cfg, kShards);
+  ShardedPipeline<TypeParam> serial_pipe(cfg, kShards);
+
+  LiveOptions options;
+  options.flush_chunk = 64;  // many finalizer steps per epoch
+  live_pipe.start_live(options);
+
+  std::vector<std::shared_ptr<const typename ShardedPipeline<TypeParam>::Epoch>>
+      live_epochs, serial_epochs;
+  for (std::uint64_t e = 0; e < kEpochs; ++e) {
+    const auto packets = test_packets(100 + e, 12'000);
+    live_pipe.feed(packets);
+    const std::uint64_t seq = live_pipe.rotate_live();
+    live_epochs.push_back(live_pipe.wait_epoch(seq));
+    ASSERT_NE(live_epochs.back(), nullptr);
+
+    for (FlowId f : packets) serial_pipe.add(f);
+    serial_epochs.push_back(serial_pipe.rotate());
+  }
+  live_pipe.stop_live();
+
+  for (std::uint64_t e = 0; e < kEpochs; ++e) {
+    const auto& lv = *live_epochs[e];
+    const auto& sr = *serial_epochs[e];
+    EXPECT_EQ(lv.seq(), sr.seq());
+    EXPECT_EQ(lv.packets(), sr.packets());
+    for (FlowId f = 0; f <= 501; ++f) {
+      EXPECT_EQ(lv.estimate_raw(f), sr.estimate_raw(f))
+          << "epoch " << e << " flow " << f;
+    }
+    const auto ls = lv.counter_stats();
+    const auto ss = sr.counter_stats();
+    EXPECT_EQ(ls.total_value, ss.total_value) << "epoch " << e;
+    EXPECT_EQ(ls.saturated, ss.saturated) << "epoch " << e;
+  }
+}
+
+}  // namespace
+}  // namespace caesar::core

@@ -1,0 +1,148 @@
+// The type-erased runtime face (make_pipeline / AnyPipeline / AnyEpoch)
+// must behave exactly like the concrete ShardedPipeline it wraps, and
+// capability gating must reflect each scheme truthfully.
+#include "core/backend_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "core/sharded_caesar.hpp"
+
+namespace caesar::core {
+namespace {
+
+SchemeTuning small_tuning() {
+  SchemeTuning t;
+  t.cache_entries = 256;
+  t.entry_capacity = 8;
+  t.num_counters = 4096;
+  t.counter_bits = 14;
+  t.seed = 21;
+  return t;
+}
+
+std::vector<FlowId> test_packets(std::uint64_t seed, std::size_t n) {
+  Xoshiro256pp rng(seed);
+  std::vector<FlowId> packets;
+  packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) packets.push_back(rng.below(400) + 1);
+  return packets;
+}
+
+TEST(BackendRegistry, ListsAllSchemesAndRejectsUnknown) {
+  const auto schemes = registered_schemes();
+  ASSERT_EQ(schemes.size(), 4u);
+  for (std::string_view expected :
+       {"caesar", "rcs", "case", "countmin"}) {
+    EXPECT_NE(std::find(schemes.begin(), schemes.end(), expected),
+              schemes.end())
+        << expected;
+  }
+  EXPECT_THROW((void)make_pipeline("nope", small_tuning(), 2),
+               std::invalid_argument);
+}
+
+TEST(BackendRegistry, EverySchemeRunsTheLivePipeline) {
+  const auto packets = test_packets(31, 20'000);
+  for (std::string_view scheme : registered_schemes()) {
+    SCOPED_TRACE(std::string(scheme));
+    auto pipe = make_pipeline(scheme, small_tuning(), 2);
+    ASSERT_NE(pipe, nullptr);
+    EXPECT_EQ(pipe->scheme(), scheme);
+    EXPECT_EQ(pipe->capabilities().scheme, scheme);
+    EXPECT_EQ(pipe->shards(), 2u);
+
+    LiveOptions options;
+    options.flush_chunk = 128;
+    pipe->start_live(options);
+    pipe->feed(packets);
+    const std::uint64_t seq = pipe->rotate_live();
+    const auto epoch = pipe->wait_epoch(seq);
+    ASSERT_NE(epoch, nullptr);
+    pipe->stop_live();
+
+    EXPECT_EQ(epoch->seq(), seq);
+    EXPECT_EQ(epoch->packets(), packets.size());
+    // The heavy flows are present with sane (clamped) estimates.
+    for (FlowId f = 1; f <= 400; ++f) {
+      const double est = epoch->estimate(f);
+      EXPECT_GE(est, 0.0);
+      EXPECT_EQ(est, std::max(epoch->estimate_raw(f), 0.0));
+    }
+    EXPECT_GT(epoch->counter_stats().total_value, 0u);
+    // Flow-count support matches the declared capability.
+    EXPECT_EQ(epoch->estimate_flow_count().has_value(),
+              pipe->capabilities().flow_count);
+    // Health signals derive without touching the scheme's internals.
+    const HealthSignals signals = epoch->health_signals();
+    EXPECT_TRUE(signals.has_epoch);
+    EXPECT_GT(signals.counters, 0u);
+  }
+}
+
+TEST(BackendRegistry, ErasedCaesarMatchesConcretePipeline) {
+  const auto packets = test_packets(37, 25'000);
+  const auto tuning = small_tuning();
+
+  auto erased = make_pipeline("caesar", tuning, 3);
+  CaesarConfig cfg;
+  cfg.cache_entries = tuning.cache_entries;
+  cfg.entry_capacity = tuning.entry_capacity;
+  cfg.num_counters = tuning.num_counters;
+  cfg.counter_bits = tuning.counter_bits;
+  cfg.k = tuning.k;
+  cfg.seed = tuning.seed;
+  ShardedCaesar concrete(cfg, 3);
+
+  for (FlowId f : packets) {
+    erased->add(f);
+    concrete.add(f);
+  }
+  erased->flush();
+  concrete.flush();
+  EXPECT_EQ(erased->packets(), concrete.packets());
+  EXPECT_DOUBLE_EQ(erased->memory_kb(), concrete.memory_kb());
+  for (FlowId f = 0; f <= 401; ++f) {
+    EXPECT_EQ(erased->estimate_raw(f), concrete.estimate_raw(f)) << f;
+    EXPECT_EQ(erased->estimate(f), concrete.estimate(f)) << f;
+  }
+
+  const auto erased_epoch = erased->rotate();
+  const auto concrete_epoch = concrete.rotate();
+  ASSERT_NE(erased_epoch, nullptr);
+  for (FlowId f = 0; f <= 401; ++f)
+    EXPECT_EQ(erased_epoch->estimate_raw(f),
+              concrete_epoch->estimate_raw(f))
+        << f;
+}
+
+TEST(BackendRegistry, AssessGradesAHealthySession) {
+  auto pipe = make_pipeline("caesar", small_tuning(), 2);
+  pipe->start_live({});
+  pipe->feed(test_packets(41, 10'000));
+  const std::uint64_t seq = pipe->rotate_live();
+  ASSERT_NE(pipe->wait_epoch(seq), nullptr);
+  const HealthReport report = pipe->assess();
+  EXPECT_TRUE(report.signals.has_epoch);
+  pipe->stop_live();
+}
+
+TEST(BackendRegistry, CountMinWidthSplitsCounterBudget) {
+  SchemeTuning t = small_tuning();
+  t.num_counters = 3000;
+  t.depth = 3;
+  auto pipe = make_pipeline("countmin", t, 1);
+  // depth * width == num_counters (up to integer division).
+  EXPECT_EQ(pipe->capabilities().scheme, "countmin");
+  pipe->add(1);
+  pipe->flush();
+  const auto epoch = pipe->rotate();
+  EXPECT_EQ(epoch->counter_stats().counters, 3000u);
+}
+
+}  // namespace
+}  // namespace caesar::core

@@ -182,9 +182,13 @@ TEST(MetricsDeterminism, ShardedMetricsRollUpAcrossShards) {
   EXPECT_EQ(shard_packets, t.num_packets());
 
   if (metrics::kEnabled) {
-    EXPECT_EQ(snap.value("pipeline.packets_routed"), t.num_packets());
-    EXPECT_EQ(snap.value("pipeline.parallel_batches"), 1u);
-    EXPECT_GT(snap.value("pipeline.worker_batches"), 0u);
+    // Aggregate pipeline series carry the backend label dimension;
+    // per-shard trees stay unlabeled.
+    const std::string label = "{backend=caesar}";
+    EXPECT_EQ(snap.value("pipeline.packets_routed" + label),
+              t.num_packets());
+    EXPECT_EQ(snap.value("pipeline.parallel_batches" + label), 1u);
+    EXPECT_GT(snap.value("pipeline.worker_batches" + label), 0u);
     // The aggregate equals the sum of the per-shard series.
     std::uint64_t routed = 0, batches = 0;
     for (std::size_t s = 0; s < kShards; ++s) {
@@ -194,8 +198,8 @@ TEST(MetricsDeterminism, ShardedMetricsRollUpAcrossShards) {
       routed += snap.value(p + "packets_routed");
       batches += snap.value(p + "worker_batches");
     }
-    EXPECT_EQ(routed, snap.value("pipeline.packets_routed"));
-    EXPECT_EQ(batches, snap.value("pipeline.worker_batches"));
+    EXPECT_EQ(routed, snap.value("pipeline.packets_routed" + label));
+    EXPECT_EQ(batches, snap.value("pipeline.worker_batches" + label));
   }
 }
 

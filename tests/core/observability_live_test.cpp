@@ -215,7 +215,7 @@ TEST(MetricsServerLive, ConcurrentScrapeDuringLiveRotation) {
 
   // The published plane reflects the session.
   const auto last = hub.latest();
-  EXPECT_TRUE(last->has("live.rotations"));
+  EXPECT_TRUE(last->has("live.rotations{backend=caesar}"));
   EXPECT_EQ(sketch.epochs_closed(), kEpochs);
   EXPECT_GT(scrapes_ok.load(), 0u);
   EXPECT_GE(server.requests_served(), scrapes_ok.load());
